@@ -1,0 +1,154 @@
+package easyscale
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: gradient
+// bucket capacity, data-worker prefetch, EST count per GPU (host-side cost of
+// time-slicing), the dropped determinism levels, and checkpoint size/time as
+// the model grows. Run with:
+//
+//	go test -bench=Ablation -benchmem .
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+)
+
+// BenchmarkAblationBucketCap sweeps the gradient-bucket capacity: smaller
+// buckets mean more flatten/reduce/unflatten rounds per step.
+func BenchmarkAblationBucketCap(b *testing.B) {
+	for _, capElems := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("cap%d", capElems), func(b *testing.B) {
+			cfg := core.DefaultConfig(4)
+			cfg.BatchPerEST = 4
+			cfg.BucketCapElems = capElems
+			j, err := core.NewJob(cfg, "electra")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := j.Attach(core.EvenPlacement(4, device.V100, device.V100)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.RunStep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDeterminismLevel compares the host-side engine cost of
+// the determinism levels (the simulated-GPU overheads are the subject of
+// Figure 12; this ablation isolates what the bookkeeping itself costs).
+func BenchmarkAblationDeterminismLevel(b *testing.B) {
+	for _, lv := range []struct {
+		name  string
+		level core.Determinism
+		d2    bool
+	}{
+		{"none", core.DetNone, false},
+		{"D0", core.D0, false},
+		{"D1", core.D1, false},
+		{"D1D2", core.D1, true},
+	} {
+		b.Run(lv.name, func(b *testing.B) {
+			cfg := core.DefaultConfig(4)
+			cfg.BatchPerEST = 4
+			cfg.Level, cfg.D2 = lv.level, lv.d2
+			j, err := core.NewJob(cfg, "resnet50")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := j.Attach(core.EvenPlacement(4, device.V100)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.RunStep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationESTsPerGPU sweeps the EST count multiplexed on one GPU.
+func BenchmarkAblationESTsPerGPU(b *testing.B) {
+	for _, ests := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ests%d", ests), func(b *testing.B) {
+			cfg := core.DefaultConfig(ests)
+			cfg.BatchPerEST = 4
+			j, err := core.NewJob(cfg, "electra")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := j.Attach(core.EvenPlacement(ests, device.V100)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.RunStep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch sweeps the loader prefetch depth.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	ds := data.NewSyntheticImages(1024, 10, 3, 8, 8, 1)
+	for _, ahead := range []int{0, 2, 8} {
+		b.Run(fmt.Sprintf("ahead%d", ahead), func(b *testing.B) {
+			sampler := data.NewElasticSampler(ds.Len(), 4, 8, 1)
+			loader := data.NewLoader(ds, sampler, 2, 1)
+			steps := sampler.StepsPerEpoch()
+			b.ResetTimer()
+			epoch := 0
+			for i := 0; i < b.N; i++ {
+				step := i % steps
+				if step == 0 && i > 0 {
+					epoch++
+					loader.SetEpoch(epoch)
+				}
+				for r := 0; r < 4; r++ {
+					if ahead > 0 {
+						loader.Prefetch(r, ahead)
+					}
+					loader.Batch(step, r)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScaleEvent measures the cost of a full elastic
+// reconfiguration (checkpoint + restore + attach).
+func BenchmarkAblationScaleEvent(b *testing.B) {
+	cfg := core.DefaultConfig(4)
+	cfg.BatchPerEST = 4
+	j, err := core.NewJob(cfg, "bert")
+	if err != nil {
+		b.Fatal(err)
+	}
+	placements := []core.Placement{
+		core.EvenPlacement(4, device.V100, device.V100),
+		core.EvenPlacement(4, device.V100),
+	}
+	if err := j.Attach(placements[0]); err != nil {
+		b.Fatal(err)
+	}
+	if err := j.RunSteps(2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Scale(placements[(i+1)%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package easyscale
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the corresponding experiment end to end; the figures'
+// rows can be printed with `go run ./cmd/experiments` (which also records
+// paper-vs-measured in EXPERIMENTS.md).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func BenchmarkFig01ServingLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Fig01ServingLoad(3000, 42)
+		if len(res.Series) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig02AccuracyCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig02AccuracyCurves("vgg19", 1)
+	}
+}
+
+func BenchmarkFig03PerClassVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig03PerClassVariance("vgg19", 1)
+	}
+}
+
+func BenchmarkFig04GammaTrend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig04GammaTrend("vgg19", 1)
+	}
+}
+
+func BenchmarkFig09LossDiff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig09LossDiff("resnet50", 6)
+	}
+}
+
+func BenchmarkFig10PackingVsEST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig10PackingVsEST("resnet50", 32, 16*1024)
+		Fig10PackingVsEST("shufflenetv2", 512, 32*1024)
+	}
+}
+
+func BenchmarkFig11CtxSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig11CtxSwitch(3)
+	}
+}
+
+func BenchmarkFig12DeterminismOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig12DeterminismOverhead(2)
+	}
+}
+
+func BenchmarkFig13GradCopySync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig13GradCopySync(2)
+	}
+}
+
+func BenchmarkFig14TraceJCT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig14TraceJCT(40, 30, []uint64{11})
+	}
+}
+
+func BenchmarkFig15AllocTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig15AllocTimeline(40, 30, 11)
+	}
+}
+
+func BenchmarkFig16Production(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig16Production(3000, 42)
+	}
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Table1Workloads()
+	}
+}
+
+func BenchmarkMotivationRevocations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MotivationRevocations(2000, 13)
+	}
+}
+
+func BenchmarkDataWorkerSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DataWorkerSharing(8, 4)
+	}
+}
+
+// BenchmarkGlobalStep measures the simulated engine's host-side cost of one
+// global step (4 ESTs on one simulated V100).
+func BenchmarkGlobalStep(b *testing.B) {
+	cfg := core.DefaultConfig(4)
+	cfg.BatchPerEST = 4
+	j, err := core.NewJob(cfg, "resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := j.Attach(core.EvenPlacement(4, device.V100)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.RunStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint measures on-demand checkpoint serialization.
+func BenchmarkCheckpoint(b *testing.B) {
+	cfg := core.DefaultConfig(4)
+	cfg.BatchPerEST = 4
+	j, err := core.NewJob(cfg, "bert")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := j.Attach(core.EvenPlacement(4, device.V100)); err != nil {
+		b.Fatal(err)
+	}
+	if err := j.RunSteps(2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(j.Checkpoint()) == 0 {
+			b.Fatal("empty checkpoint")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Command easyscale-dist runs EasyScale as genuinely separate OS processes:
+// one coordinator process and one worker process per physical worker,
+// exchanging gradients and checkpoints over TCP.
+//
+// Example (three shells, or background the first two):
+//
+//	easyscale-dist coordinator -addr 127.0.0.1:7070 -workers 2 -steps 20 \
+//	    -model bert -ests 4 -gpus V100:1,P100:1 -out /tmp/job.ckpt -verify
+//	easyscale-dist worker -coord 127.0.0.1:7070 -model bert -ests 4 -gpus V100:1,P100:1
+//	easyscale-dist worker -coord 127.0.0.1:7070 -model bert -ests 4 -gpus V100:1,P100:1
+//
+// Every process is handed the same job definition (model, ESTs, placement) —
+// the "training script plus launcher args" convention — and learns its rank,
+// the leader address, the step budget, and the restore checkpoint from the
+// coordinator's membership frame. The coordinator optionally verifies the
+// resulting checkpoint bitwise against an in-process fixed-DoP reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dist"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "coordinator":
+		runCoordinator(os.Args[2:])
+	case "worker":
+		runWorker(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: easyscale-dist {coordinator|worker} [flags]")
+	os.Exit(2)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// jobFlags registers the shared job-definition flags.
+func jobFlags(fs *flag.FlagSet) (model *string, ests, batch *int, gpus *string, seed *uint64) {
+	model = fs.String("model", "bert", "workload name")
+	ests = fs.Int("ests", 4, "number of logical workers (ESTs)")
+	batch = fs.Int("batch", 4, "per-EST mini-batch size")
+	gpus = fs.String("gpus", "V100:2", "placement, e.g. V100:1,P100:1 (one worker process per GPU entry)")
+	seed = fs.Uint64("seed", 42, "job master seed")
+	return
+}
+
+func buildSpec(model string, ests, batch int, gpus string, seed uint64, coord string) (dist.WorkerSpec, error) {
+	p, err := parsePlacement(gpus, ests)
+	if err != nil {
+		return dist.WorkerSpec{}, err
+	}
+	cfg := core.DefaultConfig(ests)
+	cfg.BatchPerEST = batch
+	cfg.Seed = seed
+	return dist.WorkerSpec{Cfg: cfg, Workload: model, Placement: p, CoordAddr: coord}, nil
+}
+
+func parsePlacement(spec string, ests int) (core.Placement, error) {
+	var gpus []device.Type
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		count := 1
+		if len(kv) == 2 {
+			n, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return core.Placement{}, fmt.Errorf("bad count in %q", part)
+			}
+			count = n
+		}
+		var t device.Type
+		switch strings.ToUpper(kv[0]) {
+		case "V100":
+			t = device.V100
+		case "P100":
+			t = device.P100
+		case "T4":
+			t = device.T4
+		default:
+			return core.Placement{}, fmt.Errorf("unknown GPU type %q", kv[0])
+		}
+		for i := 0; i < count; i++ {
+			gpus = append(gpus, t)
+		}
+	}
+	return core.EvenPlacement(ests, gpus...), nil
+}
+
+func runCoordinator(args []string) {
+	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "rendezvous address")
+	workers := fs.Int("workers", 2, "worker processes to admit")
+	steps := fs.Int("steps", 20, "global steps this generation")
+	out := fs.String("out", "", "file to write the resulting on-demand checkpoint to")
+	in := fs.String("in", "", "checkpoint file to restore the generation from")
+	verify := fs.Bool("verify", false, "verify the result bitwise against an in-process fixed-DoP run")
+	model, ests, batch, gpus, seed := jobFlags(fs)
+	die(fs.Parse(args))
+
+	var ckptIn []byte
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		die(err)
+		ckptIn = data
+	}
+
+	coord, err := dist.NewCoordinatorAddr(*addr)
+	die(err)
+	defer coord.Close()
+	fmt.Printf("coordinator listening on %s, waiting for %d workers...\n", coord.Addr(), *workers)
+
+	ckpt, err := coord.RunGeneration(*workers, *steps, ckptIn)
+	die(err)
+	fmt.Printf("generation complete: %d steps across %d worker processes\n", *steps, *workers)
+
+	if *out != "" {
+		die(os.WriteFile(*out, ckpt, 0o644))
+		fmt.Printf("on-demand checkpoint written to %s (%d bytes)\n", *out, len(ckpt))
+	}
+
+	if *verify {
+		spec, err := buildSpec(*model, *ests, *batch, *gpus, *seed, "")
+		die(err)
+		got, err := core.RestoreJob(spec.Cfg, ckpt)
+		die(err)
+		ref, err := core.NewJob(spec.Cfg, *model)
+		die(err)
+		homog := make([]device.Type, *ests)
+		for i := range homog {
+			homog[i] = device.V100
+		}
+		die(ref.Attach(core.EvenPlacement(*ests, homog...)))
+		die(ref.RunSteps(got.GlobalStep()))
+		if core.ParamsEqual(got, ref) {
+			fmt.Printf("verify: BITWISE IDENTICAL to in-process DDP on %d V100s\n", *ests)
+		} else {
+			fmt.Println("verify: DIVERGED")
+			fmt.Print(core.Diagnose(ref, got))
+			os.Exit(1)
+		}
+	}
+}
+
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	coord := fs.String("coord", "127.0.0.1:7070", "coordinator rendezvous address")
+	model, ests, batch, gpus, seed := jobFlags(fs)
+	die(fs.Parse(args))
+
+	spec, err := buildSpec(*model, *ests, *batch, *gpus, *seed, *coord)
+	die(err)
+	die(dist.RunWorker(spec))
+	fmt.Println("worker done")
+}

@@ -1,0 +1,138 @@
+// Command easyscale runs one elastic training job on the simulated GPU
+// fleet, optionally scaling between placements mid-run, and verifies the
+// accuracy-consistency guarantee against a fixed-DoP reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	easyscale "repro"
+)
+
+func parsePlacement(spec string, ests int) (easyscale.Placement, error) {
+	var gpus []easyscale.GPUType
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		count := 1
+		if len(kv) == 2 {
+			n, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return easyscale.Placement{}, fmt.Errorf("bad count in %q", part)
+			}
+			count = n
+		}
+		var t easyscale.GPUType
+		switch strings.ToUpper(kv[0]) {
+		case "V100":
+			t = easyscale.V100
+		case "P100":
+			t = easyscale.P100
+		case "T4":
+			t = easyscale.T4
+		default:
+			return easyscale.Placement{}, fmt.Errorf("unknown GPU type %q", kv[0])
+		}
+		for i := 0; i < count; i++ {
+			gpus = append(gpus, t)
+		}
+	}
+	return easyscale.EvenPlacement(ests, gpus...), nil
+}
+
+func main() {
+	model := flag.String("model", "resnet50", "workload name (see cmd/experiments -exp table1)")
+	ests := flag.Int("ests", 4, "number of logical workers (ESTs, maxP)")
+	batch := flag.Int("batch", 8, "per-EST mini-batch size")
+	steps := flag.Int("steps", 60, "global steps per phase")
+	level := flag.String("level", "D1", "determinism level: none, D0, D1")
+	d2 := flag.Bool("d2", true, "enable heterogeneous determinism (D2)")
+	gpus := flag.String("gpus", "V100:4", "initial placement, e.g. V100:2,P100:1")
+	scaleTo := flag.String("scale-to", "", "optional second placement to scale to mid-run")
+	verify := flag.Bool("verify", true, "compare bitwise against a fixed-DoP reference run")
+	saveCkpt := flag.String("save-ckpt", "", "write the final on-demand checkpoint to this file")
+	loadCkpt := flag.String("load-ckpt", "", "resume from an on-demand checkpoint file")
+	flag.Parse()
+
+	cfg := easyscale.DefaultConfig(*ests)
+	cfg.BatchPerEST = *batch
+	cfg.D2 = *d2
+	switch strings.ToUpper(*level) {
+	case "NONE":
+		cfg.Level = easyscale.DetNone
+	case "D0":
+		cfg.Level = easyscale.D0
+	case "D1":
+		cfg.Level = easyscale.D1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown level %q\n", *level)
+		os.Exit(2)
+	}
+
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+
+	p0, err := parsePlacement(*gpus, *ests)
+	die(err)
+
+	var job *easyscale.Job
+	if *loadCkpt != "" {
+		data, err := os.ReadFile(*loadCkpt)
+		die(err)
+		job, err = easyscale.RestoreJob(cfg, data)
+		die(err)
+		fmt.Printf("resumed from %s at global step %d\n", *loadCkpt, job.GlobalStep())
+	} else {
+		job, err = easyscale.NewJob(cfg, *model)
+		die(err)
+	}
+	die(job.Attach(p0))
+	fmt.Printf("training %s: %d ESTs on %v, level %v D2=%v\n", *model, *ests, p0.Devices, cfg.Level, cfg.D2)
+	die(job.RunSteps(*steps))
+	fmt.Printf("phase 1 done: step=%d epoch=%d losses=%v\n", job.GlobalStep(), job.Epoch(), job.LastLosses())
+
+	if *scaleTo != "" {
+		p1, err := parsePlacement(*scaleTo, *ests)
+		die(err)
+		fmt.Printf("scaling to %v (on-demand checkpoint + restore)\n", p1.Devices)
+		die(job.Scale(p1))
+		die(job.RunSteps(*steps))
+		fmt.Printf("phase 2 done: step=%d losses=%v\n", job.GlobalStep(), job.LastLosses())
+	}
+
+	eval := job.Evaluate()
+	fmt.Printf("validation accuracy: %.4f\n", eval.Overall)
+
+	if *saveCkpt != "" {
+		die(os.WriteFile(*saveCkpt, job.Checkpoint(), 0o644))
+		fmt.Printf("on-demand checkpoint written to %s\n", *saveCkpt)
+	}
+
+	if *verify && cfg.Level == easyscale.D1 {
+		ref, err := easyscale.NewJob(cfg, job.Workload.Name)
+		die(err)
+		refGPUs := make([]easyscale.GPUType, *ests)
+		for i := range refGPUs {
+			refGPUs[i] = easyscale.V100
+		}
+		die(ref.Attach(easyscale.EvenPlacement(*ests, refGPUs...)))
+		die(ref.RunSteps(job.GlobalStep()))
+		if easyscale.ParamsEqual(job, ref) {
+			fmt.Printf("consistency: BITWISE IDENTICAL to DDP on %d V100s after %d steps\n", *ests, job.GlobalStep())
+		} else {
+			fmt.Printf("consistency: DIVERGED from the fixed-DoP reference\n")
+			fmt.Print(easyscale.Diagnose(ref, job))
+			if cfg.D2 || p0.Homogeneous() {
+				os.Exit(1)
+			}
+			fmt.Println("(expected: heterogeneous placement without D2)")
+		}
+	}
+}

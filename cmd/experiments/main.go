@@ -1,0 +1,113 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. With no flags it runs everything at paper-comparable
+// scale and prints each result block; use -exp to run one experiment and
+// -quick for a fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	easyscale "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: all, table1, motivation, dws, fig1, fig2, fig3, fig4, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16")
+	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
+	outDir := flag.String("out", "", "directory to write each figure's curves as CSV (for plotting)")
+	flag.Parse()
+
+	epochs := 4
+	fig9Steps := 30
+	traceJobs := 100
+	traceGap := 15.0
+	seeds := []uint64{11, 12, 13}
+	if *quick {
+		epochs = 1
+		fig9Steps = 8
+		traceJobs = 30
+		traceGap = 30
+		seeds = []uint64{11}
+	}
+
+	runners := []struct {
+		id  string
+		run func() easyscale.Result
+	}{
+		{"table1", easyscale.Table1Workloads},
+		{"motivation", func() easyscale.Result { return easyscale.MotivationRevocations(3000, 13) }},
+		{"fig1", func() easyscale.Result { return easyscale.Fig01ServingLoad(3000, 42) }},
+		{"fig2", func() easyscale.Result { return easyscale.Fig02AccuracyCurves("vgg19", epochs) }},
+		{"fig3", func() easyscale.Result { return easyscale.Fig03PerClassVariance("vgg19", epochs) }},
+		{"fig4", func() easyscale.Result { return easyscale.Fig04GammaTrend("vgg19", epochs) }},
+		{"fig9", func() easyscale.Result { return easyscale.Fig09LossDiff("resnet50", fig9Steps) }},
+		{"fig10", func() easyscale.Result { return easyscale.Fig10PackingVsEST("resnet50", 32, 16*1024) }},
+		{"fig10b", func() easyscale.Result { return easyscale.Fig10PackingVsEST("shufflenetv2", 512, 32*1024) }},
+		{"fig11", func() easyscale.Result { return easyscale.Fig11CtxSwitch(5) }},
+		{"fig12", func() easyscale.Result { return easyscale.Fig12DeterminismOverhead(3) }},
+		{"fig13", func() easyscale.Result { return easyscale.Fig13GradCopySync(3) }},
+		{"fig14", func() easyscale.Result { return easyscale.Fig14TraceJCT(traceJobs, traceGap, seeds) }},
+		{"fig15", func() easyscale.Result { return easyscale.Fig15AllocTimeline(traceJobs, traceGap, 11) }},
+		{"fig16", func() easyscale.Result { return easyscale.Fig16Production(3000, 42) }},
+		{"dws", func() easyscale.Result { return easyscale.DataWorkerSharing(8, 4) }},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.id {
+			continue
+		}
+		res := r.run()
+		fmt.Println(res.String())
+		if *outDir != "" && len(res.Series) > 0 {
+			if err := writeCSV(*outDir, res); err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				os.Exit(1)
+			}
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// writeCSV stores one CSV per series: <out>/<figid>_<series-name>.csv with
+// x,y rows — ready for any plotting tool.
+func writeCSV(dir string, res easyscale.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := func(s string) string {
+		s = strings.ToLower(s)
+		var b strings.Builder
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+				b.WriteRune(r)
+			default:
+				b.WriteByte('-')
+			}
+		}
+		return strings.Trim(b.String(), "-")
+	}
+	for _, series := range res.Series {
+		path := filepath.Join(dir, res.ID+"_"+slug(series.Name)+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "x,y")
+		for i := range series.X {
+			fmt.Fprintf(f, "%g,%g\n", series.X[i], series.Y[i])
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

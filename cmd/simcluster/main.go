@@ -1,0 +1,66 @@
+// Command simcluster runs the discrete-event cluster simulator: the 64-GPU
+// trace experiment comparing YARN-CS against EasyScale (§5.2), or the
+// production co-location scenario (§5.3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	mode := flag.String("mode", "compare", "yarn, homo, heter, compare, or colocate")
+	jobs := flag.Int("jobs", 60, "number of trace jobs")
+	gap := flag.Float64("gap", 30, "mean inter-arrival seconds")
+	seed := flag.Uint64("seed", 11, "trace seed")
+	v100 := flag.Int("v100", 32, "V100 count")
+	p100 := flag.Int("p100", 16, "P100 count")
+	t4 := flag.Int("t4", 16, "T4 count")
+	totalGPUs := flag.Int("total", 3000, "fleet size for -mode colocate")
+	flag.Parse()
+
+	if *mode == "colocate" {
+		day1, day2 := cluster.TwoDayComparison(*totalGPUs, *seed)
+		fmt.Printf("production co-location on %d GPUs:\n", *totalGPUs)
+		fmt.Printf("  day 1 (serving only):  alloc %.1f%%  util %.1f%%\n", day1.AvgAllocRatio*100, day1.AvgSMUtil*100)
+		fmt.Printf("  day 2 (with EasyScale): alloc %.1f%%  util %.1f%%  elastic GPUs avg %.0f  preemptions %d  max refill %dm\n",
+			day2.AvgAllocRatio*100, day2.AvgSMUtil*100, day2.AvgElasticGPUs, day2.Preemptions, day2.MaxRefillMin)
+		return
+	}
+
+	inv := sched.Resources{device.V100: *v100, device.P100: *p100, device.T4: *t4}
+	tr := trace.Generate(*jobs, *gap, *seed)
+	run := func(m cluster.Mode) cluster.Result {
+		return cluster.Simulate(cluster.Config{Mode: m, Inventory: inv}, tr)
+	}
+	print := func(r cluster.Result) {
+		fmt.Printf("%-16s avgJCT %9.0fs  queue %9.0fs  makespan %9.0fs  finished %d/%d\n",
+			r.Mode, r.AvgJCT, r.AvgQueue, r.Makespan, r.Finished, *jobs)
+	}
+	switch *mode {
+	case "yarn":
+		print(run(cluster.YARNCS))
+	case "homo":
+		print(run(cluster.EasyScaleHomo))
+	case "heter":
+		print(run(cluster.EasyScaleHeter))
+	case "compare":
+		y := run(cluster.YARNCS)
+		h := run(cluster.EasyScaleHomo)
+		x := run(cluster.EasyScaleHeter)
+		print(y)
+		print(h)
+		print(x)
+		fmt.Printf("gains vs YARN-CS: homo %.1fx JCT / %.1fx makespan; heter %.1fx / %.1fx\n",
+			y.AvgJCT/h.AvgJCT, y.Makespan/h.Makespan, y.AvgJCT/x.AvgJCT, y.Makespan/x.Makespan)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,46 @@
+// Trace replay: compare gang-scheduled YARN-CS with EasyScale's elastic
+// scheduling on the paper's 64-GPU heterogeneous testbed (32 V100 + 16 P100
+// + 16 T4), reproducing the Figure 14/15 experiment at adjustable scale.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	inventory := sched.Resources{device.V100: 32, device.P100: 16, device.T4: 16}
+	jobs := trace.Generate(60, 30, 11)
+	fmt.Printf("trace: %d jobs over %.0f minutes, %d GPUs\n\n",
+		len(jobs), jobs[len(jobs)-1].ArrivalSec/60, inventory.Total())
+
+	results := map[cluster.Mode]cluster.Result{}
+	for _, mode := range []cluster.Mode{cluster.YARNCS, cluster.EasyScaleHomo, cluster.EasyScaleHeter} {
+		r := cluster.Simulate(cluster.Config{Mode: mode, Inventory: inventory}, jobs)
+		results[mode] = r
+		fmt.Printf("%-16s avg JCT %8.0fs  avg queue %8.0fs  makespan %8.0fs\n",
+			mode, r.AvgJCT, r.AvgQueue, r.Makespan)
+	}
+
+	y := results[cluster.YARNCS]
+	h := results[cluster.EasyScaleHomo]
+	x := results[cluster.EasyScaleHeter]
+	fmt.Printf("\nEasyScale-homo:  %.1fx JCT, %.1fx makespan vs YARN-CS\n", y.AvgJCT/h.AvgJCT, y.Makespan/h.Makespan)
+	fmt.Printf("EasyScale-heter: %.1fx JCT, %.1fx makespan vs YARN-CS\n", y.AvgJCT/x.AvgJCT, y.Makespan/x.Makespan)
+
+	// Figure 15: allocated GPUs over time (coarse ASCII sparkline).
+	fmt.Println("\nallocated GPUs over time (one char ≈ 5 min):")
+	for _, mode := range []cluster.Mode{cluster.EasyScaleHomo, cluster.EasyScaleHeter} {
+		tl := results[mode].Timeline
+		line := ""
+		for i := 0; i < len(tl); i += 30 {
+			frac := float64(tl[i].Allocated) / float64(inventory.Total())
+			line += string("  .:-=+*#%@"[int(frac*9.99)])
+		}
+		fmt.Printf("%-16s |%s|\n", mode, line)
+	}
+}

@@ -1,0 +1,148 @@
+package easyscale
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// PaperInventory is the §5.2 testbed: 32 V100 + 16 P100 + 16 T4 (64 GPUs).
+func PaperInventory() sched.Resources {
+	return sched.Resources{device.V100: 32, device.P100: 16, device.T4: 16}
+}
+
+// Fig14TraceJCT regenerates Figure 14: average JCT and makespan of YARN-CS,
+// EasyScale-homo, and EasyScale-heter on the 64-GPU trace, averaged over
+// seeds.
+func Fig14TraceJCT(jobs int, meanGapSec float64, seeds []uint64) Result {
+	res := Result{ID: "fig14", Title: "Trace experiment: JCT and makespan (64 heterogeneous GPUs)"}
+	inv := PaperInventory()
+	modes := []cluster.Mode{cluster.YARNCS, cluster.EasyScaleHomo, cluster.EasyScaleHeter}
+	jct := map[cluster.Mode]float64{}
+	mk := map[cluster.Mode]float64{}
+	allJCTs := map[cluster.Mode][]float64{}
+	for _, seed := range seeds {
+		tr := trace.Generate(jobs, meanGapSec, seed)
+		for _, m := range modes {
+			r := cluster.Simulate(cluster.Config{Mode: m, Inventory: inv}, tr)
+			jct[m] += r.AvgJCT / float64(len(seeds))
+			mk[m] += r.Makespan / float64(len(seeds))
+			for _, v := range r.JCTs {
+				allJCTs[m] = append(allJCTs[m], v)
+			}
+		}
+	}
+	res.Rows = append(res.Rows, row("%-16s %12s %12s %10s %10s %10s %10s", "scheduler", "avg JCT (s)", "makespan (s)", "JCT gain", "mk gain", "p50 JCT", "p99 JCT"))
+	for _, m := range modes {
+		sum := metrics.Summarize(allJCTs[m])
+		res.Rows = append(res.Rows, row("%-16s %12.0f %12.0f %9.1fx %9.1fx %10.0f %10.0f",
+			m, jct[m], mk[m], jct[cluster.YARNCS]/jct[m], mk[cluster.YARNCS]/mk[m], sum.P50, sum.P99))
+	}
+	res.Rows = append(res.Rows, row("(paper: EasyScale-homo 8.3x JCT / 2.5x makespan; heter 13.2x / 2.8x)"))
+	return res
+}
+
+// Fig15AllocTimeline regenerates Figure 15: allocated GPUs over time for the
+// two EasyScale configurations on the same trace.
+func Fig15AllocTimeline(jobs int, meanGapSec float64, seed uint64) Result {
+	res := Result{ID: "fig15", Title: "Allocated GPUs over time: EasyScale-homo vs EasyScale-heter"}
+	inv := PaperInventory()
+	tr := trace.Generate(jobs, meanGapSec, seed)
+	homo := cluster.Simulate(cluster.Config{Mode: cluster.EasyScaleHomo, Inventory: inv}, tr)
+	heter := cluster.Simulate(cluster.Config{Mode: cluster.EasyScaleHeter, Inventory: inv}, tr)
+	mkSeries := func(name string, tl []cluster.AllocSample) Series {
+		s := Series{Name: name}
+		for i := 0; i < len(tl); i += 30 {
+			s.X = append(s.X, tl[i].Sec)
+			s.Y = append(s.Y, float64(tl[i].Allocated))
+		}
+		return s
+	}
+	res.Series = []Series{mkSeries("EasyScale-homo", homo.Timeline), mkSeries("EasyScale-heter", heter.Timeline)}
+	// compare over the common busy window (the shorter run's span): the
+	// straggler tail of whichever run ends later would otherwise skew the
+	// mean toward zero-allocation samples
+	window := len(homo.Timeline)
+	if n := len(heter.Timeline); n < window {
+		window = n
+	}
+	var sumH, sumX float64
+	for i := 0; i < window; i++ {
+		sumH += float64(homo.Timeline[i].Allocated)
+		sumX += float64(heter.Timeline[i].Allocated)
+	}
+	res.Rows = append(res.Rows,
+		row("mean allocated GPUs over the common window: homo %.1f, heter %.1f (of %d)",
+			sumH/float64(window), sumX/float64(window), inv.Total()),
+		row("makespan: homo %.0fs, heter %.0fs", homo.Makespan, heter.Makespan),
+		row("(paper: heter allocation generally above homo)"),
+	)
+	return res
+}
+
+// Fig16Production regenerates Figure 16: one day before and one day after
+// deploying EasyScale on the 3,000+ GPU serving cluster.
+func Fig16Production(totalGPUs int, seed uint64) Result {
+	res := Result{ID: "fig16", Title: "Production co-location: day 1 (before) vs day 2 (with EasyScale)"}
+	day1, day2 := cluster.TwoDayComparison(totalGPUs, seed)
+	res.Rows = append(res.Rows,
+		row("%-22s %10s %10s", "", "day-1", "day-2"),
+		row("%-22s %9.1f%% %9.1f%%", "GPU allocation ratio", day1.AvgAllocRatio*100, day2.AvgAllocRatio*100),
+		row("%-22s %9.1f%% %9.1f%%", "avg SM utilization", day1.AvgSMUtil*100, day2.AvgSMUtil*100),
+		row("%-22s %10.0f %10.0f", "avg elastic GPUs", day1.AvgElasticGPUs, day2.AvgElasticGPUs),
+		row("%-22s %10d %10d", "preemptions", day1.Preemptions, day2.Preemptions),
+		row("%-22s %10s %9dm", "max refill time", "-", day2.MaxRefillMin),
+		row("allocation ratio gain: +%.1f points; SM utilization gain: +%.1f%% relative",
+			(day2.AvgAllocRatio-day1.AvgAllocRatio)*100,
+			(day2.AvgSMUtil-day1.AvgSMUtil)/day1.AvgSMUtil*100),
+		row("(paper: +17.1%% allocation ratio, +62.1%% utilization, scale-in in seconds,"),
+		row(" refill ≤5 min, 362 preemptions, 0 job failures)"),
+	)
+	s1 := Series{Name: "day1 alloc%"}
+	s2 := Series{Name: "day2 alloc%"}
+	for i := 0; i < len(day1.Samples); i += 60 {
+		s1.X = append(s1.X, float64(i))
+		s1.Y = append(s1.Y, day1.Samples[i].AllocRatio)
+		s2.X = append(s2.X, float64(i+1440))
+		s2.Y = append(s2.Y, day2.Samples[i].AllocRatio)
+	}
+	res.Series = []Series{s1, s2}
+	return res
+}
+
+// MotivationRevocations regenerates the §2.1 statistic: the share of
+// gang-scheduling revocation failures by requested GPU count.
+func MotivationRevocations(jobs int, seed uint64) Result {
+	res := Result{ID: "motivation", Title: "Gang-scheduling revocation failures by job size (2-day window)"}
+	tr := trace.GenerateProduction(jobs, 30, seed)
+	st := cluster.SimulateRevocations(tr, 48, 0.001, seed)
+	res.Rows = append(res.Rows, row("total failures: %d of %d jobs", st.TotalFailures, jobs))
+	for _, sz := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if n := st.FailuresBySize[sz]; n > 0 {
+			res.Rows = append(res.Rows, row("  gang size %2d: %4d failures", sz, n))
+		}
+	}
+	res.Rows = append(res.Rows,
+		row("share of failures from jobs >8 GPUs: %.1f%% (paper: 61.7%%)", st.ShareGT8*100),
+		row("share of failures from 1-GPU jobs:   %.1f%% (paper: 5.3%%)", st.ShareLE1*100),
+	)
+	return res
+}
+
+// Table1Workloads regenerates Table 1: the workload zoo.
+func Table1Workloads() Result {
+	res := Result{ID: "table1", Title: "Deep learning workloads (Table 1)"}
+	res.Rows = append(res.Rows, row("%-16s %-22s %-22s %-14s", "model", "task", "dataset", "vendor kernels"))
+	for _, name := range models.Names() {
+		w := models.MustBuild(name, 0)
+		vendor := "no (D2-capable)"
+		if w.UsesVendorKernels {
+			vendor = "yes (homog. only)"
+		}
+		res.Rows = append(res.Rows, row("%-16s %-22s %-22s %-14s", w.Name, w.Task, w.DatasetName, vendor))
+	}
+	return res
+}

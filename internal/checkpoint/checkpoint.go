@@ -1,0 +1,241 @@
+// Package checkpoint implements the binary serialization layer behind
+// EasyScale's on-demand checkpointing.
+//
+// Everything an elastic restart needs — model parameters, optimizer moments,
+// BatchNorm running statistics, EST contexts (RNG states, virtual ranks,
+// progress), the gradient-bucket plan, and the data-loader worker states — is
+// written through this encoder. Floats are serialized by bit pattern, so a
+// checkpoint round-trip is bitwise lossless, which the paper's
+// accuracy-consistency guarantee requires.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// ErrCorrupt is returned when a read runs past the buffer or a tag
+// mismatches.
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated data")
+
+// Writer encodes a checkpoint into a byte buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the encoded checkpoint.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the current encoded size.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// PutUint64 appends a fixed-width unsigned integer.
+func (w *Writer) PutUint64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// PutInt appends a signed integer.
+func (w *Writer) PutInt(v int) { w.PutUint64(uint64(int64(v))) }
+
+// PutBool appends a boolean.
+func (w *Writer) PutBool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// PutFloat64 appends a float64 by bit pattern.
+func (w *Writer) PutFloat64(v float64) { w.PutUint64(math.Float64bits(v)) }
+
+// PutString appends a length-prefixed string.
+func (w *Writer) PutString(s string) {
+	w.PutInt(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// PutFloat32s appends a length-prefixed float32 slice by bit pattern.
+func (w *Writer) PutFloat32s(vs []float32) {
+	w.PutInt(len(vs))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, math.Float32bits(v))
+	}
+}
+
+// PutInts appends a length-prefixed int slice.
+func (w *Writer) PutInts(vs []int) {
+	w.PutInt(len(vs))
+	for _, v := range vs {
+		w.PutInt(v)
+	}
+}
+
+// PutTensor appends shape and data of a tensor.
+func (w *Writer) PutTensor(t *tensor.Tensor) {
+	w.PutInts(t.Shape())
+	w.PutFloat32s(t.Data)
+}
+
+// PutRNGState appends a serialized RNG state.
+func (w *Writer) PutRNGState(st rng.State) {
+	for _, word := range st.S {
+		w.PutUint64(word)
+	}
+}
+
+// Reader decodes a checkpoint produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps encoded bytes.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) ([]byte, error) {
+	if r.off+n > len(r.buf) {
+		return nil, ErrCorrupt
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// Uint64 reads a fixed-width unsigned integer.
+func (r *Reader) Uint64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// Int reads a signed integer.
+func (r *Reader) Int() (int, error) {
+	v, err := r.Uint64()
+	return int(int64(v)), err
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() (bool, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return false, err
+	}
+	return b[0] != 0, nil
+}
+
+// Float64 reads a float64 by bit pattern.
+func (r *Reader) Float64() (float64, error) {
+	v, err := r.Uint64()
+	return math.Float64frombits(v), err
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Int()
+	if err != nil || n < 0 {
+		return "", ErrCorrupt
+	}
+	b, err := r.take(n)
+	return string(b), err
+}
+
+// Float32s reads a length-prefixed float32 slice.
+func (r *Reader) Float32s() ([]float32, error) {
+	n, err := r.Int()
+	if err != nil || n < 0 || n > r.Remaining()/4 {
+		return nil, ErrCorrupt
+	}
+	out := make([]float32, n)
+	for i := range out {
+		b, err := r.take(4)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b))
+	}
+	return out, nil
+}
+
+// Ints reads a length-prefixed int slice.
+func (r *Reader) Ints() ([]int, error) {
+	n, err := r.Int()
+	if err != nil || n < 0 || n > r.Remaining()/8 {
+		return nil, ErrCorrupt
+	}
+	out := make([]int, n)
+	for i := range out {
+		if out[i], err = r.Int(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Tensor reads a tensor written by PutTensor. Corrupted shapes (negative or
+// implausibly large dimensions) are rejected, never passed to allocation.
+func (r *Reader) Tensor() (*tensor.Tensor, error) {
+	shape, err := r.Ints()
+	if err != nil {
+		return nil, err
+	}
+	numel := 1
+	for _, d := range shape {
+		if d < 0 || (d > 0 && numel > maxFrame/d) {
+			return nil, fmt.Errorf("%w: implausible tensor shape %v", ErrCorrupt, shape)
+		}
+		numel *= d
+	}
+	data, err := r.Float32s()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != numel {
+		return nil, fmt.Errorf("%w: tensor shape %v vs %d elements", ErrCorrupt, shape, len(data))
+	}
+	return tensor.FromData(data, shape...), nil
+}
+
+// maxFrame bounds a single decoded tensor's element count against
+// allocation-bomb corruption.
+const maxFrame = 1 << 31
+
+// TensorInto reads a tensor into an existing buffer, enforcing equal size —
+// the restore path for parameters whose shapes are defined by the model.
+func (r *Reader) TensorInto(dst *tensor.Tensor) error {
+	t, err := r.Tensor()
+	if err != nil {
+		return err
+	}
+	if t.Size() != dst.Size() {
+		return fmt.Errorf("%w: restoring %v into %v", ErrCorrupt, t.Shape(), dst.Shape())
+	}
+	dst.CopyFrom(t)
+	return nil
+}
+
+// RNGState reads a serialized RNG state.
+func (r *Reader) RNGState() (rng.State, error) {
+	var st rng.State
+	for i := range st.S {
+		w, err := r.Uint64()
+		if err != nil {
+			return st, err
+		}
+		st.S[i] = w
+	}
+	return st, nil
+}

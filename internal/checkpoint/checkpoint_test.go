@@ -1,0 +1,178 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.PutUint64(42)
+	w.PutInt(-7)
+	w.PutBool(true)
+	w.PutBool(false)
+	w.PutFloat64(3.14159)
+	w.PutString("easyscale")
+
+	r := NewReader(w.Bytes())
+	if v, _ := r.Uint64(); v != 42 {
+		t.Fatal("uint64")
+	}
+	if v, _ := r.Int(); v != -7 {
+		t.Fatal("int")
+	}
+	if v, _ := r.Bool(); !v {
+		t.Fatal("bool true")
+	}
+	if v, _ := r.Bool(); v {
+		t.Fatal("bool false")
+	}
+	if v, _ := r.Float64(); v != 3.14159 {
+		t.Fatal("float64")
+	}
+	if v, _ := r.String(); v != "easyscale" {
+		t.Fatal("string")
+	}
+	if r.Remaining() != 0 {
+		t.Fatal("unread bytes left")
+	}
+}
+
+func TestSliceRoundTripProperty(t *testing.T) {
+	f := func(fs []float32, is []int16) bool {
+		ints := make([]int, len(is))
+		for i, v := range is {
+			ints[i] = int(v)
+		}
+		w := NewWriter()
+		w.PutFloat32s(fs)
+		w.PutInts(ints)
+		r := NewReader(w.Bytes())
+		gf, err := r.Float32s()
+		if err != nil || len(gf) != len(fs) {
+			return false
+		}
+		for i := range fs {
+			if math.Float32bits(gf[i]) != math.Float32bits(fs[i]) {
+				return false
+			}
+		}
+		gi, err := r.Ints()
+		if err != nil || len(gi) != len(ints) {
+			return false
+		}
+		for i := range ints {
+			if gi[i] != ints[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorRoundTripBitwise(t *testing.T) {
+	src := tensor.New(3, 4)
+	s := rng.New(9)
+	for i := range src.Data {
+		src.Data[i] = s.NormFloat32()
+	}
+	src.Data[0] = float32(math.NaN())
+	src.Data[1] = float32(math.Inf(1))
+
+	w := NewWriter()
+	w.PutTensor(src)
+	r := NewReader(w.Bytes())
+	got, err := r.Tensor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(src) {
+		t.Fatal("tensor round trip not bitwise (NaN/Inf must survive)")
+	}
+}
+
+func TestTensorInto(t *testing.T) {
+	src := tensor.FromData([]float32{1, 2, 3, 4}, 2, 2)
+	w := NewWriter()
+	w.PutTensor(src)
+	dst := tensor.New(2, 2)
+	if err := NewReader(w.Bytes()).TensorInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(src) {
+		t.Fatal("TensorInto mismatch")
+	}
+	// size mismatch
+	w2 := NewWriter()
+	w2.PutTensor(src)
+	if err := NewReader(w2.Bytes()).TensorInto(tensor.New(3)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v", err)
+	}
+}
+
+func TestRNGStateRoundTrip(t *testing.T) {
+	s := rng.New(123)
+	s.Uint64()
+	st := s.State()
+	w := NewWriter()
+	w.PutRNGState(st)
+	got, err := NewReader(w.Bytes()).RNGState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != st {
+		t.Fatal("RNG state round trip mismatch")
+	}
+	if rng.Restore(got).Uint64() != rng.Restore(st).Uint64() {
+		t.Fatal("restored streams diverge")
+	}
+}
+
+func TestTruncationErrors(t *testing.T) {
+	w := NewWriter()
+	w.PutTensor(tensor.Full(1, 8))
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut += 5 {
+		r := NewReader(full[:cut])
+		if _, err := r.Tensor(); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestCorruptLengthRejected(t *testing.T) {
+	w := NewWriter()
+	w.PutInt(1 << 40) // absurd length prefix
+	if _, err := NewReader(w.Bytes()).Float32s(); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("oversized length prefix must be rejected")
+	}
+	w2 := NewWriter()
+	w2.PutInt(-3)
+	if _, err := NewReader(w2.Bytes()).Ints(); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("negative length prefix must be rejected")
+	}
+	w3 := NewWriter()
+	w3.PutInt(-1)
+	if _, err := NewReader(w3.Bytes()).String(); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("negative string length must be rejected")
+	}
+}
+
+func TestWriterLen(t *testing.T) {
+	w := NewWriter()
+	if w.Len() != 0 {
+		t.Fatal("fresh writer should be empty")
+	}
+	w.PutUint64(1)
+	if w.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", w.Len())
+	}
+}

@@ -1,0 +1,37 @@
+// Package cluster implements the discrete-event cluster simulator behind the
+// paper's trace experiment (§5.2: YARN-CS vs EasyScale-homo vs
+// EasyScale-heter on 64 GPUs) and the production co-location experiment
+// (§5.3: elastic training soaking the idle GPUs of a 3,000+ GPU online
+// serving cluster), plus the §2.1 motivation statistics.
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/sched"
+)
+
+var (
+	capMu    sync.Mutex
+	capCache = map[string]sched.Capability{}
+)
+
+// CapabilityFor returns the per-GPU-type compute capability C_i (global
+// mini-batches per second for one EST) of a workload, derived from the
+// calibrated FLOP cost and the device specs.
+func CapabilityFor(model string) sched.Capability {
+	capMu.Lock()
+	defer capMu.Unlock()
+	if c, ok := capCache[model]; ok {
+		return c
+	}
+	w := models.MustBuild(model, 0)
+	c := sched.Capability{}
+	for _, t := range device.AllTypes() {
+		c[t] = w.StepRate(device.SpecOf(t).PeakGFLOPS)
+	}
+	capCache[model] = c
+	return c
+}

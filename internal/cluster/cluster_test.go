@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// paperInventory is the §5.2 testbed: 32 V100 + 16 P100 + 16 T4.
+func paperInventory() sched.Resources {
+	return sched.Resources{device.V100: 32, device.P100: 16, device.T4: 16}
+}
+
+func testTrace() []trace.JobSpec {
+	return trace.Generate(40, 120, 7)
+}
+
+func TestCapabilityOrdering(t *testing.T) {
+	c := CapabilityFor("resnet50")
+	if !(c[device.V100] > c[device.P100] && c[device.P100] > c[device.T4]) {
+		t.Fatalf("capability should follow GPU speed: %v", c)
+	}
+	// cached: second call returns same map values
+	c2 := CapabilityFor("resnet50")
+	if c2[device.V100] != c[device.V100] {
+		t.Fatal("capability cache broken")
+	}
+	// lighter models have higher step rates
+	if CapabilityFor("neumf")[device.V100] <= CapabilityFor("vgg19")[device.V100] {
+		t.Fatal("neumf should step faster than vgg19")
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	if YARNCS.String() != "YARN-CS" || EasyScaleHomo.String() != "EasyScale-homo" || EasyScaleHeter.String() != "EasyScale-heter" {
+		t.Fatal("mode names")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}
+
+func TestYARNCompletesAllJobs(t *testing.T) {
+	jobs := testTrace()
+	res := Simulate(Config{Mode: YARNCS, Inventory: paperInventory()}, jobs)
+	if res.Finished != len(jobs) {
+		t.Fatalf("finished %d/%d (unstarted %d)", res.Finished, len(jobs), res.Unstarted)
+	}
+	if res.AvgJCT <= 0 || res.Makespan <= 0 {
+		t.Fatalf("metrics: %+v", res)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("timeline empty")
+	}
+}
+
+func TestEasyScaleCompletesAllJobs(t *testing.T) {
+	jobs := testTrace()
+	for _, mode := range []Mode{EasyScaleHomo, EasyScaleHeter} {
+		res := Simulate(Config{Mode: mode, Inventory: paperInventory()}, jobs)
+		if res.Finished != len(jobs) {
+			t.Fatalf("%v finished %d/%d", mode, res.Finished, len(jobs))
+		}
+	}
+}
+
+// TestTraceExperimentShape is the Figure 14 shape: EasyScale improves both
+// average JCT and makespan over YARN-CS substantially (the paper measures
+// 8.3×/13.2× JCT and 2.5×/2.8× makespan).
+func TestTraceExperimentShape(t *testing.T) {
+	inv := paperInventory()
+	var yJCT, hJCT, xJCT, yMk, hMk, xMk float64
+	var hAlloc, xAlloc int
+	for seed := uint64(11); seed <= 13; seed++ {
+		jobs := trace.Generate(60, 30, seed)
+		yarn := Simulate(Config{Mode: YARNCS, Inventory: inv}, jobs)
+		homo := Simulate(Config{Mode: EasyScaleHomo, Inventory: inv}, jobs)
+		heter := Simulate(Config{Mode: EasyScaleHeter, Inventory: inv}, jobs)
+		yJCT += yarn.AvgJCT
+		hJCT += homo.AvgJCT
+		xJCT += heter.AvgJCT
+		yMk += yarn.Makespan
+		hMk += homo.Makespan
+		xMk += heter.Makespan
+		n := len(homo.Timeline)
+		if m := len(heter.Timeline); m < n {
+			n = m
+		}
+		for i := 0; i < n; i++ {
+			hAlloc += homo.Timeline[i].Allocated
+			xAlloc += heter.Timeline[i].Allocated
+		}
+	}
+	// JCT: both EasyScale modes win by a large factor
+	if yJCT/hJCT < 1.8 {
+		t.Fatalf("EasyScale-homo JCT gain too small: YARN %v vs homo %v", yJCT/3, hJCT/3)
+	}
+	if yJCT/xJCT < 1.8 {
+		t.Fatalf("EasyScale-heter JCT gain too small: YARN %v vs heter %v", yJCT/3, xJCT/3)
+	}
+	// makespan: both EasyScale modes win, heter at least matches homo
+	if yMk/hMk < 1.3 {
+		t.Fatalf("EasyScale-homo makespan gain too small: YARN %v vs homo %v", yMk/3, hMk/3)
+	}
+	if xMk > hMk*1.1 {
+		t.Fatalf("heter makespan %v should be at least comparable to homo %v", xMk/3, hMk/3)
+	}
+	// heter allocates at least as many GPUs over time as homo (Figure 15)
+	if xAlloc < hAlloc*9/10 {
+		t.Fatal("heter should not allocate substantially fewer GPUs than homo")
+	}
+}
+
+func TestEasyScaleEliminatesQueueing(t *testing.T) {
+	jobs := trace.Generate(40, 30, 3)
+	res := Simulate(Config{Mode: EasyScaleHeter, Inventory: paperInventory()}, jobs)
+	yarn := Simulate(Config{Mode: YARNCS, Inventory: paperInventory()}, jobs)
+	// gang scheduling queues for a long time under load; elastic jobs start
+	// with whatever is free within a couple of scheduling rounds
+	if res.AvgQueue > yarn.AvgQueue/3 {
+		t.Fatalf("elastic queueing %v should be far below gang queueing %v", res.AvgQueue, yarn.AvgQueue)
+	}
+}
+
+func TestColocationTwoDays(t *testing.T) {
+	day1, day2 := TwoDayComparison(3000, 42)
+	if day2.AvgAllocRatio <= day1.AvgAllocRatio {
+		t.Fatal("EasyScale must raise the allocation ratio")
+	}
+	if day2.AvgSMUtil <= day1.AvgSMUtil {
+		t.Fatal("EasyScale must raise SM utilization")
+	}
+	relUtil := (day2.AvgSMUtil - day1.AvgSMUtil) / day1.AvgSMUtil
+	if relUtil < 0.3 {
+		t.Fatalf("utilization gain %.2f too small (paper: +62.1%% relative)", relUtil)
+	}
+	if day2.Preemptions == 0 {
+		t.Fatal("serving bursts should preempt elastic jobs")
+	}
+	if day2.MaxRefillMin > 6 {
+		t.Fatalf("refill took %d min, want ≤ ~5", day2.MaxRefillMin)
+	}
+	if day2.AvgElasticGPUs <= 0 {
+		t.Fatal("elastic jobs should hold GPUs on average")
+	}
+	if day1.Preemptions != 0 || day1.AvgElasticGPUs != 0 {
+		t.Fatal("day 1 has no elastic jobs")
+	}
+}
+
+func TestColocationScaleInImmediate(t *testing.T) {
+	cfg := DefaultColocationConfig(100)
+	// serving load jumps from 20 to 90: elastic must drop within the minute
+	load := []int{20, 20, 20, 90, 90}
+	res := SimulateColocation(cfg, load, true)
+	last := res.Samples[len(res.Samples)-1]
+	if last.ServingGPUs+last.ElasticGPUs > 100 {
+		t.Fatal("co-location must never exceed the fleet")
+	}
+	if !res.Samples[3].ScaleInEvent {
+		t.Fatal("scale-in event expected when serving load returns")
+	}
+}
+
+func TestRevocationStatsShape(t *testing.T) {
+	jobs := trace.GenerateProduction(3000, 30, 13)
+	st := SimulateRevocations(jobs, 48, 0.001, 13)
+	if st.TotalFailures == 0 {
+		t.Fatal("expected some failures")
+	}
+	// the paper's asymmetry: >8-GPU jobs dominate failures, 1-GPU jobs are
+	// a small share — despite small jobs dominating the job population
+	if st.ShareGT8 < 0.3 {
+		t.Fatalf("share of failures from >8 GPU jobs = %.2f, want large", st.ShareGT8)
+	}
+	if st.ShareLE1 > 0.25 {
+		t.Fatalf("share of failures from 1 GPU jobs = %.2f, want small", st.ShareLE1)
+	}
+	if st.ShareGT8 <= st.ShareLE1 {
+		t.Fatal("large jobs must dominate revocation failures")
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import "repro/internal/trace"
+
+// The production co-location experiment (§5.3, Figure 16): inference serving
+// jobs are production priority with guaranteed quota; EasyScale jobs are
+// non-production and opportunistically fill the idle GPUs, scaling in within
+// seconds when serving demand returns and refilling within minutes after it
+// leaves.
+
+// ColocationConfig configures the production-cluster simulation.
+type ColocationConfig struct {
+	TotalGPUs int
+	// ServingUtil / TrainingUtil are the average SM utilizations of a GPU
+	// allocated to serving (bursty, low duty cycle) vs. training.
+	ServingUtil  float64
+	TrainingUtil float64
+	// RefillPerMin bounds how many GPUs elastic training can (re)occupy per
+	// minute (job start + checkpoint restore costs).
+	RefillPerMin int
+	// ElasticHeadroom is the fraction of idle GPUs elastic jobs may use.
+	ElasticHeadroom float64
+	// ElasticDemandGPUs caps the elastic training jobs' aggregate demand:
+	// the business only submits so much opportunistic training.
+	ElasticDemandGPUs int
+	// ScaleInDeadband suppresses scale-in events for sub-threshold load
+	// wiggles (jobs hold their minimum grant through noise).
+	ScaleInDeadband int
+}
+
+// DefaultColocationConfig mirrors the production deployment.
+func DefaultColocationConfig(totalGPUs int) ColocationConfig {
+	return ColocationConfig{
+		TotalGPUs:         totalGPUs,
+		ServingUtil:       0.50,
+		TrainingUtil:      0.92,
+		RefillPerMin:      totalGPUs / 5, // full refill within ~5 minutes
+		ElasticHeadroom:   0.92,
+		ElasticDemandGPUs: totalGPUs / 5,
+		ScaleInDeadband:   totalGPUs / 200,
+	}
+}
+
+// MinuteSample is one minute of the co-location timeline.
+type MinuteSample struct {
+	Minute       int
+	ServingGPUs  int
+	ElasticGPUs  int
+	AllocRatio   float64 // (serving+elastic)/total
+	SMUtil       float64 // fleet-average SM utilization
+	ScaleInEvent bool    // elastic jobs preempted this minute
+}
+
+// ColocationResult summarizes a day (or longer) of co-location.
+type ColocationResult struct {
+	Samples        []MinuteSample
+	AvgAllocRatio  float64
+	AvgSMUtil      float64
+	AvgElasticGPUs float64
+	Preemptions    int
+	// MaxRefillMin is the longest observed time to re-occupy the idle pool
+	// after serving load dropped.
+	MaxRefillMin int
+}
+
+// SimulateColocation replays a serving-load series with or without EasyScale
+// filling the idle capacity.
+func SimulateColocation(cfg ColocationConfig, serving []int, withEasyScale bool) ColocationResult {
+	res := ColocationResult{}
+	elastic := 0
+	refillStart := -1
+	for m, sv := range serving {
+		if sv > cfg.TotalGPUs {
+			sv = cfg.TotalGPUs
+		}
+		idle := cfg.TotalGPUs - sv
+		target := 0
+		if withEasyScale {
+			target = int(float64(idle) * cfg.ElasticHeadroom)
+			if cfg.ElasticDemandGPUs > 0 && target > cfg.ElasticDemandGPUs {
+				target = cfg.ElasticDemandGPUs
+			}
+		}
+		sample := MinuteSample{Minute: m, ServingGPUs: sv}
+		switch {
+		case elastic > target+cfg.ScaleInDeadband:
+			// serving demand returned: scale in within seconds (well inside
+			// one one-minute sample)
+			elastic = target
+			sample.ScaleInEvent = true
+			res.Preemptions++
+			refillStart = -1
+		case elastic < target:
+			if refillStart < 0 {
+				refillStart = m
+			}
+			elastic += cfg.RefillPerMin
+			if elastic >= target {
+				elastic = target
+				if d := m - refillStart + 1; d > res.MaxRefillMin {
+					res.MaxRefillMin = d
+				}
+				refillStart = -1
+			}
+		default:
+			refillStart = -1
+		}
+		sample.ElasticGPUs = elastic
+		sample.AllocRatio = float64(sv+elastic) / float64(cfg.TotalGPUs)
+		sample.SMUtil = (float64(sv)*cfg.ServingUtil + float64(elastic)*cfg.TrainingUtil) / float64(cfg.TotalGPUs)
+		res.Samples = append(res.Samples, sample)
+		res.AvgAllocRatio += sample.AllocRatio
+		res.AvgSMUtil += sample.SMUtil
+		res.AvgElasticGPUs += float64(elastic)
+	}
+	n := float64(len(res.Samples))
+	if n > 0 {
+		res.AvgAllocRatio /= n
+		res.AvgSMUtil /= n
+		res.AvgElasticGPUs /= n
+	}
+	return res
+}
+
+// TwoDayComparison runs day 1 without EasyScale and day 2 with it on the
+// same diurnal pattern — the Figure 16 layout — and returns both results.
+func TwoDayComparison(totalGPUs int, seed uint64) (day1, day2 ColocationResult) {
+	cfg := DefaultColocationConfig(totalGPUs)
+	load := trace.ServingLoad(2*1440, totalGPUs, seed)
+	day1 = SimulateColocation(cfg, load[:1440], false)
+	day2 = SimulateColocation(cfg, load[1440:], true)
+	return day1, day2
+}

@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Mode selects the cluster scheduling policy under simulation.
+type Mode int
+
+const (
+	// YARNCS is Apache YARN's capacity scheduler as used in Philly: strict
+	// FIFO with gang scheduling on a single GPU type per job.
+	YARNCS Mode = iota
+	// EasyScaleHomo is EasyScale restricted to homogeneous GPUs per job.
+	EasyScaleHomo
+	// EasyScaleHeter is EasyScale with heterogeneous plans for D2-capable
+	// jobs (vendor-kernel jobs remain homogeneous, per the paper's policy).
+	EasyScaleHeter
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case YARNCS:
+		return "YARN-CS"
+	case EasyScaleHomo:
+		return "EasyScale-homo"
+	case EasyScaleHeter:
+		return "EasyScale-heter"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config configures a trace simulation.
+type Config struct {
+	Mode      Mode
+	Inventory sched.Resources
+	// TickSec is the simulation step (default 10 s).
+	TickSec float64
+	// ProposalTopK bounds the proposals per job per round (default 3).
+	ProposalTopK int
+	// RestartSec is the scale-out reconfiguration pause (checkpoint,
+	// restart, restore; default 5 s).
+	RestartSec float64
+	// MaxSimSec caps the simulation horizon (default 30 days).
+	MaxSimSec float64
+}
+
+func (c *Config) defaults() {
+	if c.TickSec <= 0 {
+		c.TickSec = 10
+	}
+	if c.ProposalTopK <= 0 {
+		c.ProposalTopK = 3
+	}
+	if c.RestartSec <= 0 {
+		c.RestartSec = 5
+	}
+	if c.MaxSimSec <= 0 {
+		c.MaxSimSec = 30 * 24 * 3600
+	}
+}
+
+// AllocSample is one timeline point of allocated GPUs.
+type AllocSample struct {
+	Sec       float64
+	Allocated int
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Mode      Mode
+	AvgJCT    float64
+	AvgQueue  float64
+	Makespan  float64
+	JCTs      map[string]float64
+	Timeline  []AllocSample
+	Finished  int
+	Unstarted int
+}
+
+type simJob struct {
+	spec      trace.JobSpec
+	remaining float64
+	started   bool
+	startSec  float64
+	finishSec float64
+	// YARN state
+	gang sched.Resources
+	// EasyScale state
+	intra      *sched.IntraJob
+	pausedUtil float64 // seconds of restart pause left
+}
+
+// Simulate runs the trace under the configured policy and returns metrics.
+func Simulate(cfg Config, jobs []trace.JobSpec) Result {
+	cfg.defaults()
+	switch cfg.Mode {
+	case YARNCS:
+		return simulateYARN(cfg, jobs)
+	default:
+		return simulateEasyScale(cfg, jobs)
+	}
+}
+
+// simulateYARN: strict FIFO gang scheduling. Only the queue head may start,
+// and it needs MaxP GPUs of a single type simultaneously.
+func simulateYARN(cfg Config, jobs []trace.JobSpec) Result {
+	free := cfg.Inventory.Clone()
+	var queue []*simJob
+	pending := make([]*simJob, len(jobs))
+	for i := range jobs {
+		pending[i] = &simJob{spec: jobs[i], remaining: jobs[i].WorkSteps}
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].spec.ArrivalSec < pending[j].spec.ArrivalSec })
+	var running []*simJob
+	res := Result{Mode: cfg.Mode, JCTs: map[string]float64{}}
+	now := 0.0
+	nextArrival := 0
+	for ; now < cfg.MaxSimSec; now += cfg.TickSec {
+		for nextArrival < len(pending) && pending[nextArrival].spec.ArrivalSec <= now {
+			queue = append(queue, pending[nextArrival])
+			nextArrival++
+		}
+		// FIFO head-of-line: start the head while its requested gang fits
+		for len(queue) > 0 {
+			j := queue[0]
+			t := j.spec.RequestedType
+			if free[t] < j.spec.MaxP {
+				break
+			}
+			free[t] -= j.spec.MaxP
+			j.gang = sched.Resources{t: j.spec.MaxP}
+			j.started, j.startSec = true, now
+			running = append(running, j)
+			queue = queue[1:]
+		}
+		// progress
+		var still []*simJob
+		for _, j := range running {
+			var t device.Type
+			for tt := range j.gang {
+				t = tt
+			}
+			rate := float64(j.spec.MaxP) * CapabilityFor(j.spec.Model)[t]
+			j.remaining -= rate * cfg.TickSec
+			if j.remaining <= 0 {
+				j.finishSec = now + cfg.TickSec
+				free[t] += j.spec.MaxP
+				res.JCTs[j.spec.ID] = j.finishSec - j.spec.ArrivalSec
+				res.AvgQueue += j.startSec - j.spec.ArrivalSec
+				res.Finished++
+			} else {
+				still = append(still, j)
+			}
+		}
+		running = still
+		res.Timeline = append(res.Timeline, AllocSample{Sec: now, Allocated: cfg.Inventory.Total() - free.Total()})
+		if res.Finished == len(jobs) {
+			break
+		}
+	}
+	finalize(&res, jobs, now)
+	res.Unstarted = len(queue) + (len(pending) - nextArrival)
+	return res
+}
+
+// simulateEasyScale: elastic jobs (min 0 GPUs) coordinated by the intra-job
+// schedulers and the greedy inter-job scheduler.
+func simulateEasyScale(cfg Config, jobs []trace.JobSpec) Result {
+	inter := sched.NewInterJob(cfg.Inventory)
+	pending := make([]*simJob, len(jobs))
+	for i := range jobs {
+		pending[i] = &simJob{spec: jobs[i], remaining: jobs[i].WorkSteps}
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].spec.ArrivalSec < pending[j].spec.ArrivalSec })
+	var active []*simJob
+	res := Result{Mode: cfg.Mode, JCTs: map[string]float64{}}
+	now := 0.0
+	nextArrival := 0
+	for ; now < cfg.MaxSimSec; now += cfg.TickSec {
+		for nextArrival < len(pending) && pending[nextArrival].spec.ArrivalSec <= now {
+			j := pending[nextArrival]
+			homogOnly := cfg.Mode == EasyScaleHomo || j.spec.HomogeneousOnly
+			j.intra = sched.NewIntraJob(j.spec.ID, sched.NewCompanion(j.spec.MaxP, CapabilityFor(j.spec.Model)), homogOnly)
+			active = append(active, j)
+			nextArrival++
+		}
+
+		// scheduling round: collect proposals, grant greedily
+		var proposals []sched.Proposal
+		for _, j := range active {
+			proposals = append(proposals, j.intra.Proposals(inter.Free(), cfg.ProposalTopK)...)
+		}
+		byID := map[string]*simJob{}
+		for _, j := range active {
+			byID[j.spec.ID] = j
+		}
+		for _, pr := range inter.Round(proposals) {
+			j := byID[pr.JobID]
+			if _, ok := j.intra.Grant(pr); ok {
+				// give back GPUs the chosen plan leaves idle
+				if unused := j.intra.TrimUnused(); unused != nil {
+					inter.Release(unused)
+				}
+				j.pausedUtil = cfg.RestartSec
+				if !j.started {
+					j.started, j.startSec = true, now
+				}
+			} else {
+				inter.Release(sched.Resources{pr.Type: pr.Count})
+			}
+		}
+
+		// progress
+		var still []*simJob
+		for _, j := range active {
+			plan := j.intra.CurrentPlan()
+			dt := cfg.TickSec
+			if j.pausedUtil > 0 {
+				if j.pausedUtil >= dt {
+					j.pausedUtil -= dt
+					dt = 0
+				} else {
+					dt -= j.pausedUtil
+					j.pausedUtil = 0
+				}
+			}
+			j.remaining -= plan.Throughput * dt
+			if j.remaining <= 0 && j.started {
+				j.finishSec = now + cfg.TickSec
+				inter.Release(j.intra.Current())
+				res.JCTs[j.spec.ID] = j.finishSec - j.spec.ArrivalSec
+				res.AvgQueue += j.startSec - j.spec.ArrivalSec
+				res.Finished++
+			} else {
+				still = append(still, j)
+			}
+		}
+		active = still
+		res.Timeline = append(res.Timeline, AllocSample{Sec: now, Allocated: cfg.Inventory.Total() - inter.Free().Total()})
+		if res.Finished == len(jobs) && nextArrival == len(pending) {
+			break
+		}
+	}
+	finalize(&res, jobs, now)
+	res.Unstarted = len(active)
+	return res
+}
+
+func finalize(res *Result, jobs []trace.JobSpec, now float64) {
+	if res.Finished > 0 {
+		sum := 0.0
+		for _, v := range res.JCTs {
+			sum += v
+		}
+		res.AvgJCT = sum / float64(res.Finished)
+		res.AvgQueue /= float64(res.Finished)
+	}
+	first := jobs[0].ArrivalSec
+	for _, j := range jobs {
+		if j.ArrivalSec < first {
+			first = j.ArrivalSec
+		}
+	}
+	res.Makespan = now - first
+}

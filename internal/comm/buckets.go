@@ -1,0 +1,55 @@
+package comm
+
+import "repro/internal/tensor"
+
+// Bucket-level accessors used by the distributed runtime: a remote worker
+// flattens its local ESTs' gradients per bucket, ships buffers through the
+// ring, and unflattens the reduced result.
+
+// NumBuckets returns the bucket count of the current plan.
+func (d *ElasticDDP) NumBuckets() int { return len(d.plan.Buckets) }
+
+// BucketParams returns the parameter indices of bucket b in flattening order.
+func (d *ElasticDDP) BucketParams(b int) []int {
+	return append([]int(nil), d.plan.Buckets[b]...)
+}
+
+// BucketLen returns the element count of bucket b.
+func (d *ElasticDDP) BucketLen(b int) int { return d.bucketLen(d.plan.Buckets[b]) }
+
+// FlattenBucket packs bucket b of one gradient set into a fresh buffer.
+func (d *ElasticDDP) FlattenBucket(b int, grads []*tensor.Tensor) []float32 {
+	bucket := d.plan.Buckets[b]
+	buf := make([]float32, d.bucketLen(bucket))
+	d.flatten(buf, grads, bucket)
+	return buf
+}
+
+// UnflattenBucket scatters a reduced bucket buffer back into a gradient set.
+func (d *ElasticDDP) UnflattenBucket(b int, grads []*tensor.Tensor, buf []float32) {
+	d.unflatten(grads, d.plan.Buckets[b], buf)
+}
+
+// RingChunks returns the chunk boundaries RingReduce uses for a buffer of
+// length l among p participants, as (lo, hi) pairs in chunk order. The
+// distributed ring all-reduce must follow exactly these boundaries (and the
+// (c mod p) rotation) to be bitwise identical to the in-process reduction.
+func RingChunks(l, p int) [][2]int {
+	if p <= 0 {
+		return nil
+	}
+	if p == 1 {
+		return [][2]int{{0, l}}
+	}
+	chunk := (l + p - 1) / p
+	var out [][2]int
+	for c := 0; c*chunk < l; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > l {
+			hi = l
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+// Package comm implements ElasticDDP, the distributed data-parallel
+// communication layer of EasyScale.
+//
+// Gradient synchronization is where the paper locates elastic
+// non-determinism: DDP gathers gradients into capacity-bounded buckets whose
+// parameter-to-bucket mapping is rebuilt after the first mini-batch from the
+// order gradient tensors became ready, and the ring all-reduce adds each
+// element's contributions in an order that depends on the chunk layout and
+// the number of physical participants. Restarting on different resources
+// rebuilds channels and mapping, changing the floating-point addition order —
+// bitwise divergence (the D0→D1 gap in Figure 9).
+//
+// EasyScale's D1 fix is modeled exactly: each EST holds a constant virtual
+// communication rank, the bucket mapping is recorded in the on-demand
+// checkpoint and reinstated on restart (rebuild disabled), and reduction runs
+// over the virtual ring — so the addition order is a pure function of the
+// logical world, not the physical one.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Plan is a gradient-bucket layout: Buckets[b] lists parameter indices in
+// their in-bucket flattening order.
+type Plan struct {
+	Buckets [][]int
+}
+
+// Clone deep-copies the plan.
+func (p Plan) Clone() Plan {
+	out := Plan{Buckets: make([][]int, len(p.Buckets))}
+	for i, b := range p.Buckets {
+		out.Buckets[i] = append([]int(nil), b...)
+	}
+	return out
+}
+
+// Equal reports whether two plans are identical.
+func (p Plan) Equal(o Plan) bool {
+	if len(p.Buckets) != len(o.Buckets) {
+		return false
+	}
+	for i := range p.Buckets {
+		if len(p.Buckets[i]) != len(o.Buckets[i]) {
+			return false
+		}
+		for j := range p.Buckets[i] {
+			if p.Buckets[i][j] != o.Buckets[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildFromOrder packs parameters into buckets of at most capElems elements,
+// walking the given order.
+func buildFromOrder(sizes []int, order []int, capElems int) Plan {
+	if capElems <= 0 {
+		panic("comm: bucket capacity must be positive")
+	}
+	var plan Plan
+	var cur []int
+	used := 0
+	for _, idx := range order {
+		if idx < 0 || idx >= len(sizes) {
+			panic(fmt.Sprintf("comm: parameter index %d out of range", idx))
+		}
+		if used > 0 && used+sizes[idx] > capElems {
+			plan.Buckets = append(plan.Buckets, cur)
+			cur, used = nil, 0
+		}
+		cur = append(cur, idx)
+		used += sizes[idx]
+	}
+	if len(cur) > 0 {
+		plan.Buckets = append(plan.Buckets, cur)
+	}
+	return plan
+}
+
+// BuildInitialPlan packs parameters in reverse registration order (DDP's
+// static reversed topological order) into buckets of capElems elements.
+func BuildInitialPlan(sizes []int, capElems int) Plan {
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = len(sizes) - 1 - i
+	}
+	return buildFromOrder(sizes, order, capElems)
+}
+
+// BuildPlanFromReadyOrder packs parameters in the order their gradients were
+// derived during the first mini-batch — DDP's bucket reconstruction.
+func BuildPlanFromReadyOrder(sizes []int, readyOrder []int, capElems int) Plan {
+	if len(readyOrder) != len(sizes) {
+		panic("comm: ready order must cover every parameter")
+	}
+	seen := make([]bool, len(sizes))
+	for _, idx := range readyOrder {
+		if idx < 0 || idx >= len(sizes) || seen[idx] {
+			panic("comm: ready order is not a permutation")
+		}
+		seen[idx] = true
+	}
+	return buildFromOrder(sizes, readyOrder, capElems)
+}
+
+// RingReduce sums the participants' buffers elementwise the way a ring
+// all-reduce does: the buffer is split into len(contribs) chunks and the
+// additions for chunk c start at participant (c mod P), wrapping around the
+// ring. The result therefore depends on the number of participants and on
+// where chunk boundaries fall — both change under elasticity.
+func RingReduce(contribs [][]float32) []float32 {
+	p := len(contribs)
+	if p == 0 {
+		return nil
+	}
+	l := len(contribs[0])
+	for _, c := range contribs {
+		if len(c) != l {
+			panic("comm: ring reduce buffer length mismatch")
+		}
+	}
+	out := make([]float32, l)
+	if p == 1 {
+		copy(out, contribs[0])
+		return out
+	}
+	chunk := (l + p - 1) / p
+	for c := 0; c*chunk < l; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > l {
+			hi = l
+		}
+		start := c % p
+		for e := lo; e < hi; e++ {
+			s := contribs[start][e]
+			for k := 1; k < p; k++ {
+				s += contribs[(start+k)%p][e]
+			}
+			out[e] = s
+		}
+	}
+	return out
+}
+
+// SequentialReduce sums the participants' buffers strictly in slice order —
+// the local gradient-accumulation order a physical worker applies to its own
+// ESTs before entering the ring.
+func SequentialReduce(contribs [][]float32) []float32 {
+	if len(contribs) == 0 {
+		return nil
+	}
+	out := append([]float32(nil), contribs[0]...)
+	for _, c := range contribs[1:] {
+		if len(c) != len(out) {
+			panic("comm: sequential reduce buffer length mismatch")
+		}
+		for i, v := range c {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// ElasticDDP coordinates bucketed gradient all-reduce for one training job.
+type ElasticDDP struct {
+	Sizes    []int // per-parameter element counts, registration order
+	CapElems int   // bucket capacity in elements
+
+	plan           Plan
+	rebuilt        bool
+	RebuildEnabled bool // D1 disables reconstruction after restore
+}
+
+// NewElasticDDP builds the communicator with the static initial plan.
+func NewElasticDDP(sizes []int, capElems int) *ElasticDDP {
+	return &ElasticDDP{
+		Sizes:          append([]int(nil), sizes...),
+		CapElems:       capElems,
+		plan:           BuildInitialPlan(sizes, capElems),
+		RebuildEnabled: true,
+	}
+}
+
+// Plan returns the current bucket plan (for checkpointing under D1).
+func (d *ElasticDDP) Plan() Plan { return d.plan.Clone() }
+
+// RestorePlan reinstates a recorded plan and disables reconstruction — the
+// D1 restart path.
+func (d *ElasticDDP) RestorePlan(p Plan) {
+	d.plan = p.Clone()
+	d.rebuilt = true
+	d.RebuildEnabled = false
+}
+
+// Rebuilt reports whether the first-iteration reconstruction has happened.
+func (d *ElasticDDP) Rebuilt() bool { return d.rebuilt }
+
+// MaybeRebuild performs DDP's after-first-iteration bucket reconstruction
+// from the observed gradient ready order. It is a no-op once rebuilt or when
+// reconstruction is disabled.
+func (d *ElasticDDP) MaybeRebuild(readyOrder []int) {
+	if d.rebuilt || !d.RebuildEnabled {
+		return
+	}
+	d.plan = BuildPlanFromReadyOrder(d.Sizes, readyOrder, d.CapElems)
+	d.rebuilt = true
+}
+
+// flatten packs bucket b of one participant's gradient set into buf.
+func (d *ElasticDDP) flatten(buf []float32, grads []*tensor.Tensor, bucket []int) {
+	off := 0
+	for _, pi := range bucket {
+		copy(buf[off:off+d.Sizes[pi]], grads[pi].Data)
+		off += d.Sizes[pi]
+	}
+}
+
+// unflatten scatters a reduced bucket buffer back into a gradient set.
+func (d *ElasticDDP) unflatten(grads []*tensor.Tensor, bucket []int, buf []float32) {
+	off := 0
+	for _, pi := range bucket {
+		copy(grads[pi].Data, buf[off:off+d.Sizes[pi]])
+		off += d.Sizes[pi]
+	}
+}
+
+func (d *ElasticDDP) bucketLen(bucket []int) int {
+	n := 0
+	for _, pi := range bucket {
+		n += d.Sizes[pi]
+	}
+	return n
+}
+
+// AllReduce averages the participants' gradient sets in place. Each element
+// of gradSets is one ring participant's gradients in registration order; for
+// EasyScale D1 the participants are the ESTs ordered by virtual rank, for a
+// restarted non-D1 job they are the physical workers' locally accumulated
+// gradients. divisor is the logical world size used for averaging.
+func (d *ElasticDDP) AllReduce(gradSets [][]*tensor.Tensor, divisor int) {
+	if len(gradSets) == 0 {
+		return
+	}
+	for _, gs := range gradSets {
+		if len(gs) != len(d.Sizes) {
+			panic("comm: gradient set does not match registered parameters")
+		}
+	}
+	inv := 1 / float32(divisor)
+	for _, bucket := range d.plan.Buckets {
+		blen := d.bucketLen(bucket)
+		contribs := make([][]float32, len(gradSets))
+		for i, gs := range gradSets {
+			contribs[i] = make([]float32, blen)
+			d.flatten(contribs[i], gs, bucket)
+		}
+		sum := RingReduce(contribs)
+		for i := range sum {
+			sum[i] *= inv
+		}
+		for _, gs := range gradSets {
+			d.unflatten(gs, bucket, sum)
+		}
+	}
+}

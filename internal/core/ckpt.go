@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/checkpoint"
+	"repro/internal/rng"
+)
+
+// ckptMagic guards against foreign byte streams; ckptVersion against format
+// drift.
+const (
+	ckptMagic   = 0xEA57_5CA1E0000000
+	ckptVersion = 2
+)
+
+// Checkpoint captures the job's on-demand checkpoint (§3.2, Figure 6): the
+// contexts of all ESTs, the extra states (training progress, data-loader
+// worker states, gradient-bucket mapping), and the parameters (model,
+// optimizer, LR scheduler). Only one replica of the extra states and
+// parameters is stored — they are shared across ESTs within a global step.
+func (j *Job) Checkpoint() []byte {
+	w := checkpoint.NewWriter()
+	w.PutUint64(ckptMagic)
+	w.PutInt(ckptVersion)
+
+	// identity
+	w.PutString(j.Workload.Name)
+	w.PutUint64(j.Cfg.Seed)
+	w.PutInt(j.Cfg.NumESTs)
+	w.PutInt(j.Cfg.BatchPerEST)
+	w.PutInt(int(j.Cfg.Level))
+	w.PutBool(j.Cfg.D2)
+	w.PutInt(j.Cfg.d2Block())
+
+	// progress
+	w.PutInt(j.epoch)
+	w.PutInt(j.step)
+	w.PutInt(j.globalStep)
+
+	// parameters: model weights + implicit model state live buffers
+	params := j.Workload.Params()
+	w.PutInt(len(params))
+	for _, p := range params {
+		w.PutTensor(p.Value)
+	}
+
+	// optimizer
+	momentum := j.opt.StateTensors()
+	w.PutInt(len(momentum))
+	for _, m := range momentum {
+		w.PutTensor(m)
+	}
+	w.PutInt(j.opt.StepCount())
+	w.PutFloat64(j.opt.LR())
+
+	// LR scheduler
+	if j.sched != nil {
+		w.PutInt(j.sched.Epoch())
+	} else {
+		w.PutInt(-1)
+	}
+
+	// data loader extra state
+	ls := j.loader.State()
+	w.PutInt(ls.Epoch)
+	w.PutInts(ls.NextStep)
+	w.PutInt(len(ls.Streams))
+	for _, row := range ls.Streams {
+		w.PutInt(len(row))
+		for _, st := range row {
+			w.PutRNGState(st)
+		}
+	}
+
+	// gradient-bucket mapping (recorded regardless of level; only D1
+	// restores it — that asymmetry is precisely the D0 failure mode)
+	w.PutBool(j.ddp.Rebuilt())
+	plan := j.ddp.Plan()
+	w.PutInt(len(plan.Buckets))
+	for _, b := range plan.Buckets {
+		w.PutInts(b)
+	}
+
+	// EST contexts
+	w.PutInt(len(j.ests))
+	for _, est := range j.ests {
+		w.PutInt(est.VirtualRank)
+		bs := est.RNG.State()
+		w.PutRNGState(bs.Python)
+		w.PutRNGState(bs.NumPy)
+		w.PutRNGState(bs.Torch)
+		w.PutInt(len(est.ModelState))
+		for _, st := range est.ModelState {
+			w.PutTensor(st)
+		}
+	}
+	// integrity: CRC32 over the payload, so storage/transport corruption is
+	// detected before any field-level validation runs
+	payload := w.Bytes()
+	w.PutUint64(uint64(crc32.ChecksumIEEE(payload)))
+	return w.Bytes()
+}
+
+// RestoreJob reconstructs a job from an on-demand checkpoint. The caller
+// supplies the same Config; identity fields are cross-checked against the
+// checkpoint. The restored job is detached — Attach it to its new resources.
+func RestoreJob(cfg Config, ckpt []byte) (*Job, error) {
+	if len(ckpt) < 8 {
+		return nil, fmt.Errorf("core: checkpoint too short")
+	}
+	payload, trailer := ckpt[:len(ckpt)-8], ckpt[len(ckpt)-8:]
+	sum, err := checkpoint.NewReader(trailer).Uint64()
+	if err != nil || uint32(sum) != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("core: checkpoint checksum mismatch (corrupted)")
+	}
+	r := checkpoint.NewReader(payload)
+	if magic, err := r.Uint64(); err != nil || magic != ckptMagic {
+		return nil, fmt.Errorf("core: not an EasyScale checkpoint")
+	}
+	if v, err := r.Int(); err != nil || v != ckptVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version")
+	}
+	name, err2 := r.String()
+	if err2 != nil {
+		return nil, err2
+	}
+	seed, _ := r.Uint64()
+	numESTs, _ := r.Int()
+	batch, _ := r.Int()
+	level, _ := r.Int()
+	d2, err := r.Bool()
+	if err != nil {
+		return nil, err
+	}
+	d2Block, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	if seed != cfg.Seed || numESTs != cfg.NumESTs || batch != cfg.BatchPerEST ||
+		Determinism(level) != cfg.Level || d2 != cfg.D2 || d2Block != cfg.d2Block() {
+		return nil, fmt.Errorf("core: checkpoint identity mismatch (ckpt: seed=%d ests=%d batch=%d %v D2=%v)",
+			seed, numESTs, batch, Determinism(level), d2)
+	}
+
+	j, err := NewJob(cfg, name)
+	if err != nil {
+		return nil, err
+	}
+
+	if j.epoch, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if j.step, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if j.globalStep, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if j.epoch < 0 || j.step < 0 || j.step >= j.sampler.StepsPerEpoch() || j.globalStep < 0 {
+		return nil, fmt.Errorf("core: checkpoint progress out of range (epoch=%d step=%d global=%d)", j.epoch, j.step, j.globalStep)
+	}
+
+	params := j.Workload.Params()
+	np, err := r.Int()
+	if err != nil || np != len(params) {
+		return nil, fmt.Errorf("core: checkpoint has %d params, model has %d", np, len(params))
+	}
+	for _, p := range params {
+		if err := r.TensorInto(p.Value); err != nil {
+			return nil, err
+		}
+	}
+
+	momentum := j.opt.StateTensors()
+	nm, err := r.Int()
+	if err != nil || nm != len(momentum) {
+		return nil, fmt.Errorf("core: optimizer state mismatch")
+	}
+	for _, m := range momentum {
+		if err := r.TensorInto(m); err != nil {
+			return nil, err
+		}
+	}
+	steps, _ := r.Int()
+	j.opt.SetStepCount(steps)
+	lr, err := r.Float64()
+	if err != nil {
+		return nil, err
+	}
+	j.opt.SetLR(lr)
+
+	schedEpoch, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	if j.sched != nil && schedEpoch >= 0 {
+		j.sched.SetEpoch(schedEpoch)
+	}
+
+	// loader state
+	var ls struct {
+		Epoch    int
+		NextStep []int
+		Streams  [][]rng.State
+	}
+	if ls.Epoch, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if ls.NextStep, err = r.Ints(); err != nil {
+		return nil, err
+	}
+	rows, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	if rows != cfg.NumESTs || len(ls.NextStep) != cfg.NumESTs {
+		return nil, fmt.Errorf("core: checkpoint loader geometry mismatch")
+	}
+	for _, c := range ls.NextStep {
+		if c < 0 || c > j.sampler.StepsPerEpoch() {
+			return nil, fmt.Errorf("core: checkpoint loader cursor %d out of range", c)
+		}
+	}
+	ls.Streams = make([][]rng.State, rows)
+	for i := range ls.Streams {
+		cols, err := r.Int()
+		if err != nil {
+			return nil, err
+		}
+		if cols != cfg.DataWorkersPerEST {
+			return nil, fmt.Errorf("core: checkpoint data-worker geometry mismatch")
+		}
+		ls.Streams[i] = make([]rng.State, cols)
+		for c := range ls.Streams[i] {
+			if ls.Streams[i][c], err = r.RNGState(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	j.loader.Restore(dataLoaderState(ls.Epoch, ls.NextStep, ls.Streams))
+
+	// bucket mapping
+	rebuilt, err := r.Bool()
+	if err != nil {
+		return nil, err
+	}
+	nb, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	buckets := make([][]int, nb)
+	for i := range buckets {
+		if buckets[i], err = r.Ints(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Level >= D1 && rebuilt {
+		// D1: reinstate the recorded mapping (after validating it really is
+		// a permutation of the parameters) and disable reconstruction
+		params := j.Workload.Params()
+		seen := make([]bool, len(params))
+		covered := 0
+		for _, b := range buckets {
+			for _, pi := range b {
+				if pi < 0 || pi >= len(params) || seen[pi] {
+					return nil, fmt.Errorf("core: checkpoint bucket plan corrupt")
+				}
+				seen[pi] = true
+				covered++
+			}
+		}
+		if covered != len(params) {
+			return nil, fmt.Errorf("core: checkpoint bucket plan incomplete")
+		}
+		j.ddp.RestorePlan(planFromBuckets(buckets))
+	}
+	// below D1 the recorded mapping is ignored: the restarted process will
+	// rebuild from its own first mini-batch — the paper's D0 divergence
+
+	// EST contexts
+	ne, err := r.Int()
+	if err != nil || ne != len(j.ests) {
+		return nil, fmt.Errorf("core: checkpoint has %d ESTs, job has %d", ne, len(j.ests))
+	}
+	for want, est := range j.ests {
+		if est.VirtualRank, err = r.Int(); err != nil {
+			return nil, err
+		}
+		if est.VirtualRank != want {
+			return nil, fmt.Errorf("core: checkpoint EST rank %d out of order", est.VirtualRank)
+		}
+		var bs rng.BundleState
+		if bs.Python, err = r.RNGState(); err != nil {
+			return nil, err
+		}
+		if bs.NumPy, err = r.RNGState(); err != nil {
+			return nil, err
+		}
+		if bs.Torch, err = r.RNGState(); err != nil {
+			return nil, err
+		}
+		est.RNG.SetState(bs)
+		ns, err := r.Int()
+		if err != nil || ns != len(est.ModelState) {
+			return nil, fmt.Errorf("core: EST model state mismatch")
+		}
+		for _, st := range est.ModelState {
+			if err := r.TensorInto(st); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return j, nil
+}
+
+// Scale performs the elastic reconfiguration path: on-demand checkpoint,
+// release the current GPUs, restart (fresh process state: layer caches,
+// communication channels, kernel selections), restore, and attach to the new
+// placement. The job's training semantics are unaffected; whether its
+// numerics are depends on the determinism level.
+func (j *Job) Scale(p Placement) error {
+	ck := j.Checkpoint()
+	j.Detach()
+	nj, err := RestoreJob(j.Cfg, ck)
+	if err != nil {
+		return err
+	}
+	*j = *nj
+	return j.Attach(p)
+}

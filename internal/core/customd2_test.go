@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func customKernel() *device.CustomKernel {
+	return &device.CustomKernel{Name: "cutlass-tuned", Block: 32, ConvEfficiency: 0.7}
+}
+
+// TestCustomD2KernelHeterogeneousConsistency: a user-tuned D2 kernel keeps
+// the bitwise guarantee across GPU types — the property the paper's
+// future-work path must preserve.
+func TestCustomD2KernelHeterogeneousConsistency(t *testing.T) {
+	cfg := testCfg(D1, true, 4)
+	cfg.D2Kernel = customKernel()
+	ref := runSteps(t, cfg, "vgg19", EvenPlacement(4, device.V100, device.V100, device.V100, device.V100), 8)
+	het := runSteps(t, cfg, "vgg19", EvenPlacement(4, device.V100, device.P100, device.T4), 8)
+	if !ParamsEqual(ref, het) {
+		t.Fatal("custom D2 kernel broke heterogeneous bitwise consistency")
+	}
+}
+
+// TestCustomD2KernelDefinesNumerics: different custom kernels are different
+// numerics — runs do not match each other or the built-in agnostic kernel.
+func TestCustomD2KernelDefinesNumerics(t *testing.T) {
+	base := testCfg(D1, true, 2)
+	builtin := runSteps(t, base, "vgg19", EvenPlacement(2, device.V100), 6)
+
+	withCustom := base
+	withCustom.D2Kernel = customKernel()
+	custom := runSteps(t, withCustom, "vgg19", EvenPlacement(2, device.V100), 6)
+	if ParamsEqual(builtin, custom) {
+		t.Fatal("custom kernel with a different block should change the bits")
+	}
+}
+
+// TestCustomD2KernelRecoversPerformance: the tuned kernel narrows the conv
+// overhead of Figure 12.
+func TestCustomD2KernelRecoversPerformance(t *testing.T) {
+	run := func(k *device.CustomKernel) float64 {
+		cfg := testCfg(D1, true, 1)
+		cfg.BatchPerEST = 32
+		cfg.D2Kernel = k
+		j := mustJob(t, cfg, "vgg19", EvenPlacement(1, device.V100))
+		dev := j.Devices()[0]
+		before := dev.Now()
+		if err := j.RunSteps(3); err != nil {
+			t.Fatal(err)
+		}
+		return (dev.Now() - before).Seconds()
+	}
+	slow := run(nil)
+	fast := run(customKernel())
+	if fast >= slow {
+		t.Fatalf("tuned kernel (%vs) should beat the default agnostic kernel (%vs)", fast, slow)
+	}
+}
+
+// TestCustomD2KernelCheckpointIdentity: a checkpoint binds to its kernel —
+// restoring under a different kernel definition must be rejected (silently
+// mixing numerics would break consistency).
+func TestCustomD2KernelCheckpointIdentity(t *testing.T) {
+	cfg := testCfg(D1, true, 2)
+	cfg.D2Kernel = customKernel()
+	j := runSteps(t, cfg, "electra", EvenPlacement(2, device.V100), 3)
+	ck := j.Checkpoint()
+
+	other := testCfg(D1, true, 2) // built-in agnostic kernel
+	if _, err := RestoreJob(other, ck); err == nil {
+		t.Fatal("restore under a different D2 kernel must be rejected")
+	}
+	same := testCfg(D1, true, 2)
+	same.D2Kernel = customKernel()
+	if _, err := RestoreJob(same, ck); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCustomD2KernelValidation covers the hardware-agnosticity checks.
+func TestCustomD2KernelValidation(t *testing.T) {
+	cfg := testCfg(D1, true, 2)
+	cfg.D2Kernel = &device.CustomKernel{Name: "too-wide", Block: 64, ConvEfficiency: 0.9}
+	// block 64 exceeds the T4's 40 SMs: not hardware-agnostic
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("kernel wider than the smallest GPU must be rejected")
+	}
+	cfg.D2Kernel = &device.CustomKernel{Name: "bad-eff", Block: 8, ConvEfficiency: 1.5}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("efficiency above 1 must be rejected")
+	}
+	cfg.D2Kernel = &device.CustomKernel{Name: "no-block", Block: 0, ConvEfficiency: 0.5}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero block must be rejected")
+	}
+	cfg.D2Kernel = customKernel()
+	cfg.D2 = false
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("custom kernel without D2 must be rejected")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The paper's §3.3 methodology — "a top-down approach comparing the tensors
+// of EasyScale and DDP ... to identify the factors that impact training
+// accuracy in bitwise" — as a diagnostic tool: given two jobs that should
+// agree, report exactly which parameters diverged, by how much, and which
+// pieces of determinism-relevant state differ.
+
+// ParamDivergence describes one diverging parameter.
+type ParamDivergence struct {
+	Index      int
+	Name       string
+	NumDiff    int     // elements whose bit patterns differ
+	MaxAbsDiff float64 // largest |a−b|
+	MaxULPs    uint32  // largest bit-pattern distance (float32 ULPs)
+}
+
+// DivergenceReport is the outcome of comparing two jobs.
+type DivergenceReport struct {
+	// Identical is true when every parameter matches bitwise.
+	Identical bool
+	// Params lists the diverging parameters, model order.
+	Params []ParamDivergence
+	// StateNotes flags determinism-relevant state mismatches (bucket plan,
+	// EST RNG states, BatchNorm running stats, progress).
+	StateNotes []string
+}
+
+// ulpDistance returns the bit-pattern distance between two float32 values
+// (the standard monotone mapping of floats onto integers).
+func ulpDistance(a, b float32) uint32 {
+	ia := int64(math.Float32bits(a))
+	ib := int64(math.Float32bits(b))
+	if ia < 0x80000000 == (ib < 0x80000000) {
+		d := ia - ib
+		if d < 0 {
+			d = -d
+		}
+		if d > math.MaxUint32 {
+			return math.MaxUint32
+		}
+		return uint32(d)
+	}
+	// opposite signs: distance through zero
+	da := ia & 0x7fffffff
+	db := ib & 0x7fffffff
+	sum := da + db
+	if sum > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(sum)
+}
+
+// Diagnose compares two jobs that are expected to be bitwise identical and
+// reports where (and how far) they diverge.
+func Diagnose(a, b *Job) DivergenceReport {
+	rep := DivergenceReport{Identical: true}
+	pa, pb := a.Workload.Params(), b.Workload.Params()
+	if len(pa) != len(pb) {
+		rep.Identical = false
+		rep.StateNotes = append(rep.StateNotes, fmt.Sprintf("parameter counts differ: %d vs %d", len(pa), len(pb)))
+		return rep
+	}
+	for i := range pa {
+		va, vb := pa[i].Value, pb[i].Value
+		if va.Size() != vb.Size() {
+			rep.Identical = false
+			rep.StateNotes = append(rep.StateNotes, fmt.Sprintf("param %d shape mismatch", i))
+			continue
+		}
+		d := ParamDivergence{Index: i, Name: pa[i].Name}
+		for e := range va.Data {
+			if math.Float32bits(va.Data[e]) != math.Float32bits(vb.Data[e]) {
+				d.NumDiff++
+				if abs := math.Abs(float64(va.Data[e]) - float64(vb.Data[e])); abs > d.MaxAbsDiff {
+					d.MaxAbsDiff = abs
+				}
+				if u := ulpDistance(va.Data[e], vb.Data[e]); u > d.MaxULPs {
+					d.MaxULPs = u
+				}
+			}
+		}
+		if d.NumDiff > 0 {
+			rep.Identical = false
+			rep.Params = append(rep.Params, d)
+		}
+	}
+
+	// determinism-relevant state
+	if a.globalStep != b.globalStep || a.epoch != b.epoch || a.step != b.step {
+		rep.Identical = false
+		rep.StateNotes = append(rep.StateNotes,
+			fmt.Sprintf("progress differs: (%d,%d,%d) vs (%d,%d,%d)", a.epoch, a.step, a.globalStep, b.epoch, b.step, b.globalStep))
+	}
+	if !a.ddp.Plan().Equal(b.ddp.Plan()) {
+		rep.StateNotes = append(rep.StateNotes, "gradient-bucket plans differ (the D0→D1 failure mode)")
+	}
+	if len(a.ests) == len(b.ests) {
+		for r := range a.ests {
+			if a.ests[r].RNG.State() != b.ests[r].RNG.State() {
+				rep.StateNotes = append(rep.StateNotes, fmt.Sprintf("EST %d framework RNG states differ", r))
+			}
+			for si := range a.ests[r].ModelState {
+				if !a.ests[r].ModelState[si].Equal(b.ests[r].ModelState[si]) {
+					rep.StateNotes = append(rep.StateNotes, fmt.Sprintf("EST %d implicit model state %d differs (BatchNorm running stats)", r, si))
+					break
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// String renders the report for humans.
+func (r DivergenceReport) String() string {
+	if r.Identical {
+		return "bitwise identical"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "DIVERGED: %d parameters differ\n", len(r.Params))
+	for i, p := range r.Params {
+		if i >= 8 {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(r.Params)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  param %d (%s): %d elems, max |diff| %.3e, max %d ULPs\n",
+			p.Index, p.Name, p.NumDiff, p.MaxAbsDiff, p.MaxULPs)
+	}
+	for _, n := range r.StateNotes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}

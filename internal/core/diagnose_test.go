@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestDiagnoseIdentical(t *testing.T) {
+	cfg := testCfg(D1, false, 2)
+	a := runSteps(t, cfg, "vgg19", EvenPlacement(2, device.V100), 5)
+	b := runSteps(t, cfg, "vgg19", EvenPlacement(2, device.V100, device.V100), 5)
+	rep := Diagnose(a, b)
+	if !rep.Identical {
+		t.Fatalf("expected identical, got:\n%s", rep)
+	}
+	if rep.String() != "bitwise identical" {
+		t.Fatal("render")
+	}
+}
+
+// TestDiagnoseLocatesHeteroDivergence: the tool must localize the hetero
+// (no-D2) divergence in the conv parameters and report small ULP distances —
+// exactly the top-down analysis §3.3 describes.
+func TestDiagnoseLocatesHeteroDivergence(t *testing.T) {
+	cfg := testCfg(D1, false, 2)
+	a := runSteps(t, cfg, "vgg19", EvenPlacement(2, device.V100), 5)
+	b := runSteps(t, cfg, "vgg19", EvenPlacement(2, device.P100), 5)
+	rep := Diagnose(a, b)
+	if rep.Identical {
+		t.Fatal("hetero kernels without D2 should diverge")
+	}
+	if len(rep.Params) == 0 {
+		t.Fatal("diverging parameters should be listed")
+	}
+	for _, p := range rep.Params {
+		if p.NumDiff == 0 || p.MaxAbsDiff <= 0 || p.MaxULPs == 0 {
+			t.Fatalf("malformed divergence entry: %+v", p)
+		}
+	}
+	if !strings.Contains(rep.String(), "DIVERGED") {
+		t.Fatal("render")
+	}
+}
+
+// TestDiagnoseFlagsBucketPlan: a D0 restart's divergence is attributed to
+// the bucket plan.
+func TestDiagnoseFlagsBucketPlan(t *testing.T) {
+	cfg := testCfg(D0, false, 4)
+	ref := runSteps(t, cfg, "resnet50", EvenPlacement(4, device.V100), 2*consistencySteps)
+
+	el := mustJob(t, cfg, "resnet50", EvenPlacement(4, device.V100))
+	if err := el.RunSteps(consistencySteps); err != nil {
+		t.Fatal(err)
+	}
+	if err := el.Scale(EvenPlacement(4, device.V100, device.V100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := el.RunSteps(consistencySteps); err != nil {
+		t.Fatal(err)
+	}
+	rep := Diagnose(ref, el)
+	if rep.Identical {
+		t.Fatal("D0 restart should diverge")
+	}
+	found := false
+	for _, n := range rep.StateNotes {
+		if strings.Contains(n, "bucket plans differ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bucket-plan root cause not flagged:\n%s", rep)
+	}
+}
+
+func TestULPDistance(t *testing.T) {
+	if ulpDistance(1.0, 1.0) != 0 {
+		t.Fatal("identical values")
+	}
+	if d := ulpDistance(1.0, math.Nextafter32(1.0, 2)); d != 1 {
+		t.Fatalf("adjacent floats = %d ULPs, want 1", d)
+	}
+	if d := ulpDistance(-1e-38, 1e-38); d == 0 || d == math.MaxUint32 {
+		t.Fatalf("cross-zero distance %d should be small but nonzero", d)
+	}
+	if d := ulpDistance(-3e38, 3e38); d < 1<<31 {
+		t.Fatalf("huge cross-sign distance should be enormous, got %d", d)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/rng"
+)
+
+// EST context wire format for the distributed runtime: when a scale event
+// demands an on-demand checkpoint, each worker ships the contexts of the
+// ESTs it hosts to the leader, which assembles the full checkpoint — the
+// paper's "checkpoint contains the contexts of all ESTs".
+
+// ExportESTContext serializes EST rank's context: its framework RNG bundle
+// and its replica-local implicit model state.
+func (j *Job) ExportESTContext(rank int) []byte {
+	est := j.ests[rank]
+	w := checkpoint.NewWriter()
+	w.PutInt(rank)
+	bs := est.RNG.State()
+	w.PutRNGState(bs.Python)
+	w.PutRNGState(bs.NumPy)
+	w.PutRNGState(bs.Torch)
+	w.PutInt(len(est.ModelState))
+	for _, st := range est.ModelState {
+		w.PutTensor(st)
+	}
+	return w.Bytes()
+}
+
+// ImportESTContext installs a context exported by the EST's hosting worker.
+func (j *Job) ImportESTContext(data []byte) error {
+	r := checkpoint.NewReader(data)
+	rank, err := r.Int()
+	if err != nil {
+		return err
+	}
+	if rank < 0 || rank >= len(j.ests) {
+		return fmt.Errorf("core: EST context for rank %d out of range", rank)
+	}
+	est := j.ests[rank]
+	var bs rng.BundleState
+	if bs.Python, err = r.RNGState(); err != nil {
+		return err
+	}
+	if bs.NumPy, err = r.RNGState(); err != nil {
+		return err
+	}
+	if bs.Torch, err = r.RNGState(); err != nil {
+		return err
+	}
+	est.RNG.SetState(bs)
+	n, err := r.Int()
+	if err != nil || n != len(est.ModelState) {
+		return fmt.Errorf("core: EST context model state mismatch")
+	}
+	for _, st := range est.ModelState {
+		if err := r.TensorInto(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncDataCursors materializes-and-discards the mini-batches of ESTs this
+// process did not execute, bringing the data loader to the canonical global
+// position before an on-demand checkpoint. Virtual data-worker streams are
+// deterministic, so the resulting state is bitwise what the hosting workers
+// computed.
+func (j *Job) SyncDataCursors() {
+	for r := range j.ests {
+		j.loader.AdvanceTo(r, j.step)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/rng"
+)
+
+// TestRestoreNeverPanicsOnCorruption: arbitrary corruption of a checkpoint —
+// truncation, bit flips, splices — must surface as an error, never a panic
+// or a silently wrong job.
+func TestRestoreNeverPanicsOnCorruption(t *testing.T) {
+	cfg := testCfg(D1, false, 2)
+	j := runSteps(t, cfg, "neumf", EvenPlacement(2, device.V100), 3)
+	good := j.Checkpoint()
+
+	mutate := func(seed uint64) []byte {
+		s := rng.New(seed)
+		data := append([]byte(nil), good...)
+		switch s.Intn(3) {
+		case 0: // truncate
+			if len(data) > 1 {
+				data = data[:s.Intn(len(data))]
+			}
+		case 1: // flip random bytes
+			for k := 0; k < 1+s.Intn(8); k++ {
+				data[s.Intn(len(data))] ^= byte(1 + s.Intn(255))
+			}
+		default: // splice a random chunk
+			a, b := s.Intn(len(data)), s.Intn(len(data))
+			if a > b {
+				a, b = b, a
+			}
+			copy(data[a:b], data[:b-a])
+		}
+		return data
+	}
+
+	f := func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		data := mutate(seed)
+		restored, err := RestoreJob(cfg, data)
+		if err != nil {
+			return true // rejected cleanly
+		}
+		// a mutation may leave the payload valid (e.g. flips inside float
+		// data): the job must still be usable
+		if err := restored.Attach(EvenPlacement(2, device.V100)); err != nil {
+			return true
+		}
+		return restored.RunStep() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestESTContextImportRejectsCorruption mirrors the fuzz for the distributed
+// EST-context path.
+func TestESTContextImportRejectsCorruption(t *testing.T) {
+	cfg := testCfg(D1, false, 2)
+	j := runSteps(t, cfg, "vgg19", EvenPlacement(2, device.V100), 2)
+	good := j.ExportESTContext(1)
+
+	f := func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		s := rng.New(seed)
+		data := append([]byte(nil), good...)
+		if s.Bernoulli(0.5) && len(data) > 1 {
+			data = data[:s.Intn(len(data))]
+		} else {
+			for k := 0; k < 1+s.Intn(4); k++ {
+				data[s.Intn(len(data))] ^= byte(1 + s.Intn(255))
+			}
+		}
+		_ = j.ImportESTContext(data) // error or clean apply, never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestESTContextRoundTrip: export → import reproduces the context bitwise.
+func TestESTContextRoundTrip(t *testing.T) {
+	cfg := testCfg(D1, false, 2)
+	a := runSteps(t, cfg, "vgg19", EvenPlacement(2, device.V100), 3)
+	b := runSteps(t, cfg, "vgg19", EvenPlacement(2, device.V100), 3)
+
+	// perturb b's EST 1 context, then restore it from a's export
+	b.ests[1].RNG.Torch.Uint64()
+	for _, st := range b.ests[1].ModelState {
+		st.Fill(0)
+	}
+	if err := b.ImportESTContext(a.ExportESTContext(1)); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.ests[1], b.ests[1]
+	if sa.RNG.Torch.Uint64() != sb.RNG.Torch.Uint64() {
+		t.Fatal("RNG state not restored bitwise")
+	}
+	for i := range sa.ModelState {
+		if !sa.ModelState[i].Equal(sb.ModelState[i]) {
+			t.Fatal("model state not restored bitwise")
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/rng"
+)
+
+// dataLoaderState assembles a loader snapshot from decoded checkpoint fields.
+func dataLoaderState(epoch int, next []int, streams [][]rng.State) data.State {
+	return data.State{Epoch: epoch, NextStep: next, Streams: streams}
+}
+
+// planFromBuckets assembles a bucket plan from decoded checkpoint fields.
+func planFromBuckets(buckets [][]int) comm.Plan {
+	return comm.Plan{Buckets: buckets}
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// Job is one EasyScale training job: a workload, its fixed set of ESTs, and
+// whatever physical GPUs it is currently attached to.
+type Job struct {
+	Cfg      Config
+	Workload *models.Workload
+
+	sampler *data.ElasticSampler
+	loader  *data.Loader
+	ddp     *comm.ElasticDDP
+	opt     *optim.SGD
+	sched   optim.LRScheduler
+	ests    []*ESTContext
+
+	// live physical attachment
+	placement Placement
+	devices   []*device.Device
+	allocMB   []float64
+	attached  bool
+
+	// progress
+	epoch, step int // step = next global step within epoch
+	globalStep  int // total completed global steps across the job lifetime
+
+	lastLosses []float32
+	// estTimes records the simulated duration of each EST's last local
+	// step, indexed by virtual rank (Figure 13 instrumentation).
+	estTimes []time.Duration
+}
+
+// NewJob builds a job for the named workload. The model, data order, and all
+// RNG streams derive deterministically from cfg.Seed.
+func NewJob(cfg Config, workloadName string) (*Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := models.Build(workloadName, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{Cfg: cfg, Workload: w}
+	j.sampler = data.NewElasticSampler(w.Dataset.Len(), cfg.NumESTs, cfg.BatchPerEST, cfg.Seed)
+	j.loader = data.NewLoader(w.Dataset, j.sampler, cfg.DataWorkersPerEST, cfg.Seed)
+
+	params := w.Params()
+	sizes := make([]int, len(params))
+	shapes := make([][]int, len(params))
+	for i, p := range params {
+		sizes[i] = p.Value.Size()
+		shapes[i] = p.Value.Shape()
+	}
+	j.ddp = comm.NewElasticDDP(sizes, cfg.BucketCapElems)
+	j.opt = optim.NewSGD(params, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	if cfg.StepLRSize > 0 {
+		j.sched = optim.NewStepLR(j.opt, cfg.StepLRSize, cfg.StepLRGamma)
+	}
+
+	modelState := w.StateTensors()
+	j.ests = make([]*ESTContext, cfg.NumESTs)
+	for r := 0; r < cfg.NumESTs; r++ {
+		j.ests[r] = newESTContext(cfg.Seed, r, modelState, shapes)
+	}
+	j.lastLosses = make([]float32, cfg.NumESTs)
+	j.estTimes = make([]time.Duration, cfg.NumESTs)
+	return j, nil
+}
+
+// Placement returns the current physical placement (zero value if detached).
+func (j *Job) Placement() Placement { return j.placement }
+
+// Attached reports whether the job currently holds GPUs.
+func (j *Job) Attached() bool { return j.attached }
+
+// Epoch returns the current epoch.
+func (j *Job) Epoch() int { return j.epoch }
+
+// Step returns the next global step index within the current epoch.
+func (j *Job) Step() int { return j.step }
+
+// GlobalStep returns the number of completed global steps.
+func (j *Job) GlobalStep() int { return j.globalStep }
+
+// StepsPerEpoch returns the global steps per epoch.
+func (j *Job) StepsPerEpoch() int { return j.sampler.StepsPerEpoch() }
+
+// LastLosses returns the per-EST losses of the last completed global step,
+// indexed by virtual rank.
+func (j *Job) LastLosses() []float32 { return j.lastLosses }
+
+// LastESTTimes returns each EST's simulated local-step duration (including
+// context switching and any unhidden gradient copy) for the last completed
+// global step, indexed by virtual rank.
+func (j *Job) LastESTTimes() []time.Duration { return j.estTimes }
+
+// Devices returns the attached simulated devices.
+func (j *Job) Devices() []*device.Device { return j.devices }
+
+// perDeviceMB computes the EasyScale worker footprint on one GPU: one CUDA
+// context, one parameter/optimizer replica, one EST's activations (ESTs are
+// time-sliced, so activations never coexist), plus the tiny EST contexts.
+// Gradient swap buffers live in host memory.
+func (j *Job) perDeviceMB(numESTs int) float64 {
+	m := j.Workload.Memory()
+	ctxMB := 0.0
+	for _, st := range j.ests[0].ModelState {
+		ctxMB += float64(st.Size()) * 4 / 1e6
+	}
+	return float64(device.SpecOf(j.placement.Devices[0]).ContextMB) +
+		m.ParamsMB + m.OptimMB +
+		m.ActivationMBPerSample*float64(j.Cfg.BatchPerEST) +
+		ctxMB*float64(numESTs)
+}
+
+// Attach binds the job to physical GPUs, performing memory admission. On OOM
+// every prior allocation is rolled back and the error is returned.
+func (j *Job) Attach(p Placement) error {
+	if j.attached {
+		return fmt.Errorf("core: job already attached")
+	}
+	if err := p.Validate(j.Cfg.NumESTs); err != nil {
+		return err
+	}
+	j.placement = p
+	dc := j.Cfg.DeviceConfig()
+	j.devices = make([]*device.Device, len(p.Devices))
+	j.allocMB = make([]float64, len(p.Devices))
+	scale := j.Workload.SimTimeScale()
+	for i, t := range p.Devices {
+		j.devices[i] = device.New(t, dc)
+		j.devices[i].SetFLOPsScale(scale)
+		need := j.perDeviceMB(len(p.Assignment[i]))
+		if err := j.devices[i].Alloc(need); err != nil {
+			for k := 0; k < i; k++ {
+				j.devices[k].Free(j.allocMB[k])
+			}
+			j.devices, j.allocMB = nil, nil
+			j.placement = Placement{}
+			return err
+		}
+		j.allocMB[i] = need
+	}
+	j.attached = true
+	return nil
+}
+
+// AttachDevices binds the job to caller-provided devices (used by experiments
+// that need to inspect or share device state). Memory admission applies.
+func (j *Job) AttachDevices(p Placement, devs []*device.Device) error {
+	if j.attached {
+		return fmt.Errorf("core: job already attached")
+	}
+	if err := p.Validate(j.Cfg.NumESTs); err != nil {
+		return err
+	}
+	if len(devs) != len(p.Devices) {
+		return fmt.Errorf("core: %d devices for %d slots", len(devs), len(p.Devices))
+	}
+	j.placement = p
+	j.devices = append([]*device.Device(nil), devs...)
+	j.allocMB = make([]float64, len(devs))
+	scale := j.Workload.SimTimeScale()
+	for i := range devs {
+		devs[i].SetFLOPsScale(scale)
+		need := j.perDeviceMB(len(p.Assignment[i]))
+		if err := devs[i].Alloc(need); err != nil {
+			for k := 0; k < i; k++ {
+				devs[k].Free(j.allocMB[k])
+			}
+			j.devices, j.allocMB = nil, nil
+			j.placement = Placement{}
+			return err
+		}
+		j.allocMB[i] = need
+	}
+	j.attached = true
+	return nil
+}
+
+// Detach releases the GPUs (the job state remains resumable).
+func (j *Job) Detach() {
+	if !j.attached {
+		return
+	}
+	for i, d := range j.devices {
+		d.Free(j.allocMB[i])
+	}
+	j.devices, j.allocMB = nil, nil
+	j.placement = Placement{}
+	j.attached = false
+}
+
+// gradBytes returns the total gradient size in bytes (simulated scale).
+func (j *Job) gradBytes() float64 { return j.Workload.Memory().ParamsMB * 1e6 }
+
+// localStep executes one EST's mini-batch on its device and swaps the
+// gradients out.
+func (j *Job) localStep(est *ESTContext, dev *device.Device, lastOnWorker bool, soloOnWorker bool) {
+	ctx := &nn.Context{Dev: dev, RNG: est.RNG.Torch, Training: true}
+	stepStart := dev.Now()
+
+	// context switch in: implicit model state of this EST's replica
+	modelState := j.Workload.StateTensors()
+	if !j.Cfg.DisableContextSwitch {
+		est.switchIn(modelState)
+		dev.ChargeTime(CtxSwitchCost)
+	}
+
+	x, labels := j.loader.Batch(j.step, est.VirtualRank)
+
+	j.opt.ZeroGrad()
+	before := dev.Now()
+	dev.ChargeTime(KernelLaunchOverhead)
+	out := j.Workload.Net.Forward(ctx, x)
+	loss := j.Workload.Loss.Forward(ctx, out, labels)
+	j.Workload.Net.Backward(ctx, j.Workload.Loss.Backward(ctx))
+	computeDur := dev.Now() - before
+	j.lastLosses[est.VirtualRank] = loss
+
+	// gradient swap to host: skipped entirely when the EST is alone on its
+	// GPU (no sharing, grads stay in place); otherwise overlapped with the
+	// surrounding compute, and the tail EST additionally cannot hide its
+	// copy behind a successor's forward pass.
+	if !soloOnWorker {
+		copyDur := time.Duration(j.gradBytes() / (PCIeGBps * 1e9) * float64(time.Second))
+		overlap := CopyOverlap
+		if lastOnWorker {
+			overlap = CopyOverlap / 2
+		}
+		hidden := time.Duration(float64(computeDur) * overlap)
+		if copyDur > hidden {
+			dev.ChargeTime(copyDur - hidden)
+		}
+	}
+	for i, p := range j.Workload.Params() {
+		est.Gradients[i].CopyFrom(p.Grad)
+	}
+
+	// context switch out
+	if !j.Cfg.DisableContextSwitch {
+		est.switchOut(modelState)
+	}
+	j.estTimes[est.VirtualRank] = dev.Now() - stepStart
+}
+
+// layerParamCounts groups parameters by forward layer for the bucket-rebuild
+// ready order.
+func (j *Job) layerParamCounts() []int {
+	if seq, ok := j.Workload.Net.(*nn.Sequential); ok {
+		out := make([]int, len(seq.Layers))
+		for i, l := range seq.Layers {
+			out[i] = len(l.Params())
+		}
+		return out
+	}
+	return []int{len(j.Workload.Params())}
+}
+
+// RunLocalPhase executes the local steps of the ESTs hosted by placement
+// worker workerIdx for the current global step. The single-process engine
+// calls it for every worker; a distributed worker calls it only for its own
+// index and then synchronizes through the networked ring.
+func (j *Job) RunLocalPhase(workerIdx int) error {
+	if !j.attached {
+		return fmt.Errorf("core: job is not attached to GPUs")
+	}
+	if workerIdx < 0 || workerIdx >= len(j.placement.Assignment) {
+		return fmt.Errorf("core: worker index %d out of placement", workerIdx)
+	}
+	ranks := j.placement.Assignment[workerIdx]
+	dev := j.devices[workerIdx]
+	for li, r := range ranks {
+		j.localStep(j.ests[r], dev, li == len(ranks)-1, len(ranks) == 1)
+	}
+	return nil
+}
+
+// ESTGradientSet returns the gradient tensors EST rank produced in its last
+// local step (host-side buffers, per parameter in registration order).
+func (j *Job) ESTGradientSet(rank int) []*tensor.Tensor { return j.ests[rank].Gradients }
+
+// DDP exposes the communicator for bucket introspection by the distributed
+// runtime.
+func (j *Job) DDP() *comm.ElasticDDP { return j.ddp }
+
+// chargeSync advances every attached device by the ring all-reduce time.
+func (j *Job) chargeSync() {
+	p := float64(len(j.devices))
+	if p <= 1 {
+		return // all ESTs share one memory space: no cross-device traffic
+	}
+	syncDur := time.Duration(j.gradBytes() * 2 * (p - 1) / p / (AllReduceGBps * 1e9) * float64(time.Second))
+	for _, d := range j.devices {
+		d.ChargeTime(syncDur)
+	}
+}
+
+// maybeRebuild performs DDP's first-iteration bucket reconstruction
+// (disabled after a D1 restore). The ready order is timing-dependent under
+// DetNone and a pure function of the rebuild step under D0/D1 — which is why
+// identical runs agree but a restarted run rebuilds differently.
+func (j *Job) maybeRebuild() {
+	if j.ddp.Rebuilt() || !j.ddp.RebuildEnabled {
+		return
+	}
+	groups := comm.BackwardGroups(j.layerParamCounts())
+	var order []int
+	if j.Cfg.Level == DetNone {
+		order = comm.ObservedReadyOrder(groups)
+	} else {
+		order = comm.ObservedReadyOrderSeeded(groups, uint64(j.globalStep)+j.Cfg.Seed)
+	}
+	j.ddp.MaybeRebuild(order)
+}
+
+// advance applies the reduced gradients held in the parameters' Grad buffers
+// and moves the job to the next global step.
+func (j *Job) advance() {
+	j.opt.Step()
+	j.globalStep++
+	j.step++
+	if j.step >= j.sampler.StepsPerEpoch() {
+		j.step = 0
+		j.epoch++
+		j.loader.SetEpoch(j.epoch)
+		if j.sched != nil {
+			j.sched.EpochStep()
+		}
+	}
+}
+
+// FinishStepReduced completes a global step whose gradient synchronization
+// happened externally (the distributed ring): buckets holds the averaged
+// bucket buffers in plan order. Bookkeeping (bucket rebuild, optimizer step,
+// progress) matches RunStep exactly.
+func (j *Job) FinishStepReduced(buckets [][]float32) error {
+	if !j.attached {
+		return fmt.Errorf("core: job is not attached to GPUs")
+	}
+	params := j.Workload.Params()
+	if len(buckets) != j.ddp.NumBuckets() {
+		return fmt.Errorf("core: %d reduced buckets for %d-bucket plan", len(buckets), j.ddp.NumBuckets())
+	}
+	grads := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		grads[i] = p.Grad
+	}
+	for b, buf := range buckets {
+		if len(buf) != j.ddp.BucketLen(b) {
+			return fmt.Errorf("core: bucket %d length %d, want %d", b, len(buf), j.ddp.BucketLen(b))
+		}
+		j.ddp.UnflattenBucket(b, grads, buf)
+	}
+	j.chargeSync()
+	j.maybeRebuild()
+	j.advance()
+	return nil
+}
+
+// RunStep executes one global data-parallel step: every EST runs a local
+// step in the time-slicing order, gradients are synchronized through
+// ElasticDDP, and the shared parameters are updated once.
+func (j *Job) RunStep() error {
+	if !j.attached {
+		return fmt.Errorf("core: job is not attached to GPUs")
+	}
+	params := j.Workload.Params()
+
+	for wi := range j.placement.Assignment {
+		if err := j.RunLocalPhase(wi); err != nil {
+			return err
+		}
+	}
+
+	// gradient synchronization
+	var sets [][]*tensor.Tensor
+	if j.Cfg.Level >= D1 {
+		// constant virtual communication ranks: the ring is always the
+		// logical world, regardless of physical placement
+		sets = make([][]*tensor.Tensor, j.Cfg.NumESTs)
+		for r, est := range j.ests {
+			sets[r] = est.Gradients
+		}
+	} else {
+		// physical topology: each worker locally accumulates its ESTs'
+		// gradients in hosting order, then the ring spans the workers
+		sets = make([][]*tensor.Tensor, len(j.placement.Assignment))
+		for wi, ranks := range j.placement.Assignment {
+			acc := make([]*tensor.Tensor, len(params))
+			for pi := range params {
+				acc[pi] = j.ests[ranks[0]].Gradients[pi].Clone()
+				for _, r := range ranks[1:] {
+					acc[pi].AddInPlace(j.ests[r].Gradients[pi])
+				}
+			}
+			sets[wi] = acc
+		}
+	}
+	j.ddp.AllReduce(sets, j.Cfg.NumESTs)
+	j.chargeSync()
+	j.maybeRebuild()
+
+	// parameter update, identical on every replica
+	for i, p := range params {
+		p.Grad.CopyFrom(sets[0][i])
+	}
+	j.advance()
+	return nil
+}
+
+// RunSteps executes n global steps.
+func (j *Job) RunSteps(n int) error {
+	for i := 0; i < n; i++ {
+		if err := j.RunStep(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParamsHash fingerprints all model parameters (bitwise).
+func (j *Job) ParamsHash() uint64 {
+	var h uint64 = 14695981039346656037
+	for _, p := range j.Workload.Params() {
+		h ^= p.Value.Hash64()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ParamsEqual reports bitwise equality of two jobs' parameters.
+func ParamsEqual(a, b *Job) bool {
+	pa, pb := a.Workload.Params(), b.Workload.Params()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if !pa[i].Value.Equal(pb[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalResult is a validation pass outcome.
+type EvalResult struct {
+	Overall  float64
+	PerClass []float64
+}
+
+// Evaluate runs the held-out set through the rank-0 replica (the model DDP
+// would save) in eval mode and returns overall and per-class accuracy.
+func (j *Job) Evaluate() EvalResult {
+	dev := j.devices
+	var d *device.Device
+	if j.attached {
+		d = dev[0]
+	} else {
+		d = device.New(device.V100, j.Cfg.DeviceConfig())
+	}
+	modelState := j.Workload.StateTensors()
+	// evaluation must not disturb training state
+	saved := make([]*tensor.Tensor, len(modelState))
+	for i, st := range modelState {
+		saved[i] = st.Clone()
+	}
+	j.ests[0].switchIn(modelState)
+	defer func() {
+		for i, st := range modelState {
+			st.CopyFrom(saved[i])
+		}
+	}()
+
+	ctx := &nn.Context{Dev: d, RNG: j.ests[0].RNG.Torch, Training: false}
+	ds := j.Workload.EvalDataset
+	classes := j.Workload.Classes
+	correct := make([]int, classes)
+	total := make([]int, classes)
+	const batch = 64
+	for base := 0; base+batch <= ds.Len(); base += batch {
+		idx := make([]int, batch)
+		for i := range idx {
+			idx[i] = base + i
+		}
+		x, labels := data.MaterializeBatch(ds, idx, nil)
+		out := j.Workload.Net.Forward(ctx, x)
+		var preds []int
+		if out.Rank() == 2 && out.Dim(1) == classes {
+			preds = out.ArgMaxRow()
+		} else {
+			// binary logits ([B,1])
+			flat := out.Reshape(-1)
+			preds = make([]int, flat.Size())
+			for i, v := range flat.Data {
+				if v > 0 {
+					preds[i] = 1
+				}
+			}
+		}
+		for i, lbl := range labels {
+			total[lbl]++
+			if preds[i] == lbl {
+				correct[lbl]++
+			}
+		}
+	}
+	res := EvalResult{PerClass: make([]float64, classes)}
+	allCorrect, allTotal := 0, 0
+	for c := 0; c < classes; c++ {
+		if total[c] > 0 {
+			res.PerClass[c] = float64(correct[c]) / float64(total[c])
+		}
+		allCorrect += correct[c]
+		allTotal += total[c]
+	}
+	if allTotal > 0 {
+		res.Overall = float64(allCorrect) / float64(allTotal)
+	}
+	return res
+}

@@ -1,0 +1,111 @@
+package data
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAsyncLoaderBitwiseEqualsSync(t *testing.T) {
+	ref := newLoader(4, 4, 2)
+	al := NewAsyncLoader(newLoader(4, 4, 2), 3, 4)
+	defer al.Close()
+	steps := ref.Sampler.StepsPerEpoch()
+	for step := 0; step < steps; step++ {
+		for r := 0; r < 4; r++ {
+			want, wantL := ref.Batch(step, r)
+			got, gotL := al.Batch(step, r)
+			if !got.Equal(want) {
+				t.Fatalf("async batch (%d,%d) differs from sync", step, r)
+			}
+			for i := range wantL {
+				if gotL[i] != wantL[i] {
+					t.Fatal("labels differ")
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncLoaderConcurrentConsumers drains all ESTs from separate
+// goroutines (as physical training workers would) while the shared pool
+// races — exercised under -race by the normal test run.
+func TestAsyncLoaderConcurrentConsumers(t *testing.T) {
+	const world = 4
+	ref := newLoader(world, 4, 2)
+	al := NewAsyncLoader(newLoader(world, 4, 2), 2, 3)
+	defer al.Close()
+	steps := al.l.Sampler.StepsPerEpoch()
+
+	hashes := make([][]uint64, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for step := 0; step < steps; step++ {
+				x, _ := al.Batch(step, r)
+				hashes[r] = append(hashes[r], x.Hash64())
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < world; r++ {
+		for step := 0; step < steps; step++ {
+			want, _ := ref.Batch(step, r)
+			if hashes[r][step] != want.Hash64() {
+				t.Fatalf("concurrent async batch (%d,%d) differs", step, r)
+			}
+		}
+	}
+}
+
+// TestAsyncLoaderCheckpointMidFlight: snapshotting the underlying loader
+// while prefetched-but-unconsumed batches sit in the queuing buffer must
+// restore to bitwise-identical future batches.
+func TestAsyncLoaderCheckpointMidFlight(t *testing.T) {
+	ref := newLoader(2, 4, 2)
+	base := newLoader(2, 4, 2)
+	al := NewAsyncLoader(base, 2, 4)
+	// consume a few steps; the pool is prefetching ahead the whole time
+	for step := 0; step < 3; step++ {
+		for r := 0; r < 2; r++ {
+			ref.Batch(step, r)
+			al.Batch(step, r)
+		}
+	}
+	al.Close() // quiesce, pending batches remain recorded in the buffer
+	st := base.State()
+
+	restored := newLoader(2, 4, 2)
+	restored.Restore(st)
+	for step := 3; step < 6; step++ {
+		for r := 0; r < 2; r++ {
+			want, _ := ref.Batch(step, r)
+			got, _ := restored.Batch(step, r)
+			if !got.Equal(want) {
+				t.Fatalf("restored-from-async batch (%d,%d) differs", step, r)
+			}
+		}
+	}
+}
+
+func TestAsyncLoaderOutOfOrderPanics(t *testing.T) {
+	al := NewAsyncLoader(newLoader(2, 4, 2), 1, 2)
+	defer al.Close()
+	al.Batch(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order consumption")
+		}
+	}()
+	al.Batch(2, 0)
+}
+
+func TestAsyncLoaderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAsyncLoader(newLoader(2, 4, 2), 0, 2)
+}

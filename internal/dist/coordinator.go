@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+)
+
+// Coordinator is the rendezvous and elasticity controller (the AIMaster
+// analog): workers register, receive rank / leader address / restore
+// checkpoint, and at the end of each generation the leader deposits the
+// assembled on-demand checkpoint for the next generation to restore from.
+type Coordinator struct {
+	ln net.Listener
+}
+
+// NewCoordinator starts the rendezvous listener on an ephemeral loopback
+// port.
+func NewCoordinator() (*Coordinator, error) { return NewCoordinatorAddr("127.0.0.1:0") }
+
+// NewCoordinatorAddr starts the rendezvous listener on a specific address,
+// for multi-process deployments where workers are launched with a known
+// rendezvous endpoint.
+func NewCoordinatorAddr(addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{ln: ln}, nil
+}
+
+// Addr returns the rendezvous address workers dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts the rendezvous listener down.
+func (c *Coordinator) Close() { c.ln.Close() }
+
+// RunGeneration admits `workers` workers, assigns ranks in connection order
+// (rank 0 is the leader), distributes membership with the restore checkpoint
+// (nil for a fresh job) and the step budget, then waits for completion and
+// returns the new on-demand checkpoint produced by the leader.
+func (c *Coordinator) RunGeneration(workers, steps int, ckpt []byte) ([]byte, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("dist: generation needs at least one worker")
+	}
+	conns := make([]net.Conn, workers)
+	addrs := make([]string, workers)
+	defer func() {
+		for _, cn := range conns {
+			if cn != nil {
+				cn.Close()
+			}
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		cn, err := c.ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := Expect(cn, MsgHello)
+		if err != nil {
+			return nil, err
+		}
+		r := checkpoint.NewReader(payload)
+		addr, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		conns[i], addrs[i] = cn, addr
+	}
+	for rank, cn := range conns {
+		w := checkpoint.NewWriter()
+		w.PutInt(rank)
+		w.PutString(addrs[0]) // rank 0 is the leader
+		w.PutInt(steps)
+		w.PutString(string(ckpt))
+		if err := WriteFrame(cn, MsgMembership, w.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	// the leader deposits the checkpoint, then everyone reports done
+	var newCkpt []byte
+	payload, err := Expect(conns[0], MsgCkpt)
+	if err != nil {
+		return nil, err
+	}
+	newCkpt = payload
+	for _, cn := range conns {
+		if _, err := Expect(cn, MsgDone); err != nil {
+			return nil, err
+		}
+	}
+	return newCkpt, nil
+}
+
+// Phase is one resource generation of an elastic run.
+type Phase struct {
+	Placement core.Placement
+	Steps     int
+}
+
+// runPhase spawns one networked worker per placement entry and runs one
+// generation, optionally injecting a crash into the last follower.
+func runPhase(coord *Coordinator, cfg core.Config, workload string, ph Phase, ckpt []byte, failAfter int) ([]byte, error) {
+	workers := len(ph.Placement.Assignment)
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		spec := WorkerSpec{Cfg: cfg, Workload: workload, Placement: ph.Placement, CoordAddr: coord.Addr()}
+		if failAfter > 0 && w == workers-1 {
+			spec.FailAfterSteps = failAfter
+		}
+		go func() { errCh <- RunWorker(spec) }()
+	}
+	next, err := coord.RunGeneration(workers, ph.Steps, ckpt)
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		if werr := <-errCh; werr != nil && firstErr == nil {
+			firstErr = werr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return next, nil
+}
+
+// RunElastic executes an elastic training job across TCP worker generations:
+// each phase spawns one networked worker per placement entry, trains for the
+// phase's steps, and hands the on-demand checkpoint to the next generation.
+// It returns the final checkpoint.
+func RunElastic(cfg core.Config, workload string, phases []Phase) ([]byte, error) {
+	coord, err := NewCoordinator()
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+
+	var ckpt []byte
+	for pi, ph := range phases {
+		if err := ph.Placement.Validate(cfg.NumESTs); err != nil {
+			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
+		}
+		next, err := runPhase(coord, cfg, workload, ph, ckpt, 0)
+		if err != nil {
+			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
+		}
+		ckpt = next
+	}
+	return ckpt, nil
+}
+
+// RunElasticResilient is RunElastic with crash recovery: a phase whose
+// worker generation dies is retried from the last on-demand checkpoint (a
+// phase is all-or-nothing, so a retried phase reproduces exactly what the
+// uninterrupted phase would have computed — training never loses
+// consistency, only time). failAfter > 0 injects one crash into the first
+// attempt of every phase to exercise the path.
+func RunElasticResilient(cfg core.Config, workload string, phases []Phase, maxRetries, failAfter int) ([]byte, error) {
+	coord, err := NewCoordinator()
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+
+	var ckpt []byte
+	for pi, ph := range phases {
+		if err := ph.Placement.Validate(cfg.NumESTs); err != nil {
+			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
+		}
+		var next []byte
+		var lastErr error
+		for attempt := 0; attempt <= maxRetries; attempt++ {
+			inject := 0
+			if attempt == 0 {
+				inject = failAfter
+			}
+			next, lastErr = runPhase(coord, cfg, workload, ph, ckpt, inject)
+			if lastErr == nil {
+				break
+			}
+		}
+		if lastErr != nil {
+			return nil, fmt.Errorf("dist: phase %d exhausted retries: %w", pi, lastErr)
+		}
+		ckpt = next
+	}
+	return ckpt, nil
+}

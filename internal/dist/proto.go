@@ -1,0 +1,96 @@
+// Package dist is the networked runtime of EasyScale: the ElasticDDP
+// communication layer as an actual distributed component. Workers are
+// separate processes in the architectural sense — they share nothing and
+// exchange gradients and control over real TCP sockets — and are run as
+// goroutines against loopback listeners here.
+//
+// The numerics contract is the whole point: the distributed gradient
+// synchronization must be bitwise identical to the in-process engine's
+// virtual-ring reduction, so a job can move freely between the two runtimes
+// (and between worker counts) without perturbing training. The leader
+// gathers every EST's bucket buffers, reduces them in exactly the canonical
+// virtual-ring order (comm.RingReduce over virtual ranks), and broadcasts
+// the averaged buckets; tests assert bitwise equality against the
+// single-process engine.
+//
+// Elasticity works as in the paper: at a scale event the leader emits an
+// on-demand checkpoint, the coordinator holds it, and the next generation of
+// workers restores from it under a new placement.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// MsgType tags a protocol frame.
+type MsgType uint8
+
+// Protocol frames.
+const (
+	// MsgHello registers a worker with the coordinator: payload is the
+	// worker's listen address (leader) or empty.
+	MsgHello MsgType = iota + 1
+	// MsgMembership tells a worker its rank, the leader address, and the
+	// (possibly empty) checkpoint to restore from.
+	MsgMembership
+	// MsgGrads carries one EST's flattened bucket buffers to the leader.
+	MsgGrads
+	// MsgReduced carries the averaged bucket buffers from the leader.
+	MsgReduced
+	// MsgCkpt carries an on-demand checkpoint (leader → coordinator).
+	MsgCkpt
+	// MsgDone signals a worker finished its phase cleanly.
+	MsgDone
+)
+
+// maxFrame bounds a frame payload (checkpoints of the scaled-down models are
+// well under this).
+const maxFrame = 256 << 20
+
+// WriteFrame sends a tagged, length-prefixed frame.
+func WriteFrame(c net.Conn, t MsgType, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("dist: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := c.Write(payload); err != nil {
+			return fmt.Errorf("dist: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame receives one frame.
+func ReadFrame(c net.Conn) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("dist: read header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c, payload); err != nil {
+		return 0, nil, fmt.Errorf("dist: read payload: %w", err)
+	}
+	return MsgType(hdr[0]), payload, nil
+}
+
+// Expect reads a frame and verifies its type.
+func Expect(c net.Conn, want MsgType) ([]byte, error) {
+	t, payload, err := ReadFrame(c)
+	if err != nil {
+		return nil, err
+	}
+	if t != want {
+		return nil, fmt.Errorf("dist: expected frame %d, got %d", want, t)
+	}
+	return payload, nil
+}

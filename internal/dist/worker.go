@@ -1,0 +1,338 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// WorkerSpec is what the launcher hands every worker process: the job
+// definition (identical everywhere, like a training script plus launcher
+// args) and the coordinator rendezvous address. Rank, leader address, steps,
+// and the restore checkpoint arrive over the wire in the membership frame.
+type WorkerSpec struct {
+	Cfg       core.Config
+	Workload  string
+	Placement core.Placement
+	CoordAddr string
+	// FailAfterSteps, when positive, makes the worker crash (drop its
+	// connections) after that many global steps — the fault-injection hook
+	// behind the resilience tests.
+	FailAfterSteps int
+}
+
+// RunWorker executes one worker process: rendezvous with the coordinator,
+// build (or restore) the job, run the phase's global steps with gradient
+// synchronization over TCP, then ship the hosted EST contexts (and, on the
+// leader, the assembled on-demand checkpoint) back.
+//
+// The gradient numerics are bitwise identical to the in-process engine: the
+// leader reduces every bucket over the EST gradient sets ordered by virtual
+// rank, with comm.RingReduce's canonical chunk rotation, and averages by the
+// logical world size.
+func RunWorker(spec WorkerSpec) error {
+	if spec.Cfg.Level < core.D1 {
+		return fmt.Errorf("dist: distributed runtime requires D1 determinism (got %v)", spec.Cfg.Level)
+	}
+	coord, err := net.Dial("tcp", spec.CoordAddr)
+	if err != nil {
+		return fmt.Errorf("dist: dial coordinator: %w", err)
+	}
+	defer coord.Close()
+
+	// every worker opens a listener; the coordinator elects rank 0 leader
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	hello := checkpoint.NewWriter()
+	hello.PutString(ln.Addr().String())
+	if err := WriteFrame(coord, MsgHello, hello.Bytes()); err != nil {
+		return err
+	}
+	memRaw, err := Expect(coord, MsgMembership)
+	if err != nil {
+		return err
+	}
+	mr := checkpoint.NewReader(memRaw)
+	rank, err := mr.Int()
+	if err != nil {
+		return err
+	}
+	leaderAddr, err := mr.String()
+	if err != nil {
+		return err
+	}
+	steps, err := mr.Int()
+	if err != nil {
+		return err
+	}
+	ckptStr, err := mr.String()
+	if err != nil {
+		return err
+	}
+	var ckpt []byte
+	if len(ckptStr) > 0 {
+		ckpt = []byte(ckptStr)
+	}
+
+	// build the job
+	var job *core.Job
+	if ckpt != nil {
+		job, err = core.RestoreJob(spec.Cfg, ckpt)
+	} else {
+		job, err = core.NewJob(spec.Cfg, spec.Workload)
+	}
+	if err != nil {
+		return err
+	}
+	if err := job.Attach(spec.Placement); err != nil {
+		return err
+	}
+
+	if rank == 0 {
+		return runLeader(job, spec, ln, coord, steps)
+	}
+	ln.Close()
+	return runFollower(job, spec, rank, leaderAddr, coord, steps)
+}
+
+// myRanks returns the virtual ranks a placement worker hosts.
+func myRanks(p core.Placement, worker int) []int { return p.Assignment[worker] }
+
+// encodeGrads packs one worker's full contribution for a step: every hosted
+// EST's flattened bucket buffers, tagged by virtual rank.
+func encodeGrads(step int, bufs map[int][][]float32, order []int) []byte {
+	w := checkpoint.NewWriter()
+	w.PutInt(step)
+	w.PutInt(len(order))
+	for _, vrank := range order {
+		w.PutInt(vrank)
+		buckets := bufs[vrank]
+		w.PutInt(len(buckets))
+		for _, b := range buckets {
+			w.PutFloat32s(b)
+		}
+	}
+	return w.Bytes()
+}
+
+func decodeGrads(data []byte) (step int, byRank map[int][][]float32, err error) {
+	r := checkpoint.NewReader(data)
+	if step, err = r.Int(); err != nil {
+		return
+	}
+	var nr int
+	if nr, err = r.Int(); err != nil {
+		return
+	}
+	byRank = make(map[int][][]float32, nr)
+	for i := 0; i < nr; i++ {
+		var vrank, nb int
+		if vrank, err = r.Int(); err != nil {
+			return
+		}
+		if nb, err = r.Int(); err != nil {
+			return
+		}
+		buckets := make([][]float32, nb)
+		for b := range buckets {
+			if buckets[b], err = r.Float32s(); err != nil {
+				return
+			}
+		}
+		byRank[vrank] = buckets
+	}
+	return
+}
+
+func encodeBuckets(buckets [][]float32) []byte {
+	w := checkpoint.NewWriter()
+	w.PutInt(len(buckets))
+	for _, b := range buckets {
+		w.PutFloat32s(b)
+	}
+	return w.Bytes()
+}
+
+func decodeBuckets(data []byte) ([][]float32, error) {
+	r := checkpoint.NewReader(data)
+	n, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		if out[i], err = r.Float32s(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// localBuckets flattens the bucket buffers of every EST this worker hosts.
+func localBuckets(job *core.Job, ranks []int) map[int][][]float32 {
+	ddp := job.DDP()
+	out := map[int][][]float32{}
+	for _, r := range ranks {
+		set := job.ESTGradientSet(r)
+		bufs := make([][]float32, ddp.NumBuckets())
+		for b := range bufs {
+			bufs[b] = ddp.FlattenBucket(b, set)
+		}
+		out[r] = bufs
+	}
+	return out
+}
+
+// runLeader drives rank 0: accept follower connections, then per step gather
+// every EST's buckets, reduce in canonical virtual order, broadcast, finish.
+func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, steps int) error {
+	world := spec.Cfg.NumESTs
+	followers := len(spec.Placement.Assignment) - 1
+	conns := make([]net.Conn, 0, followers)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < followers; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		conns = append(conns, c)
+	}
+	own := myRanks(spec.Placement, 0)
+
+	for s := 0; s < steps; s++ {
+		if spec.FailAfterSteps > 0 && s == spec.FailAfterSteps {
+			for _, c := range conns {
+				c.Close()
+			}
+			coord.Close()
+			return fmt.Errorf("dist: injected worker crash at step %d", s)
+		}
+		if err := job.RunLocalPhase(0); err != nil {
+			return err
+		}
+		sets := localBuckets(job, own)
+		// gather: exactly one MsgGrads frame per follower per step
+		for _, c := range conns {
+			payload, err := Expect(c, MsgGrads)
+			if err != nil {
+				return fmt.Errorf("dist: leader gather: %w", err)
+			}
+			step, byRank, err := decodeGrads(payload)
+			if err != nil {
+				return err
+			}
+			if step != s {
+				return fmt.Errorf("dist: step skew: follower at %d, leader at %d", step, s)
+			}
+			for vrank, bufs := range byRank {
+				sets[vrank] = bufs
+			}
+		}
+		// reduce each bucket over virtual ranks 0..W-1 in canonical order
+		ddp := job.DDP()
+		reduced := make([][]float32, ddp.NumBuckets())
+		inv := 1 / float32(world)
+		for b := range reduced {
+			contribs := make([][]float32, world)
+			for v := 0; v < world; v++ {
+				contribs[v] = sets[v][b]
+			}
+			sum := comm.RingReduce(contribs)
+			for i := range sum {
+				sum[i] *= inv
+			}
+			reduced[b] = sum
+		}
+		payload := encodeBuckets(reduced)
+		for _, c := range conns {
+			if err := WriteFrame(c, MsgReduced, payload); err != nil {
+				return err
+			}
+		}
+		if err := job.FinishStepReduced(reduced); err != nil {
+			return err
+		}
+	}
+
+	// assemble the on-demand checkpoint: import every remote EST context,
+	// bring the data loader to the canonical cursor, serialize, ship.
+	for _, c := range conns {
+		for {
+			t, payload, err := ReadFrame(c)
+			if err != nil {
+				return err
+			}
+			if t == MsgDone {
+				break
+			}
+			if t != MsgCkpt {
+				return fmt.Errorf("dist: leader expected EST context, got %d", t)
+			}
+			if err := job.ImportESTContext(payload); err != nil {
+				return err
+			}
+		}
+	}
+	job.SyncDataCursors()
+	if err := WriteFrame(coord, MsgCkpt, job.Checkpoint()); err != nil {
+		return err
+	}
+	return WriteFrame(coord, MsgDone, nil)
+}
+
+// runFollower drives a non-leader rank.
+func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, coord net.Conn, steps int) error {
+	leader, err := net.Dial("tcp", leaderAddr)
+	if err != nil {
+		return fmt.Errorf("dist: dial leader: %w", err)
+	}
+	defer leader.Close()
+	own := myRanks(spec.Placement, rank)
+
+	for s := 0; s < steps; s++ {
+		if spec.FailAfterSteps > 0 && s == spec.FailAfterSteps {
+			leader.Close()
+			coord.Close()
+			return fmt.Errorf("dist: injected worker crash at step %d", s)
+		}
+		if err := job.RunLocalPhase(rank); err != nil {
+			return err
+		}
+		bufs := localBuckets(job, own)
+		if err := WriteFrame(leader, MsgGrads, encodeGrads(s, bufs, own)); err != nil {
+			return err
+		}
+		payload, err := Expect(leader, MsgReduced)
+		if err != nil {
+			return err
+		}
+		reduced, err := decodeBuckets(payload)
+		if err != nil {
+			return err
+		}
+		if err := job.FinishStepReduced(reduced); err != nil {
+			return err
+		}
+	}
+	// ship hosted EST contexts for the leader's checkpoint
+	for _, r := range own {
+		if err := WriteFrame(leader, MsgCkpt, job.ExportESTContext(r)); err != nil {
+			return err
+		}
+	}
+	if err := WriteFrame(leader, MsgDone, nil); err != nil {
+		return err
+	}
+	return WriteFrame(coord, MsgDone, nil)
+}

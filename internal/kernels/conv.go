@@ -1,0 +1,198 @@
+package kernels
+
+import "fmt"
+
+// ConvDims describes a 2-D convolution. Layout is NCHW for activations and
+// [CO, CI, KH, KW] for weights.
+type ConvDims struct {
+	Batch, CIn, H, W int
+	COut, KH, KW     int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output height.
+func (d ConvDims) OutH() int { return (d.H+2*d.PadH-d.KH)/d.StrideH + 1 }
+
+// OutW returns the output width.
+func (d ConvDims) OutW() int { return (d.W+2*d.PadW-d.KW)/d.StrideW + 1 }
+
+// ColRows returns the im2col row count (CI*KH*KW).
+func (d ConvDims) ColRows() int { return d.CIn * d.KH * d.KW }
+
+// ColCols returns the im2col column count (OutH*OutW).
+func (d ConvDims) ColCols() int { return d.OutH() * d.OutW() }
+
+func (d ConvDims) validate() {
+	if d.Batch <= 0 || d.CIn <= 0 || d.COut <= 0 || d.StrideH <= 0 || d.StrideW <= 0 {
+		panic(fmt.Sprintf("kernels: invalid ConvDims %+v", d))
+	}
+	if d.OutH() <= 0 || d.OutW() <= 0 {
+		panic(fmt.Sprintf("kernels: ConvDims %+v yields empty output", d))
+	}
+}
+
+// Im2Col expands one image src[CI,H,W] into cols[CI*KH*KW, OH*OW]. This is a
+// pure data movement: it involves no accumulation and is therefore identical
+// across all kernel variants.
+func Im2Col(cols, src []float32, d ConvDims) {
+	d.validate()
+	oh, ow := d.OutH(), d.OutW()
+	if len(cols) != d.ColRows()*d.ColCols() || len(src) != d.CIn*d.H*d.W {
+		panic("kernels: Im2Col buffer size mismatch")
+	}
+	idx := 0
+	for c := 0; c < d.CIn; c++ {
+		for kh := 0; kh < d.KH; kh++ {
+			for kw := 0; kw < d.KW; kw++ {
+				for y := 0; y < oh; y++ {
+					hi := y*d.StrideH + kh - d.PadH
+					for x := 0; x < ow; x++ {
+						wi := x*d.StrideW + kw - d.PadW
+						if hi >= 0 && hi < d.H && wi >= 0 && wi < d.W {
+							cols[idx] = src[(c*d.H+hi)*d.W+wi]
+						} else {
+							cols[idx] = 0
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters cols[CI*KH*KW, OH*OW] back into dst[CI,H,W], accumulating
+// overlapping windows. The accumulation order is fixed by the loop structure
+// (it does not depend on hardware parameters), matching the fact that the
+// paper localizes non-determinism in reductions and GEMM accumulation, not
+// data movement.
+func Col2Im(dst, cols []float32, d ConvDims) {
+	d.validate()
+	oh, ow := d.OutH(), d.OutW()
+	if len(cols) != d.ColRows()*d.ColCols() || len(dst) != d.CIn*d.H*d.W {
+		panic("kernels: Col2Im buffer size mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	idx := 0
+	for c := 0; c < d.CIn; c++ {
+		for kh := 0; kh < d.KH; kh++ {
+			for kw := 0; kw < d.KW; kw++ {
+				for y := 0; y < oh; y++ {
+					hi := y*d.StrideH + kh - d.PadH
+					for x := 0; x < ow; x++ {
+						wi := x*d.StrideW + kw - d.PadW
+						if hi >= 0 && hi < d.H && wi >= 0 && wi < d.W {
+							dst[(c*d.H+hi)*d.W+wi] += cols[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2D computes the forward convolution dst[B,CO,OH,OW] from src[B,CI,H,W]
+// and weight[CO,CI,KH,KW] (+ optional bias[CO]) via im2col + GEMM, with the
+// GEMM reduction over CI*KH*KW blocked by kc. Different kc values model
+// different GPU architectures' kernels; a fixed kc across types is the D2
+// hardware-agnostic kernel.
+func Conv2D(dst, src, weight, bias []float32, d ConvDims, kc int) {
+	d.validate()
+	oh, ow := d.OutH(), d.OutW()
+	kdim, spatial := d.ColRows(), d.ColCols()
+	if len(dst) != d.Batch*d.COut*oh*ow ||
+		len(src) != d.Batch*d.CIn*d.H*d.W ||
+		len(weight) != d.COut*kdim {
+		panic("kernels: Conv2D buffer size mismatch")
+	}
+	cols := make([]float32, kdim*spatial)
+	imgIn := d.CIn * d.H * d.W
+	imgOut := d.COut * oh * ow
+	for b := 0; b < d.Batch; b++ {
+		Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
+		out := dst[b*imgOut : (b+1)*imgOut]
+		MatMul(out, weight, cols, d.COut, kdim, spatial, kc)
+		if bias != nil {
+			for co := 0; co < d.COut; co++ {
+				bv := bias[co]
+				row := out[co*spatial : (co+1)*spatial]
+				for j := range row {
+					row[j] += bv
+				}
+			}
+		}
+	}
+}
+
+// Conv2DBackward computes the three convolution gradients. gradOut is
+// [B,CO,OH,OW]; outputs are gradSrc [B,CI,H,W], gradWeight [CO,CI,KH,KW]
+// (accumulated over the batch in batch order), and gradBias [CO]. Any of the
+// gradient outputs may be nil to skip. kc blocks the GEMM reductions exactly
+// as in the forward pass.
+func Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut []float32, d ConvDims, kc int) {
+	d.validate()
+	oh, ow := d.OutH(), d.OutW()
+	kdim, spatial := d.ColRows(), d.ColCols()
+	imgIn := d.CIn * d.H * d.W
+	imgOut := d.COut * oh * ow
+	if len(gradOut) != d.Batch*imgOut || len(src) != d.Batch*imgIn || len(weight) != d.COut*kdim {
+		panic("kernels: Conv2DBackward buffer size mismatch")
+	}
+	if gradWeight != nil {
+		if len(gradWeight) != d.COut*kdim {
+			panic("kernels: Conv2DBackward gradWeight size mismatch")
+		}
+		for i := range gradWeight {
+			gradWeight[i] = 0
+		}
+	}
+	if gradBias != nil {
+		if len(gradBias) != d.COut {
+			panic("kernels: Conv2DBackward gradBias size mismatch")
+		}
+		for i := range gradBias {
+			gradBias[i] = 0
+		}
+	}
+	if gradSrc != nil && len(gradSrc) != d.Batch*imgIn {
+		panic("kernels: Conv2DBackward gradSrc size mismatch")
+	}
+
+	cols := make([]float32, kdim*spatial)
+	var dcols []float32
+	if gradSrc != nil {
+		dcols = make([]float32, kdim*spatial)
+	}
+	var wpart []float32
+	if gradWeight != nil {
+		wpart = make([]float32, d.COut*kdim)
+	}
+	for b := 0; b < d.Batch; b++ {
+		dout := gradOut[b*imgOut : (b+1)*imgOut] // [CO, spatial]
+		if gradWeight != nil || gradSrc != nil {
+			Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
+		}
+		if gradWeight != nil {
+			// dW += dOut · colsᵀ : [CO, spatial]·[spatial, kdim] = [CO, kdim]
+			MatMulABT(wpart, dout, cols, d.COut, spatial, kdim, kc)
+			for i, v := range wpart {
+				gradWeight[i] += v
+			}
+		}
+		if gradBias != nil {
+			for co := 0; co < d.COut; co++ {
+				row := dout[co*spatial : (co+1)*spatial]
+				gradBias[co] += SumBlocked(row, kc)
+			}
+		}
+		if gradSrc != nil {
+			// dCols = Wᵀ · dOut : [kdim, CO]·[CO, spatial]
+			MatMulATB(dcols, weight, dout, kdim, d.COut, spatial, kc)
+			Col2Im(gradSrc[b*imgIn:(b+1)*imgIn], dcols, d)
+		}
+	}
+}

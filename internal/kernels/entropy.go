@@ -1,0 +1,36 @@
+package kernels
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// entropy drives the combine order of the "atomic" kernel variants. It is
+// seeded from the wall clock at process start and advanced atomically on
+// every use, so each invocation — and each process run — combines partial
+// sums in a different order, exactly as CUDA atomics-based kernels do. The
+// deterministic kernel variants never consult it.
+var entropy atomic.Uint64
+
+func init() {
+	entropy.Store(uint64(time.Now().UnixNano()) | 1)
+}
+
+// nondetPerm returns a permutation of [0, n) drawn from the entropy source.
+func nondetPerm(n int) []int {
+	x := entropy.Add(0x9e3779b97f4a7c15)
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		// splitmix64 step
+		z := x + uint64(i)*0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		j := int(z % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

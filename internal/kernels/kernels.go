@@ -1,0 +1,365 @@
+// Package kernels implements the compute kernels of the EasyScale training
+// stack with the floating-point accumulation order as an explicit parameter.
+//
+// The paper (§3.3) traces inconsistent model accuracy to three root causes in
+// the software stack: non-deterministic kernels (atomics), profiling-based
+// kernel selection, and hardware-specific kernel implementations. All three
+// reduce to the same mechanism — the order in which float32 partial products
+// are added — so this package makes that order first-class:
+//
+//   - Sequential / blocked variants accumulate in a fixed order; the block
+//     size plays the role of a GPU architecture's tile / SM count, so two
+//     "GPU types" that pick different block sizes produce bitwise-different
+//     (both individually deterministic) results, which is exactly the D2
+//     heterogeneity problem.
+//   - Atomic variants accumulate goroutine partial results in completion
+//     order, which the Go scheduler makes genuinely non-deterministic from
+//     run to run — the analog of CUDA atomics-based reductions.
+//
+// Higher layers (internal/device) choose variants and block sizes according
+// to the configured determinism level.
+package kernels
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SumSequential adds xs left to right.
+func SumSequential(xs []float32) float32 {
+	var s float32
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// SumBlocked adds xs in contiguous blocks of the given size: each block is
+// summed left to right, then block partials are added left to right. Distinct
+// block sizes generally yield bitwise-different results on the same input —
+// the mechanism behind hardware-specific kernels. block <= 0 or >= len(xs)
+// degenerates to SumSequential.
+func SumBlocked(xs []float32, block int) float32 {
+	if block <= 0 || block >= len(xs) {
+		return SumSequential(xs)
+	}
+	var total float32
+	for i := 0; i < len(xs); i += block {
+		end := i + block
+		if end > len(xs) {
+			end = len(xs)
+		}
+		var part float32
+		for _, v := range xs[i:end] {
+			part += v
+		}
+		total += part
+	}
+	return total
+}
+
+// SumAtomic splits xs into `workers` chunks, sums each chunk concurrently,
+// and combines the partials in a non-deterministic order drawn from the
+// process entropy source. The per-chunk sums are deterministic; the combine
+// order varies per invocation and per run — the analog of an atomics-based
+// GPU reduction, where warp completion order decides the addition order.
+func SumAtomic(xs []float32, workers int) float32 {
+	if workers <= 1 || len(xs) < 2*workers {
+		return SumSequential(xs)
+	}
+	chunk := (len(xs) + workers - 1) / workers
+	nchunks := (len(xs) + chunk - 1) / chunk
+	parts := make([]float32, nchunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		i := c * chunk
+		end := i + chunk
+		if end > len(xs) {
+			end = len(xs)
+		}
+		wg.Add(1)
+		go func(c int, part []float32) {
+			defer wg.Done()
+			parts[c] = SumSequential(part)
+		}(c, xs[i:end])
+	}
+	wg.Wait()
+	var total float32
+	for _, c := range nondetPerm(nchunks) {
+		total += parts[c]
+	}
+	return total
+}
+
+// MeanVar returns the blocked-order mean and (biased) variance of xs, the
+// statistics BatchNorm tracks. Variance is computed in two passes so its
+// accumulation order is governed by the same block size.
+func MeanVar(xs []float32, block int) (mean, variance float32) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = SumBlocked(xs, block) / float32(len(xs))
+	devs := make([]float32, len(xs))
+	for i, v := range xs {
+		d := v - mean
+		devs[i] = d * d
+	}
+	variance = SumBlocked(devs, block) / float32(len(xs))
+	return mean, variance
+}
+
+// MeanVarAtomic is the non-deterministic counterpart of MeanVar.
+func MeanVarAtomic(xs []float32, workers int) (mean, variance float32) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = SumAtomic(xs, workers) / float32(len(xs))
+	devs := make([]float32, len(xs))
+	for i, v := range xs {
+		d := v - mean
+		devs[i] = d * d
+	}
+	variance = SumAtomic(devs, workers) / float32(len(xs))
+	return mean, variance
+}
+
+func checkGemm(dst, a, b []float32, m, k, n int, aLen, bLen int, op string) {
+	if len(dst) != m*n || len(a) != aLen || len(b) != bLen {
+		panic(fmt.Sprintf("kernels: %s dimension mismatch m=%d k=%d n=%d |dst|=%d |a|=%d |b|=%d",
+			op, m, k, n, len(dst), len(a), len(b)))
+	}
+}
+
+// MatMul computes C = A·B for row-major A[m×k], B[k×n] into dst[m×n],
+// accumulating over k in blocks of kc (kc <= 0 means a single block, i.e.
+// fully sequential over k). dst is overwritten.
+func MatMul(dst, a, b []float32, m, k, n, kc int) {
+	checkGemm(dst, a, b, m, k, n, m*k, k*n, "MatMul")
+	if kc <= 0 || kc > k {
+		kc = k
+	}
+	part := make([]float32, n)
+	for i := 0; i < m; i++ {
+		row := dst[i*n : (i+1)*n]
+		for j := range row {
+			row[j] = 0
+		}
+		for k0 := 0; k0 < k; k0 += kc {
+			k1 := k0 + kc
+			if k1 > k {
+				k1 = k
+			}
+			for j := range part[:n] {
+				part[j] = 0
+			}
+			for kk := k0; kk < k1; kk++ {
+				aik := a[i*k+kk]
+				if aik == 0 {
+					continue
+				}
+				brow := b[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					part[j] += aik * bv
+				}
+			}
+			for j := range row {
+				row[j] += part[j]
+			}
+		}
+	}
+}
+
+// MatMulATB computes C = Aᵀ·B for row-major A[k×m], B[k×n] into dst[m×n],
+// blocked over k with block kc. Used for weight gradients (dW = Xᵀ·dY).
+func MatMulATB(dst, a, b []float32, m, k, n, kc int) {
+	checkGemm(dst, a, b, m, k, n, k*m, k*n, "MatMulATB")
+	if kc <= 0 || kc > k {
+		kc = k
+	}
+	part := make([]float32, n)
+	for i := 0; i < m; i++ {
+		row := dst[i*n : (i+1)*n]
+		for j := range row {
+			row[j] = 0
+		}
+		for k0 := 0; k0 < k; k0 += kc {
+			k1 := k0 + kc
+			if k1 > k {
+				k1 = k
+			}
+			for j := range part[:n] {
+				part[j] = 0
+			}
+			for kk := k0; kk < k1; kk++ {
+				aik := a[kk*m+i]
+				if aik == 0 {
+					continue
+				}
+				brow := b[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					part[j] += aik * bv
+				}
+			}
+			for j := range row {
+				row[j] += part[j]
+			}
+		}
+	}
+}
+
+// MatMulABT computes C = A·Bᵀ for row-major A[m×k], B[n×k] into dst[m×n],
+// blocked over k with block kc. Used for input gradients (dX = dY·Wᵀ).
+func MatMulABT(dst, a, b []float32, m, k, n, kc int) {
+	checkGemm(dst, a, b, m, k, n, m*k, n*k, "MatMulABT")
+	if kc <= 0 || kc > k {
+		kc = k
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var total float32
+			for k0 := 0; k0 < k; k0 += kc {
+				k1 := k0 + kc
+				if k1 > k {
+					k1 = k
+				}
+				var part float32
+				for kk := k0; kk < k1; kk++ {
+					part += arow[kk] * brow[kk]
+				}
+				total += part
+			}
+			dst[i*n+j] = total
+		}
+	}
+}
+
+// MatMulAtomicSplitK computes C = A·B by splitting the k dimension into
+// `splits` chunks, computing each chunk's partial C concurrently, and
+// accumulating the partials into dst in a non-deterministic order — the
+// analog of a split-K GPU GEMM that combines partials with atomics. The
+// result varies in the low-order bits from run to run.
+func MatMulAtomicSplitK(dst, a, b []float32, m, k, n, splits int) {
+	checkGemm(dst, a, b, m, k, n, m*k, k*n, "MatMulAtomicSplitK")
+	if splits <= 1 || k < splits {
+		MatMul(dst, a, b, m, k, n, 0)
+		return
+	}
+	chunk := (k + splits - 1) / splits
+	nchunks := (k + chunk - 1) / chunk
+	parts := make([][]float32, nchunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		k0 := c * chunk
+		k1 := k0 + chunk
+		if k1 > k {
+			k1 = k
+		}
+		wg.Add(1)
+		go func(c, k0, k1 int) {
+			defer wg.Done()
+			part := make([]float32, m*n)
+			for i := 0; i < m; i++ {
+				prow := part[i*n : (i+1)*n]
+				for kk := k0; kk < k1; kk++ {
+					aik := a[i*k+kk]
+					if aik == 0 {
+						continue
+					}
+					brow := b[kk*n : (kk+1)*n]
+					for j, bv := range brow {
+						prow[j] += aik * bv
+					}
+				}
+			}
+			parts[c] = part
+		}(c, k0, k1)
+	}
+	wg.Wait()
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, c := range nondetPerm(nchunks) {
+		for i, v := range parts[c] {
+			dst[i] += v
+		}
+	}
+}
+
+// ColSumBlocked writes into dst[cols] the per-column sum of src[rows×cols],
+// accumulating rows in blocks of the given size. Used for bias gradients.
+func ColSumBlocked(dst, src []float32, rows, cols, block int) {
+	if len(dst) != cols || len(src) != rows*cols {
+		panic("kernels: ColSumBlocked dimension mismatch")
+	}
+	if block <= 0 || block > rows {
+		block = rows
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	part := make([]float32, cols)
+	for r0 := 0; r0 < rows; r0 += block {
+		r1 := r0 + block
+		if r1 > rows {
+			r1 = rows
+		}
+		for j := range part {
+			part[j] = 0
+		}
+		for r := r0; r < r1; r++ {
+			row := src[r*cols : (r+1)*cols]
+			for j, v := range row {
+				part[j] += v
+			}
+		}
+		for j := range dst {
+			dst[j] += part[j]
+		}
+	}
+}
+
+// ColSumAtomic is the non-deterministic counterpart of ColSumBlocked: row
+// chunks are summed concurrently and combined in a non-deterministic order.
+func ColSumAtomic(dst, src []float32, rows, cols, workers int) {
+	if len(dst) != cols || len(src) != rows*cols {
+		panic("kernels: ColSumAtomic dimension mismatch")
+	}
+	if workers <= 1 || rows < 2*workers {
+		ColSumBlocked(dst, src, rows, cols, 0)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	nchunks := (rows + chunk - 1) / chunk
+	parts := make([][]float32, nchunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		r0 := c * chunk
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(c, r0, r1 int) {
+			defer wg.Done()
+			part := make([]float32, cols)
+			for r := r0; r < r1; r++ {
+				row := src[r*cols : (r+1)*cols]
+				for j, v := range row {
+					part[j] += v
+				}
+			}
+			parts[c] = part
+		}(c, r0, r1)
+	}
+	wg.Wait()
+	for j := range dst {
+		dst[j] = 0
+	}
+	for _, c := range nondetPerm(nchunks) {
+		for j, v := range parts[c] {
+			dst[j] += v
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randSlice(s *rng.Stream, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		// Mix magnitudes so accumulation-order changes are visible in the
+		// low-order bits.
+		out[i] = s.NormFloat32() * float32(math.Pow(10, float64(s.Intn(5)-2)))
+	}
+	return out
+}
+
+func sum64(xs []float32) float64 {
+	var s float64
+	for _, v := range xs {
+		s += float64(v)
+	}
+	return s
+}
+
+func TestSumBlockedDegenerate(t *testing.T) {
+	xs := randSlice(rng.New(1), 257)
+	if SumBlocked(xs, 0) != SumSequential(xs) {
+		t.Fatal("block=0 must equal sequential")
+	}
+	if SumBlocked(xs, len(xs)) != SumSequential(xs) {
+		t.Fatal("block=len must equal sequential")
+	}
+	if SumBlocked(nil, 4) != 0 {
+		t.Fatal("empty sum must be 0")
+	}
+}
+
+func TestSumBlockedDeterministic(t *testing.T) {
+	xs := randSlice(rng.New(2), 1000)
+	a := SumBlocked(xs, 32)
+	for i := 0; i < 10; i++ {
+		if SumBlocked(xs, 32) != a {
+			t.Fatal("SumBlocked must be deterministic for a fixed block size")
+		}
+	}
+}
+
+func TestSumBlockedBlockSizeChangesBits(t *testing.T) {
+	xs := randSlice(rng.New(3), 4096)
+	a := SumBlocked(xs, 16)
+	b := SumBlocked(xs, 64)
+	if math.Float32bits(a) == math.Float32bits(b) {
+		t.Skip("block sizes happened to agree bitwise on this input (rare)")
+	}
+	if math.Abs(float64(a)-float64(b)) > 1e-2*math.Abs(sum64(xs))+1 {
+		t.Fatalf("blocked sums too far apart: %v vs %v", a, b)
+	}
+}
+
+func TestSumBlockedCloseToFloat64(t *testing.T) {
+	f := func(seed uint64) bool {
+		xs := randSlice(rng.New(seed), 512)
+		ref := sum64(xs)
+		got := float64(SumBlocked(xs, 32))
+		return math.Abs(got-ref) <= 1e-3*math.Abs(ref)+1e-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumAtomicCorrectAndNondeterministic(t *testing.T) {
+	xs := randSlice(rng.New(4), 1<<14)
+	ref := sum64(xs)
+	seen := map[uint32]bool{}
+	for i := 0; i < 200; i++ {
+		v := SumAtomic(xs, 8)
+		if math.Abs(float64(v)-ref) > 1e-3*math.Abs(ref)+1 {
+			t.Fatalf("SumAtomic too far from reference: %v vs %v", v, ref)
+		}
+		seen[math.Float32bits(v)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("SumAtomic produced identical bits over 200 runs; expected scheduler-order variation")
+	}
+}
+
+func TestSumAtomicSmallFallsBack(t *testing.T) {
+	xs := []float32{1, 2, 3}
+	if SumAtomic(xs, 8) != SumSequential(xs) {
+		t.Fatal("small inputs must fall back to sequential")
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	xs := []float32{1, 2, 3, 4}
+	m, v := MeanVar(xs, 0)
+	if m != 2.5 {
+		t.Fatalf("mean=%v", m)
+	}
+	if math.Abs(float64(v)-1.25) > 1e-6 {
+		t.Fatalf("var=%v", v)
+	}
+	m0, v0 := MeanVar(nil, 0)
+	if m0 != 0 || v0 != 0 {
+		t.Fatal("empty MeanVar must be 0,0")
+	}
+}
+
+func TestMeanVarAtomicClose(t *testing.T) {
+	xs := randSlice(rng.New(5), 4096)
+	m1, v1 := MeanVar(xs, 0)
+	m2, v2 := MeanVarAtomic(xs, 8)
+	if math.Abs(float64(m1-m2)) > 1e-3 || math.Abs(float64(v1-v2)) > 1e-2*math.Abs(float64(v1))+1e-3 {
+		t.Fatalf("atomic meanvar too far: (%v,%v) vs (%v,%v)", m1, v1, m2, v2)
+	}
+	if _, v := MeanVarAtomic(nil, 4); v != 0 {
+		t.Fatal("empty MeanVarAtomic must be 0")
+	}
+}
+
+func matmulRef64(a, b []float32, m, k, n int) []float64 {
+	out := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += float64(a[i*k+kk]) * float64(b[kk*n+j])
+			}
+			out[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func assertClose(t *testing.T, got []float32, ref []float64, tol float64, what string) {
+	t.Helper()
+	for i := range got {
+		if math.Abs(float64(got[i])-ref[i]) > tol*(math.Abs(ref[i])+1) {
+			t.Fatalf("%s[%d] = %v, ref %v", what, i, got[i], ref[i])
+		}
+	}
+}
+
+func TestMatMulVariantsAgainstReference(t *testing.T) {
+	s := rng.New(6)
+	m, k, n := 7, 33, 5
+	a := randSlice(s, m*k)
+	b := randSlice(s, k*n)
+	ref := matmulRef64(a, b, m, k, n)
+
+	dst := make([]float32, m*n)
+	for _, kc := range []int{0, 1, 4, 8, 16, 100} {
+		MatMul(dst, a, b, m, k, n, kc)
+		assertClose(t, dst, ref, 1e-4, "MatMul")
+	}
+
+	// Aᵀ·B: build aT as [k×m]
+	aT := make([]float32, k*m)
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			aT[kk*m+i] = a[i*k+kk]
+		}
+	}
+	MatMulATB(dst, aT, b, m, k, n, 8)
+	assertClose(t, dst, ref, 1e-4, "MatMulATB")
+
+	// A·Bᵀ: build bT as [n×k]
+	bT := make([]float32, n*k)
+	for kk := 0; kk < k; kk++ {
+		for j := 0; j < n; j++ {
+			bT[j*k+kk] = b[kk*n+j]
+		}
+	}
+	MatMulABT(dst, a, bT, m, k, n, 8)
+	assertClose(t, dst, ref, 1e-4, "MatMulABT")
+}
+
+func TestMatMulKCChangesBits(t *testing.T) {
+	s := rng.New(7)
+	m, k, n := 4, 512, 4
+	a := randSlice(s, m*k)
+	b := randSlice(s, k*n)
+	d1 := make([]float32, m*n)
+	d2 := make([]float32, m*n)
+	MatMul(d1, a, b, m, k, n, 16)
+	MatMul(d2, a, b, m, k, n, 64)
+	same := true
+	for i := range d1 {
+		if math.Float32bits(d1[i]) != math.Float32bits(d2[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Skip("kc variants agreed bitwise on this input (rare)")
+	}
+}
+
+func TestMatMulDeterministicForFixedKC(t *testing.T) {
+	s := rng.New(8)
+	m, k, n := 3, 257, 3
+	a := randSlice(s, m*k)
+	b := randSlice(s, k*n)
+	d1 := make([]float32, m*n)
+	d2 := make([]float32, m*n)
+	MatMul(d1, a, b, m, k, n, 32)
+	for r := 0; r < 5; r++ {
+		MatMul(d2, a, b, m, k, n, 32)
+		for i := range d1 {
+			if math.Float32bits(d1[i]) != math.Float32bits(d2[i]) {
+				t.Fatal("fixed-kc MatMul must be bitwise deterministic")
+			}
+		}
+	}
+}
+
+func TestMatMulAtomicSplitK(t *testing.T) {
+	s := rng.New(9)
+	m, k, n := 4, 2048, 4
+	a := randSlice(s, m*k)
+	b := randSlice(s, k*n)
+	ref := matmulRef64(a, b, m, k, n)
+	dst := make([]float32, m*n)
+	distinct := map[uint64]bool{}
+	for r := 0; r < 100; r++ {
+		MatMulAtomicSplitK(dst, a, b, m, k, n, 8)
+		assertClose(t, dst, ref, 1e-3, "MatMulAtomicSplitK")
+		var h uint64 = 1469598103934665603
+		for _, v := range dst {
+			h ^= uint64(math.Float32bits(v))
+			h *= 1099511628211
+		}
+		distinct[h] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("split-K atomic GEMM produced identical bits over 100 runs")
+	}
+	// degenerate split falls back to deterministic MatMul
+	MatMulAtomicSplitK(dst, a, b, m, k, n, 1)
+	assertClose(t, dst, ref, 1e-3, "MatMulAtomicSplitK splits=1")
+}
+
+func TestMatMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(make([]float32, 4), make([]float32, 3), make([]float32, 4), 2, 2, 2, 0)
+}
+
+func TestColSumBlocked(t *testing.T) {
+	src := []float32{1, 2, 3, 4, 5, 6} // 3 rows x 2 cols
+	dst := make([]float32, 2)
+	ColSumBlocked(dst, src, 3, 2, 0)
+	if dst[0] != 9 || dst[1] != 12 {
+		t.Fatalf("ColSumBlocked: %v", dst)
+	}
+	ColSumBlocked(dst, src, 3, 2, 2)
+	if dst[0] != 9 || dst[1] != 12 {
+		t.Fatalf("ColSumBlocked block=2: %v", dst)
+	}
+}
+
+func TestColSumAtomicClose(t *testing.T) {
+	s := rng.New(10)
+	rows, cols := 1024, 8
+	src := randSlice(s, rows*cols)
+	ref := make([]float32, cols)
+	ColSumBlocked(ref, src, rows, cols, 0)
+	got := make([]float32, cols)
+	ColSumAtomic(got, src, rows, cols, 8)
+	for j := range got {
+		if math.Abs(float64(got[j]-ref[j])) > 1e-2*math.Abs(float64(ref[j]))+1e-1 {
+			t.Fatalf("ColSumAtomic[%d] = %v, ref %v", j, got[j], ref[j])
+		}
+	}
+	// small input falls back
+	small := []float32{1, 2, 3, 4}
+	got2 := make([]float32, 2)
+	ColSumAtomic(got2, small, 2, 2, 8)
+	if got2[0] != 4 || got2[1] != 6 {
+		t.Fatalf("ColSumAtomic fallback: %v", got2)
+	}
+}

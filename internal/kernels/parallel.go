@@ -1,0 +1,307 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Host-side parallel execution of the deterministic kernels. Parallelism
+// here never touches numerics: work is split along dimensions whose outputs
+// are disjoint (GEMM rows, conv batch images), each unit computed with
+// exactly the sequential kernel's accumulation order, and any cross-unit
+// accumulation is combined in the fixed sequential order afterwards. The
+// results are bitwise identical to the sequential kernels — asserted by
+// tests — so the simulation runs on all cores without perturbing the
+// determinism story.
+
+// parallelThreshold is the approximate FLOP count below which parallel
+// dispatch is not worth the goroutine overhead.
+const parallelThreshold = 1 << 16
+
+// maxWorkers caps kernel-level concurrency.
+func maxWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelRanges invokes fn over [0,n) in contiguous chunks, concurrently.
+func parallelRanges(n int, fn func(lo, hi int)) {
+	workers := maxWorkers()
+	if workers == 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulParallel computes C = A·B exactly as MatMul (same kc blocking, same
+// per-element accumulation order) with rows computed concurrently.
+func MatMulParallel(dst, a, b []float32, m, k, n, kc int) {
+	checkGemm(dst, a, b, m, k, n, m*k, k*n, "MatMulParallel")
+	if 2*m*k*n < parallelThreshold || m < 2 {
+		MatMul(dst, a, b, m, k, n, kc)
+		return
+	}
+	kcEff := kc
+	if kcEff <= 0 || kcEff > k {
+		kcEff = k
+	}
+	parallelRanges(m, func(lo, hi int) {
+		part := make([]float32, n)
+		for i := lo; i < hi; i++ {
+			row := dst[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = 0
+			}
+			for k0 := 0; k0 < k; k0 += kcEff {
+				k1 := k0 + kcEff
+				if k1 > k {
+					k1 = k
+				}
+				for j := range part[:n] {
+					part[j] = 0
+				}
+				for kk := k0; kk < k1; kk++ {
+					aik := a[i*k+kk]
+					if aik == 0 {
+						continue
+					}
+					brow := b[kk*n : (kk+1)*n]
+					for j, bv := range brow {
+						part[j] += aik * bv
+					}
+				}
+				for j := range row {
+					row[j] += part[j]
+				}
+			}
+		}
+	})
+}
+
+// MatMulABTParallel computes C = A·Bᵀ exactly as MatMulABT with rows
+// computed concurrently.
+func MatMulABTParallel(dst, a, b []float32, m, k, n, kc int) {
+	checkGemm(dst, a, b, m, k, n, m*k, n*k, "MatMulABTParallel")
+	if 2*m*k*n < parallelThreshold || m < 2 {
+		MatMulABT(dst, a, b, m, k, n, kc)
+		return
+	}
+	kcEff := kc
+	if kcEff <= 0 || kcEff > k {
+		kcEff = k
+	}
+	parallelRanges(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : (j+1)*k]
+				var total float32
+				for k0 := 0; k0 < k; k0 += kcEff {
+					k1 := k0 + kcEff
+					if k1 > k {
+						k1 = k
+					}
+					var part float32
+					for kk := k0; kk < k1; kk++ {
+						part += arow[kk] * brow[kk]
+					}
+					total += part
+				}
+				dst[i*n+j] = total
+			}
+		}
+	})
+}
+
+// MatMulATBParallel computes C = Aᵀ·B exactly as MatMulATB with output rows
+// computed concurrently.
+func MatMulATBParallel(dst, a, b []float32, m, k, n, kc int) {
+	checkGemm(dst, a, b, m, k, n, k*m, k*n, "MatMulATBParallel")
+	if 2*m*k*n < parallelThreshold || m < 2 {
+		MatMulATB(dst, a, b, m, k, n, kc)
+		return
+	}
+	kcEff := kc
+	if kcEff <= 0 || kcEff > k {
+		kcEff = k
+	}
+	parallelRanges(m, func(lo, hi int) {
+		part := make([]float32, n)
+		for i := lo; i < hi; i++ {
+			row := dst[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = 0
+			}
+			for k0 := 0; k0 < k; k0 += kcEff {
+				k1 := k0 + kcEff
+				if k1 > k {
+					k1 = k
+				}
+				for j := range part[:n] {
+					part[j] = 0
+				}
+				for kk := k0; kk < k1; kk++ {
+					aik := a[kk*m+i]
+					if aik == 0 {
+						continue
+					}
+					brow := b[kk*n : (kk+1)*n]
+					for j, bv := range brow {
+						part[j] += aik * bv
+					}
+				}
+				for j := range row {
+					row[j] += part[j]
+				}
+			}
+		}
+	})
+}
+
+// Conv2DParallel computes the forward convolution exactly as Conv2D with the
+// batch images processed concurrently (outputs are disjoint per image).
+func Conv2DParallel(dst, src, weight, bias []float32, d ConvDims, kc int) {
+	d.validate()
+	oh, ow := d.OutH(), d.OutW()
+	kdim, spatial := d.ColRows(), d.ColCols()
+	if len(dst) != d.Batch*d.COut*oh*ow ||
+		len(src) != d.Batch*d.CIn*d.H*d.W ||
+		len(weight) != d.COut*kdim {
+		panic("kernels: Conv2DParallel buffer size mismatch")
+	}
+	if d.Batch < 2 || 2*d.Batch*d.COut*spatial*kdim < parallelThreshold {
+		Conv2D(dst, src, weight, bias, d, kc)
+		return
+	}
+	imgIn := d.CIn * d.H * d.W
+	imgOut := d.COut * oh * ow
+	parallelRanges(d.Batch, func(lo, hi int) {
+		cols := make([]float32, kdim*spatial)
+		for b := lo; b < hi; b++ {
+			Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
+			out := dst[b*imgOut : (b+1)*imgOut]
+			MatMul(out, weight, cols, d.COut, kdim, spatial, kc)
+			if bias != nil {
+				for co := 0; co < d.COut; co++ {
+					bv := bias[co]
+					row := out[co*spatial : (co+1)*spatial]
+					for j := range row {
+						row[j] += bv
+					}
+				}
+			}
+		}
+	})
+}
+
+// Conv2DBackwardParallel computes the convolution gradients exactly as
+// Conv2DBackward: per-image contributions run concurrently, then the
+// weight/bias partials are combined in batch order (bitwise identical to the
+// sequential accumulation).
+func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut []float32, d ConvDims, kc int) {
+	d.validate()
+	if d.Batch < 2 {
+		Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut, d, kc)
+		return
+	}
+	oh, ow := d.OutH(), d.OutW()
+	kdim, spatial := d.ColRows(), d.ColCols()
+	imgIn := d.CIn * d.H * d.W
+	imgOut := d.COut * oh * ow
+	if len(gradOut) != d.Batch*imgOut || len(src) != d.Batch*imgIn || len(weight) != d.COut*kdim {
+		panic("kernels: Conv2DBackwardParallel buffer size mismatch")
+	}
+	var wparts [][]float32
+	var bparts [][]float32
+	if gradWeight != nil {
+		if len(gradWeight) != d.COut*kdim {
+			panic("kernels: Conv2DBackwardParallel gradWeight size mismatch")
+		}
+		wparts = make([][]float32, d.Batch)
+	}
+	if gradBias != nil {
+		if len(gradBias) != d.COut {
+			panic("kernels: Conv2DBackwardParallel gradBias size mismatch")
+		}
+		bparts = make([][]float32, d.Batch)
+	}
+	if gradSrc != nil && len(gradSrc) != d.Batch*imgIn {
+		panic("kernels: Conv2DBackwardParallel gradSrc size mismatch")
+	}
+
+	parallelRanges(d.Batch, func(lo, hi int) {
+		cols := make([]float32, kdim*spatial)
+		var dcols []float32
+		if gradSrc != nil {
+			dcols = make([]float32, kdim*spatial)
+		}
+		for b := lo; b < hi; b++ {
+			dout := gradOut[b*imgOut : (b+1)*imgOut]
+			if gradWeight != nil || gradSrc != nil {
+				Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
+			}
+			if gradWeight != nil {
+				wp := make([]float32, d.COut*kdim)
+				MatMulABT(wp, dout, cols, d.COut, spatial, kdim, kc)
+				wparts[b] = wp
+			}
+			if gradBias != nil {
+				bp := make([]float32, d.COut)
+				for co := 0; co < d.COut; co++ {
+					row := dout[co*spatial : (co+1)*spatial]
+					bp[co] = SumBlocked(row, kc)
+				}
+				bparts[b] = bp
+			}
+			if gradSrc != nil {
+				MatMulATB(dcols, weight, dout, kdim, d.COut, spatial, kc)
+				Col2Im(gradSrc[b*imgIn:(b+1)*imgIn], dcols, d)
+			}
+		}
+	})
+
+	// combine partials in batch order — the sequential accumulation order
+	if gradWeight != nil {
+		for i := range gradWeight {
+			gradWeight[i] = 0
+		}
+		for b := 0; b < d.Batch; b++ {
+			for i, v := range wparts[b] {
+				gradWeight[i] += v
+			}
+		}
+	}
+	if gradBias != nil {
+		for i := range gradBias {
+			gradBias[i] = 0
+		}
+		for b := 0; b < d.Batch; b++ {
+			for i, v := range bparts[b] {
+				gradBias[i] += v
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func bitwiseEqual(t *testing.T, got, want []float32, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: element %d differs bitwise: %v vs %v", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelGEMMBitwiseIdentical: parallel dispatch must never change a
+// single bit relative to the sequential kernels, for every transpose variant
+// and several kc blockings.
+func TestParallelGEMMBitwiseIdentical(t *testing.T) {
+	s := rng.New(61)
+	m, k, n := 37, 129, 23
+	a := randSlice(s, m*k)
+	b := randSlice(s, k*n)
+	aT := randSlice(s, k*m)
+	bT := randSlice(s, n*k)
+	for _, kc := range []int{0, 8, 64} {
+		seq := make([]float32, m*n)
+		par := make([]float32, m*n)
+
+		MatMul(seq, a, b, m, k, n, kc)
+		MatMulParallel(par, a, b, m, k, n, kc)
+		bitwiseEqual(t, par, seq, "MatMul")
+
+		MatMulABT(seq, a, bT, m, k, n, kc)
+		MatMulABTParallel(par, a, bT, m, k, n, kc)
+		bitwiseEqual(t, par, seq, "MatMulABT")
+
+		MatMulATB(seq, aT, b, m, k, n, kc)
+		MatMulATBParallel(par, aT, b, m, k, n, kc)
+		bitwiseEqual(t, par, seq, "MatMulATB")
+	}
+}
+
+func TestParallelGEMMSmallFallsBack(t *testing.T) {
+	s := rng.New(62)
+	a := randSlice(s, 4)
+	b := randSlice(s, 4)
+	seq := make([]float32, 4)
+	par := make([]float32, 4)
+	MatMul(seq, a, b, 2, 2, 2, 0)
+	MatMulParallel(par, a, b, 2, 2, 2, 0)
+	bitwiseEqual(t, par, seq, "small MatMul")
+}
+
+func TestParallelConvBitwiseIdentical(t *testing.T) {
+	s := rng.New(63)
+	d := ConvDims{Batch: 6, CIn: 3, H: 10, W: 10, COut: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	src := randSlice(s, d.Batch*d.CIn*d.H*d.W)
+	weight := randSlice(s, d.COut*d.ColRows())
+	bias := randSlice(s, d.COut)
+
+	seq := make([]float32, d.Batch*d.COut*d.OutH()*d.OutW())
+	par := make([]float32, len(seq))
+	Conv2D(seq, src, weight, bias, d, 16)
+	Conv2DParallel(par, src, weight, bias, d, 16)
+	bitwiseEqual(t, par, seq, "Conv2D forward")
+
+	g := randSlice(s, len(seq))
+	gsSeq := make([]float32, len(src))
+	gwSeq := make([]float32, len(weight))
+	gbSeq := make([]float32, len(bias))
+	Conv2DBackward(gsSeq, gwSeq, gbSeq, src, weight, g, d, 16)
+
+	gsPar := make([]float32, len(src))
+	gwPar := make([]float32, len(weight))
+	gbPar := make([]float32, len(bias))
+	Conv2DBackwardParallel(gsPar, gwPar, gbPar, src, weight, g, d, 16)
+
+	bitwiseEqual(t, gsPar, gsSeq, "Conv2D gradSrc")
+	bitwiseEqual(t, gwPar, gwSeq, "Conv2D gradWeight")
+	bitwiseEqual(t, gbPar, gbSeq, "Conv2D gradBias")
+}
+
+func TestParallelConvNilOutputs(t *testing.T) {
+	s := rng.New(64)
+	d := ConvDims{Batch: 4, CIn: 2, H: 6, W: 6, COut: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	src := randSlice(s, d.Batch*d.CIn*d.H*d.W)
+	weight := randSlice(s, d.COut*d.ColRows())
+	g := randSlice(s, d.Batch*d.COut*d.OutH()*d.OutW())
+	Conv2DBackwardParallel(nil, nil, nil, src, weight, g, d, 0)
+	gw := make([]float32, len(weight))
+	Conv2DBackwardParallel(nil, gw, nil, src, weight, g, d, 0)
+}
+
+func BenchmarkMatMulSequential(b *testing.B) {
+	s := rng.New(65)
+	m, k, n := 64, 256, 64
+	a := randSlice(s, m*k)
+	bb := randSlice(s, k*n)
+	dst := make([]float32, m*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, a, bb, m, k, n, 32)
+	}
+}
+
+func BenchmarkMatMulParallel(b *testing.B) {
+	s := rng.New(65)
+	m, k, n := 64, 256, 64
+	a := randSlice(s, m*k)
+	bb := randSlice(s, k*n)
+	dst := make([]float32, m*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulParallel(dst, a, bb, m, k, n, 32)
+	}
+}

@@ -1,0 +1,151 @@
+// Package metrics provides the summary statistics the experiment harness
+// reports: distribution summaries (mean/percentiles) for JCT analyses,
+// accuracy-spread measures for the consistency figures, and loss-curve
+// comparison helpers for Figure 9-style plots.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary is a distribution summary.
+type Summary struct {
+	Count         int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary of xs (xs is not modified).
+func Summarize(xs []float64) Summary {
+	s := Summary{Count: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	var sum, sumsq float64
+	for _, v := range sorted {
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(len(sorted))
+	s.Mean = sum / n
+	variance := sumsq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	return s
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
+// slice, with linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Spread returns max(xs) − min(xs), the accuracy-inconsistency measure of
+// Figures 2–3.
+func Spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// MaxAbsDiff returns the largest |a[i]−b[i]| over the common prefix — the
+// per-stage divergence measure of Figure 9.
+func MaxAbsDiff(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	m := 0.0
+	for i := 0; i < n; i++ {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// FirstDivergence returns the first index where |a[i]−b[i]| exceeds tol, or
+// −1 when the curves agree throughout the common prefix.
+func FirstDivergence(a, b []float64, tol float64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(a[i]-b[i]) > tol {
+			return i
+		}
+	}
+	return -1
+}
+
+// Crossings counts sign changes of a−b — the curve-entanglement measure of
+// Figure 4.
+func Crossings(a, b []float64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	c := 0
+	for i := 1; i < n; i++ {
+		if (a[i-1]-b[i-1])*(a[i]-b[i]) < 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// GeoMeanRatio returns the geometric mean of a[i]/b[i] — the normalized-time
+// aggregate of Figure 12.
+func GeoMeanRatio(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		if a[i] <= 0 || b[i] <= 0 {
+			return 0
+		}
+		sum += math.Log(a[i] / b[i])
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.Mean != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if p := Percentile(sorted, 0.5); p != 5 {
+		t.Fatalf("p50 of {0,10} = %v", p)
+	}
+	if Percentile(sorted, 0) != 0 || Percentile(sorted, 1) != 10 {
+		t.Fatal("extremes")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		sort.Float64s(raw)
+		q1 := math.Mod(math.Abs(p1), 1)
+		q2 := math.Mod(math.Abs(p2), 1)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Percentile(raw, q1) <= Percentile(raw, q2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	if Spread([]float64{0.3, 0.9, 0.5}) != 0.6000000000000001 && Spread([]float64{0.3, 0.9, 0.5}) != 0.6 {
+		t.Fatalf("spread = %v", Spread([]float64{0.3, 0.9, 0.5}))
+	}
+	if Spread(nil) != 0 {
+		t.Fatal("empty spread")
+	}
+}
+
+func TestMaxAbsDiffAndFirstDivergence(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 2, 3.5, 10}
+	if d := MaxAbsDiff(a, b); d != 6 {
+		t.Fatalf("max diff %v", d)
+	}
+	if i := FirstDivergence(a, b, 0.1); i != 2 {
+		t.Fatalf("first divergence %d", i)
+	}
+	if i := FirstDivergence(a, a, 0); i != -1 {
+		t.Fatalf("identical curves diverged at %d", i)
+	}
+}
+
+func TestCrossings(t *testing.T) {
+	a := []float64{0, 2, 0, 2}
+	b := []float64{1, 1, 1, 1}
+	if c := Crossings(a, b); c != 3 {
+		t.Fatalf("crossings %d", c)
+	}
+	if Crossings(a, a) != 0 {
+		t.Fatal("self crossings")
+	}
+}
+
+func TestGeoMeanRatio(t *testing.T) {
+	a := []float64{2, 8}
+	b := []float64{1, 2}
+	if g := GeoMeanRatio(a, b); math.Abs(g-math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("geomean %v", g)
+	}
+	if GeoMeanRatio([]float64{0}, []float64{1}) != 0 {
+		t.Fatal("non-positive inputs should yield 0")
+	}
+	if GeoMeanRatio(nil, nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}

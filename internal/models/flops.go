@@ -1,0 +1,64 @@
+package models
+
+import "sync"
+
+// The Go networks are shrunk for CPU speed, but the timing experiments
+// (Figures 10–13 and the trace/cluster simulations) need step times at the
+// scale of the paper's real models. realFLOPsPerSample holds published-order
+// training costs (forward+backward, FLOPs per sample); SimTimeScale converts
+// a workload's tiny measured cost into a multiplier the simulated devices
+// apply, so one simulated mini-batch takes as long as the real model's would.
+var realFLOPsPerSample = map[string]float64{
+	"shufflenetv2":    0.45e9,
+	"resnet50":        12e9,
+	"vgg19":           60e9,
+	"yolov3":          20e9,
+	"neumf":           0.01e9,
+	"bert":            5e9,
+	"electra":         3e9,
+	"swintransformer": 13e9,
+}
+
+// RealFLOPsPerSample returns the calibrated training cost per sample.
+func (w *Workload) RealFLOPsPerSample() float64 { return realFLOPsPerSample[w.Name] }
+
+// AchievedFraction is the fraction of peak FLOPS a real training step
+// sustains on GPU hardware.
+const AchievedFraction = 0.35
+
+// StepRate returns the global mini-batch steps per second one worker of this
+// workload achieves on a GPU with the given FP32 peak (in GFLOPS) — the
+// capability C_i of the scheduler's performance model.
+func (w *Workload) StepRate(peakGFLOPS float64) float64 {
+	return peakGFLOPS * 1e9 * AchievedFraction / (w.RealFLOPsPerSample() * float64(w.DefaultBatch))
+}
+
+var (
+	tinyFLOPsMu    sync.Mutex
+	tinyFLOPsCache = map[string]float64{}
+)
+
+// tinyFLOPsPerSample measures the shrunk network's cost per sample once per
+// workload name, on a throwaway instance so no training state is disturbed.
+func tinyFLOPsPerSample(name string) float64 {
+	tinyFLOPsMu.Lock()
+	defer tinyFLOPsMu.Unlock()
+	if v, ok := tinyFLOPsCache[name]; ok {
+		return v
+	}
+	probe := MustBuild(name, 0xf10b5)
+	const batch = 8
+	v := probe.StepFLOPs(batch) / batch
+	tinyFLOPsCache[name] = v
+	return v
+}
+
+// SimTimeScale returns the factor by which simulated devices must scale this
+// workload's charged FLOPs so step times match the real model.
+func (w *Workload) SimTimeScale() float64 {
+	tiny := tinyFLOPsPerSample(w.Name)
+	if tiny <= 0 {
+		return 1
+	}
+	return w.RealFLOPsPerSample() / tiny
+}

@@ -1,0 +1,66 @@
+// Package models provides the deep-learning workload zoo of the paper's
+// Table 1: eight architectures named after the originals, scaled down to run
+// on the simulated-device substrate at test speed while preserving the
+// properties the evaluation depends on — conv-family models rely on
+// vendor-optimized kernels (and thus pay the D2 overhead and are gated from
+// heterogeneous elasticity), GEMM/transformer-family models do not; dropout
+// and data augmentation consume framework RNG state; BatchNorm carries
+// implicit running statistics.
+package models
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// LossFn abstracts the per-workload loss over integer labels.
+type LossFn interface {
+	// Forward computes the scalar loss for the given outputs and labels.
+	Forward(ctx *nn.Context, output *tensor.Tensor, labels []int) float32
+	// Backward returns the gradient with respect to the outputs.
+	Backward(ctx *nn.Context) *tensor.Tensor
+}
+
+// CrossEntropyLoss adapts nn.CrossEntropy to LossFn.
+type CrossEntropyLoss struct {
+	CE *nn.CrossEntropy
+}
+
+// NewCrossEntropyLoss constructs the loss.
+func NewCrossEntropyLoss() *CrossEntropyLoss { return &CrossEntropyLoss{CE: nn.NewCrossEntropy()} }
+
+// Forward computes softmax cross-entropy.
+func (l *CrossEntropyLoss) Forward(ctx *nn.Context, output *tensor.Tensor, labels []int) float32 {
+	return l.CE.Forward(ctx, output, labels)
+}
+
+// Backward returns dL/dlogits.
+func (l *CrossEntropyLoss) Backward(ctx *nn.Context) *tensor.Tensor { return l.CE.Backward(ctx) }
+
+// BCELoss adapts nn.BCEWithLogits to integer 0/1 labels, for the
+// recommendation workload.
+type BCELoss struct {
+	BCE   *nn.BCEWithLogits
+	shape []int
+}
+
+// NewBCELoss constructs the loss.
+func NewBCELoss() *BCELoss { return &BCELoss{BCE: nn.NewBCEWithLogits()} }
+
+// Forward computes binary cross-entropy of output logits against 0/1 labels.
+func (l *BCELoss) Forward(ctx *nn.Context, output *tensor.Tensor, labels []int) float32 {
+	l.shape = append(l.shape[:0], output.Shape()...)
+	flat := output.Reshape(-1)
+	target := tensor.New(flat.Size())
+	for i, lab := range labels {
+		if lab != 0 {
+			target.Data[i] = 1
+		}
+	}
+	return l.BCE.Forward(ctx, flat, target)
+}
+
+// Backward returns dL/dlogits in the original output shape.
+func (l *BCELoss) Backward(ctx *nn.Context) *tensor.Tensor {
+	return l.BCE.Backward(ctx).Reshape(l.shape...)
+}

@@ -1,0 +1,39 @@
+package models
+
+// MemProfile is the GPU-memory footprint model of a workload at the scale of
+// the paper's originals (the Go networks are shrunk for CPU speed, but the
+// memory experiments — worker packing OOM in Figure 10 — need the real
+// footprints). Units are megabytes.
+type MemProfile struct {
+	// ParamsMB is the model parameter size.
+	ParamsMB float64
+	// OptimMB is the optimizer state size (SGD momentum ≈ 1×, Adam ≈ 2×).
+	OptimMB float64
+	// ActivationMBPerSample is the forward-pass working set per sample at
+	// training time.
+	ActivationMBPerSample float64
+}
+
+// PerWorkerMB returns the GPU footprint of one full training process at the
+// given batch size, excluding the CUDA context (accounted separately).
+func (m MemProfile) PerWorkerMB(batch int) float64 {
+	return m.ParamsMB + m.OptimMB + m.ActivationMBPerSample*float64(batch)
+}
+
+// profiles follow the published model sizes (FP32) with activation footprints
+// calibrated to the paper's observations: ResNet50@32 packs 8–9 workers on a
+// 16 GB V100 before OOM, ShuffleNetV2@512 fills a 32 GB V100 with one worker
+// and OOMs at 3.
+var profiles = map[string]MemProfile{
+	"shufflenetv2":    {ParamsMB: 9, OptimMB: 18, ActivationMBPerSample: 27},
+	"resnet50":        {ParamsMB: 98, OptimMB: 196, ActivationMBPerSample: 26},
+	"vgg19":           {ParamsMB: 548, OptimMB: 1096, ActivationMBPerSample: 18},
+	"yolov3":          {ParamsMB: 237, OptimMB: 474, ActivationMBPerSample: 15},
+	"neumf":           {ParamsMB: 5, OptimMB: 10, ActivationMBPerSample: 0.5},
+	"bert":            {ParamsMB: 420, OptimMB: 840, ActivationMBPerSample: 8},
+	"electra":         {ParamsMB: 51, OptimMB: 102, ActivationMBPerSample: 4},
+	"swintransformer": {ParamsMB: 110, OptimMB: 220, ActivationMBPerSample: 10},
+}
+
+// Memory returns the workload's memory profile.
+func (w *Workload) Memory() MemProfile { return profiles[w.Name] }

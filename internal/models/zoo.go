@@ -1,0 +1,270 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Workload is one Table 1 entry: a network, its loss, its dataset, and the
+// metadata EasyScale's model scanner and scheduler need.
+type Workload struct {
+	Name        string
+	Task        string
+	DatasetName string
+	// UsesVendorKernels marks conv-family models that rely on
+	// vendor-optimized kernels: they pay the D2 efficiency penalty and are
+	// restricted to homogeneous GPUs when that penalty is unacceptable.
+	UsesVendorKernels bool
+	Classes           int
+	DefaultBatch      int
+
+	Net     nn.Layer
+	Loss    LossFn
+	Dataset data.Dataset
+	// EvalDataset is a held-out set drawn from the same distribution with a
+	// shifted seed, used for validation accuracy (Figures 2 and 3).
+	EvalDataset data.Dataset
+}
+
+// Params returns the trainable parameters of the network.
+func (w *Workload) Params() []*nn.Parameter { return w.Net.Params() }
+
+// StateTensors returns the network's implicit-state buffers (BatchNorm
+// running statistics), empty for stateless nets.
+func (w *Workload) StateTensors() []*tensor.Tensor {
+	if st, ok := w.Net.(nn.Stateful); ok {
+		return st.StateTensors()
+	}
+	return nil
+}
+
+// imageGeom is the common synthetic-image geometry.
+const (
+	imgC, imgH, imgW = 3, 8, 8
+	imgClasses       = 10
+	datasetSize      = 1024
+)
+
+type builder struct {
+	task, dataset string
+	vendor        bool
+	build         func(seed uint64) (nn.Layer, LossFn, data.Dataset, int, int)
+}
+
+func imgDataset(seed uint64) data.Dataset {
+	return data.NewSyntheticImages(datasetSize, imgClasses, imgC, imgH, imgW, seed)
+}
+
+// transformerBlock is a pre-norm transformer block: x += MHA(LN(x));
+// x += FFN(LN(x)).
+func transformerBlock(d, heads int, init *rng.Stream) []nn.Layer {
+	return []nn.Layer{
+		nn.NewResidual(nn.NewSequential(
+			nn.NewLayerNorm(d),
+			nn.NewMultiHeadAttention(d, heads, init),
+		)),
+		nn.NewResidual(nn.NewSequential(
+			nn.NewLayerNorm(d),
+			nn.NewLinear(d, 2*d, true, init),
+			nn.NewGELU(),
+			nn.NewLinear(2*d, d, true, init),
+			nn.NewDropout(0.1),
+		)),
+	}
+}
+
+var registry = map[string]builder{
+	"shufflenetv2": {task: "Image Classification", dataset: "ImageNet(synthetic)", vendor: true,
+		build: func(seed uint64) (nn.Layer, LossFn, data.Dataset, int, int) {
+			init := rng.NewNamed(seed, "shufflenetv2")
+			net := nn.NewSequential(
+				nn.NewConv2D(imgC, 8, 3, 1, 1, false, init),
+				nn.NewBatchNorm2D(8),
+				nn.NewReLU(),
+				nn.NewConv2D(8, 16, 3, 2, 1, false, init),
+				nn.NewBatchNorm2D(16),
+				nn.NewReLU(),
+				nn.NewGlobalAvgPool(),
+				nn.NewLinear(16, imgClasses, true, init),
+			)
+			return net, NewCrossEntropyLoss(), imgDataset(seed), imgClasses, 8
+		}},
+	"resnet50": {task: "Image Classification", dataset: "ImageNet(synthetic)", vendor: true,
+		build: func(seed uint64) (nn.Layer, LossFn, data.Dataset, int, int) {
+			init := rng.NewNamed(seed, "resnet50")
+			block := func() nn.Layer {
+				return nn.NewResidual(nn.NewSequential(
+					nn.NewConv2D(8, 8, 3, 1, 1, false, init),
+					nn.NewBatchNorm2D(8),
+					nn.NewReLU(),
+					nn.NewConv2D(8, 8, 3, 1, 1, false, init),
+					nn.NewBatchNorm2D(8),
+				))
+			}
+			net := nn.NewSequential(
+				nn.NewConv2D(imgC, 8, 3, 1, 1, false, init),
+				nn.NewBatchNorm2D(8),
+				nn.NewReLU(),
+				block(),
+				nn.NewReLU(),
+				block(),
+				nn.NewReLU(),
+				nn.NewGlobalAvgPool(),
+				nn.NewLinear(8, imgClasses, true, init),
+			)
+			return net, NewCrossEntropyLoss(), imgDataset(seed), imgClasses, 8
+		}},
+	"vgg19": {task: "Image Classification", dataset: "ImageNet(synthetic)", vendor: true,
+		build: func(seed uint64) (nn.Layer, LossFn, data.Dataset, int, int) {
+			init := rng.NewNamed(seed, "vgg19")
+			net := nn.NewSequential(
+				nn.NewConv2D(imgC, 8, 3, 1, 1, true, init),
+				nn.NewReLU(),
+				nn.NewMaxPool2D(2, 2),
+				nn.NewConv2D(8, 16, 3, 1, 1, true, init),
+				nn.NewReLU(),
+				nn.NewMaxPool2D(2, 2),
+				nn.NewFlatten(),
+				nn.NewLinear(16*2*2, 32, true, init),
+				nn.NewReLU(),
+				nn.NewDropout(0.5),
+				nn.NewLinear(32, imgClasses, true, init),
+			)
+			return net, NewCrossEntropyLoss(), imgDataset(seed), imgClasses, 8
+		}},
+	"yolov3": {task: "Object Detection", dataset: "PASCAL(synthetic)", vendor: true,
+		build: func(seed uint64) (nn.Layer, LossFn, data.Dataset, int, int) {
+			init := rng.NewNamed(seed, "yolov3")
+			net := nn.NewSequential(
+				nn.NewConv2D(imgC, 8, 3, 1, 1, false, init),
+				nn.NewBatchNorm2D(8),
+				nn.NewReLU(),
+				nn.NewConv2D(8, 16, 3, 2, 1, false, init),
+				nn.NewBatchNorm2D(16),
+				nn.NewReLU(),
+				nn.NewConv2D(16, 16, 3, 1, 1, false, init),
+				nn.NewBatchNorm2D(16),
+				nn.NewReLU(),
+				nn.NewGlobalAvgPool(),
+				nn.NewLinear(16, imgClasses, true, init),
+			)
+			return net, NewCrossEntropyLoss(), imgDataset(seed), imgClasses, 8
+		}},
+	"neumf": {task: "Recommendation", dataset: "MovieLens(synthetic)", vendor: false,
+		build: func(seed uint64) (nn.Layer, LossFn, data.Dataset, int, int) {
+			init := rng.NewNamed(seed, "neumf")
+			const users, items = 64, 128
+			net := NewNeuMF(users, items, 16, init)
+			return net, NewBCELoss(), data.NewSyntheticInteractions(datasetSize, users, items, seed), 2, 16
+		}},
+	"bert": {task: "Question Answering", dataset: "SQuAD(synthetic)", vendor: false,
+		build: func(seed uint64) (nn.Layer, LossFn, data.Dataset, int, int) {
+			init := rng.NewNamed(seed, "bert")
+			const vocab, seqLen, d, classes = 64, 8, 16, 4
+			layers := []nn.Layer{nn.NewEmbedding(vocab, d, init)}
+			layers = append(layers, transformerBlock(d, 2, init)...)
+			layers = append(layers, transformerBlock(d, 2, init)...)
+			layers = append(layers, nn.NewMeanPool(), nn.NewLinear(d, classes, true, init))
+			return nn.NewSequential(layers...), NewCrossEntropyLoss(),
+				data.NewSyntheticTokens(datasetSize, vocab, seqLen, classes, seed), classes, 8
+		}},
+	"electra": {task: "Question Answering", dataset: "SQuAD(synthetic)", vendor: false,
+		build: func(seed uint64) (nn.Layer, LossFn, data.Dataset, int, int) {
+			init := rng.NewNamed(seed, "electra")
+			const vocab, seqLen, d, classes = 64, 8, 12, 4
+			layers := []nn.Layer{nn.NewEmbedding(vocab, d, init)}
+			layers = append(layers, transformerBlock(d, 2, init)...)
+			layers = append(layers, nn.NewMeanPool(), nn.NewLinear(d, classes, true, init))
+			return nn.NewSequential(layers...), NewCrossEntropyLoss(),
+				data.NewSyntheticTokens(datasetSize, vocab, seqLen, classes, seed), classes, 8
+		}},
+	"swintransformer": {task: "Image Classification", dataset: "ImageNet(synthetic)", vendor: false,
+		build: func(seed uint64) (nn.Layer, LossFn, data.Dataset, int, int) {
+			init := rng.NewNamed(seed, "swintransformer")
+			const d = 16
+			layers := []nn.Layer{nn.NewPatchEmbed(imgC, 2, d, init)}
+			layers = append(layers, transformerBlock(d, 2, init)...)
+			layers = append(layers, transformerBlock(d, 2, init)...)
+			layers = append(layers, nn.NewMeanPool(), nn.NewLinear(d, imgClasses, true, init))
+			return nn.NewSequential(layers...), NewCrossEntropyLoss(), imgDataset(seed), imgClasses, 8
+		}},
+}
+
+// Names lists the workloads of Table 1 in stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build instantiates a workload with deterministic, seed-derived
+// initialization: two Build calls with the same (name, seed) produce
+// bitwise-identical parameters.
+func Build(name string, seed uint64) (*Workload, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown workload %q (have %v)", name, Names())
+	}
+	net, loss, ds, classes, batch := b.build(seed)
+	return &Workload{
+		Name: name, Task: b.task, DatasetName: b.dataset,
+		UsesVendorKernels: b.vendor,
+		Classes:           classes, DefaultBatch: batch,
+		Net: net, Loss: loss, Dataset: ds,
+		EvalDataset: evalDataset(name, seed),
+	}, nil
+}
+
+// evalDataset builds the held-out set: items [datasetSize, datasetSize+512)
+// of the same seeded distribution — disjoint from every training index but
+// sharing the class structure, as a validation split must.
+func evalDataset(name string, seed uint64) data.Dataset {
+	const evalSize = 512
+	switch name {
+	case "neumf":
+		base := data.NewSyntheticInteractions(datasetSize+evalSize, 64, 128, seed)
+		return data.NewSlice(base, datasetSize, evalSize)
+	case "bert", "electra":
+		base := data.NewSyntheticTokens(datasetSize+evalSize, 64, 8, 4, seed)
+		return data.NewSlice(base, datasetSize, evalSize)
+	default:
+		base := data.NewSyntheticImages(datasetSize+evalSize, imgClasses, imgC, imgH, imgW, seed)
+		return data.NewSlice(base, datasetSize, evalSize)
+	}
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func MustBuild(name string, seed uint64) *Workload {
+	w, err := Build(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// StepFLOPs measures the simulated FLOP time of one forward+backward+loss
+// pass at the given batch size by running it on a scratch device and reading
+// the clock. The result feeds the companion module's capability estimates.
+func (w *Workload) StepFLOPs(batch int) float64 {
+	dev := device.New(device.V100, device.Config{DeterministicKernels: true, Selection: device.SelectHeuristic})
+	ctx := &nn.Context{Dev: dev, RNG: rng.New(0), Training: true}
+	idx := make([]int, batch)
+	for i := range idx {
+		idx[i] = i
+	}
+	x, labels := data.MaterializeBatch(w.Dataset, idx, nil)
+	out := w.Net.Forward(ctx, x)
+	w.Loss.Forward(ctx, out, labels)
+	w.Net.Backward(ctx, w.Loss.Backward(ctx))
+	// invert the device time model: seconds × peak = flops
+	return dev.Now().Seconds() * dev.Spec.PeakGFLOPS * 1e9
+}

@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative elements.
+func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	ctx.Dev.ChargeFLOPs(float64(x.Size()), 1)
+	y := x.Clone()
+	if cap(r.mask) < x.Size() {
+		r.mask = make([]bool, x.Size())
+	}
+	r.mask = r.mask[:x.Size()]
+	for i, v := range y.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward gates the gradient by the cached mask.
+func (r *ReLU) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(len(r.mask) == grad.Size(), "ReLU backward without matching forward")
+	g := grad.Clone()
+	for i := range g.Data {
+		if !r.mask[i] {
+			g.Data[i] = 0
+		}
+	}
+	return g
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []*Parameter { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	y *tensor.Tensor
+}
+
+// NewSigmoid builds a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward computes 1/(1+exp(-x)).
+func (s *Sigmoid) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	ctx.Dev.ChargeFLOPs(4*float64(x.Size()), 1)
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	s.y = y
+	return y
+}
+
+// Backward computes dy·y·(1-y).
+func (s *Sigmoid) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(s.y != nil && s.y.Size() == grad.Size(), "Sigmoid backward without matching forward")
+	g := grad.Clone()
+	for i := range g.Data {
+		yv := s.y.Data[i]
+		g.Data[i] *= yv * (1 - yv)
+	}
+	s.y = nil
+	return g
+}
+
+// Params returns nil.
+func (s *Sigmoid) Params() []*Parameter { return nil }
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+// NewTanh builds a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward computes tanh(x).
+func (t *Tanh) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	ctx.Dev.ChargeFLOPs(4*float64(x.Size()), 1)
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	t.y = y
+	return y
+}
+
+// Backward computes dy·(1-y²).
+func (t *Tanh) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(t.y != nil && t.y.Size() == grad.Size(), "Tanh backward without matching forward")
+	g := grad.Clone()
+	for i := range g.Data {
+		yv := t.y.Data[i]
+		g.Data[i] *= 1 - yv*yv
+	}
+	t.y = nil
+	return g
+}
+
+// Params returns nil.
+func (t *Tanh) Params() []*Parameter { return nil }
+
+// GELU is the Gaussian error linear unit (tanh approximation), used by the
+// transformer workloads.
+type GELU struct {
+	x *tensor.Tensor
+}
+
+// NewGELU builds a GELU layer.
+func NewGELU() *GELU { return &GELU{} }
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+// Forward computes 0.5x(1+tanh(c(x+0.044715x³))).
+func (g *GELU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	ctx.Dev.ChargeFLOPs(8*float64(x.Size()), 1)
+	g.x = x
+	y := x.Clone()
+	for i, v := range y.Data {
+		xv := float64(v)
+		y.Data[i] = float32(0.5 * xv * (1 + math.Tanh(geluC*(xv+0.044715*xv*xv*xv))))
+	}
+	return y
+}
+
+// Backward differentiates the tanh approximation.
+func (g *GELU) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(g.x != nil && g.x.Size() == grad.Size(), "GELU backward without matching forward")
+	out := grad.Clone()
+	for i := range out.Data {
+		xv := float64(g.x.Data[i])
+		inner := geluC * (xv + 0.044715*xv*xv*xv)
+		th := math.Tanh(inner)
+		dInner := geluC * (1 + 3*0.044715*xv*xv)
+		d := 0.5*(1+th) + 0.5*xv*(1-th*th)*dInner
+		out.Data[i] *= float32(d)
+	}
+	g.x = nil
+	return out
+}
+
+// Params returns nil.
+func (g *GELU) Params() []*Parameter { return nil }
+
+// Dropout zeroes activations with probability P during training and scales
+// the survivors by 1/(1-P). The mask is drawn from the context's framework
+// RNG — the implicit state the paper records in EST contexts for D0.
+type Dropout struct {
+	P    float64
+	mask []float32
+}
+
+// NewDropout builds a Dropout layer with drop probability p.
+func NewDropout(p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{P: p}
+}
+
+// Forward applies the mask in training mode, identity in eval mode.
+func (d *Dropout) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	if !ctx.Training || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	ctx.Dev.ChargeFLOPs(float64(x.Size()), 1)
+	scale := float32(1 / (1 - d.P))
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]float32, x.Size())
+	}
+	d.mask = d.mask[:x.Size()]
+	y := x.Clone()
+	for i := range y.Data {
+		if ctx.RNG.Float64() < d.P {
+			d.mask[i] = 0
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = scale
+			y.Data[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward applies the cached mask; identity when Forward was a no-op.
+func (d *Dropout) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	shapeCheck(len(d.mask) == grad.Size(), "Dropout backward without matching forward")
+	g := grad.Clone()
+	for i := range g.Data {
+		g.Data[i] *= d.mask[i]
+	}
+	return g
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []*Parameter { return nil }

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestResidualForwardAddsSkip(t *testing.T) {
+	// body = identity-ish: Linear initialized to zero weight → body(x)=bias=0
+	body := NewLinear(4, 4, true, nil)
+	body.W.Value.Zero()
+	r := NewResidual(body)
+	x := randTensor(40, 3, 4)
+	y := r.Forward(detCtx(), x)
+	if !y.Equal(x) {
+		t.Fatal("zero body residual must be identity")
+	}
+}
+
+func TestResidualGradients(t *testing.T) {
+	init := rng.New(41)
+	body := NewSequential(NewLinear(5, 5, true, init), NewTanh())
+	checkLayerGrads(t, NewResidual(body), randTensor(42, 3, 5), 1e-2, 3e-2)
+}
+
+func TestResidualShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewResidual(NewLinear(4, 3, true, rng.New(1))).Forward(detCtx(), randTensor(43, 2, 4))
+}
+
+func TestResidualStateTensors(t *testing.T) {
+	r := NewResidual(NewSequential(NewConv2D(2, 2, 3, 1, 1, false, rng.New(1)), NewBatchNorm2D(2)))
+	if len(r.StateTensors()) != 2 {
+		t.Fatal("residual should surface body state tensors")
+	}
+	if NewResidual(NewReLU()).StateTensors() != nil {
+		t.Fatal("stateless body should have no state tensors")
+	}
+}
+
+func TestMeanPoolForward(t *testing.T) {
+	m := NewMeanPool()
+	x := tensor.FromData([]float32{1, 2, 3, 4, 5, 6}, 1, 3, 2) // rows (1,2),(3,4),(5,6)
+	y := m.Forward(detCtx(), x)
+	if y.At(0, 0) != 3 || y.At(0, 1) != 4 {
+		t.Fatalf("meanpool: %v", y.Data)
+	}
+}
+
+func TestMeanPoolGradients(t *testing.T) {
+	checkLayerGrads(t, NewMeanPool(), randTensor(44, 2, 4, 3), 1e-2, 2e-2)
+}
+
+func TestPatchEmbedShapes(t *testing.T) {
+	pe := NewPatchEmbed(3, 2, 8, rng.New(45))
+	y := pe.Forward(detCtx(), randTensor(46, 2, 3, 4, 4))
+	if y.Dim(0) != 2 || y.Dim(1) != 4 || y.Dim(2) != 8 {
+		t.Fatalf("patch embed shape %v", y.Shape())
+	}
+}
+
+func TestPatchEmbedGradients(t *testing.T) {
+	pe := NewPatchEmbed(2, 2, 4, rng.New(47))
+	checkLayerGrads(t, pe, randTensor(48, 2, 2, 4, 4), 1e-2, 3e-2)
+}
+
+func TestPatchEmbedRoundTripStructure(t *testing.T) {
+	// With an identity-like projection (square, identity matrix), patchify
+	// then backward of ones must scatter gradients to every input pixel once.
+	pe := NewPatchEmbed(1, 2, 4, nil)
+	pe.Proj.W.Value.Zero()
+	for i := 0; i < 4; i++ {
+		pe.Proj.W.Value.Set(1, i, i)
+	}
+	ctx := detCtx()
+	x := randTensor(49, 1, 1, 4, 4)
+	y := pe.Forward(ctx, x)
+	// identity projection: output values are a permutation of input values
+	sumIn, sumOut := 0.0, 0.0
+	for _, v := range x.Data {
+		sumIn += float64(v)
+	}
+	for _, v := range y.Data {
+		sumOut += float64(v)
+	}
+	if math.Abs(sumIn-sumOut) > 1e-4 {
+		t.Fatalf("identity patch embed should conserve sum: %v vs %v", sumIn, sumOut)
+	}
+	dx := pe.Backward(ctx, tensor.Full(1, 1, 4, 4))
+	for _, v := range dx.Data {
+		if v != 1 {
+			t.Fatalf("each pixel should receive exactly one unit of gradient, got %v", v)
+		}
+	}
+}

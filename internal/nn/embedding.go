@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Embedding maps integer token ids to dense vectors. Input is a [B, L]
+// tensor whose float32 values hold the ids exactly (vocabularies here are far
+// below 2²⁴); output is [B, L, D].
+type Embedding struct {
+	Vocab, D int
+	W        *Parameter
+
+	ids []int
+}
+
+// NewEmbedding constructs an embedding table with normal(0, 0.02) init.
+func NewEmbedding(vocab, d int, init *rng.Stream) *Embedding {
+	e := &Embedding{Vocab: vocab, D: d}
+	w := tensor.New(vocab, d)
+	if init != nil {
+		for i := range w.Data {
+			w.Data[i] = init.NormFloat32() * 0.02
+		}
+	}
+	e.W = NewParameter("weight", w)
+	return e
+}
+
+// Forward gathers rows of the table.
+func (e *Embedding) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(x.Rank() == 2, "Embedding: want [B,L] ids, got %v", x.Shape())
+	b, l := x.Dim(0), x.Dim(1)
+	ctx.Dev.ChargeFLOPs(float64(b*l*e.D), 1)
+	e.ids = e.ids[:0]
+	y := tensor.New(b, l, e.D)
+	for i, v := range x.Data {
+		id := int(v)
+		shapeCheck(id >= 0 && id < e.Vocab, "Embedding: id %d out of vocab %d", id, e.Vocab)
+		e.ids = append(e.ids, id)
+		copy(y.Data[i*e.D:(i+1)*e.D], e.W.Value.Data[id*e.D:(id+1)*e.D])
+	}
+	return y
+}
+
+// Backward scatter-adds gradients into the table rows in input order (a fixed
+// order: the deterministic counterpart of GPU scatter-add atomics).
+func (e *Embedding) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(len(e.ids) > 0 && grad.Size() == len(e.ids)*e.D, "Embedding backward without matching forward")
+	ctx.Dev.ChargeFLOPs(float64(grad.Size()), 1)
+	for i, id := range e.ids {
+		row := e.W.Grad.Data[id*e.D : (id+1)*e.D]
+		g := grad.Data[i*e.D : (i+1)*e.D]
+		for j, v := range g {
+			row[j] += v
+		}
+	}
+	// Token ids carry no gradient; return zeros of the input shape so a
+	// containing Sequential keeps well-formed tensors flowing.
+	return tensor.New(grad.Dim(0), len(e.ids)/grad.Dim(0))
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Parameter { return []*Parameter{e.W} }

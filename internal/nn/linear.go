@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x·Wᵀ + b with W of shape [out, in]
+// (PyTorch convention). Inputs may be rank-2 [B, in] or higher rank
+// [..., in]; leading dimensions are folded into the batch.
+type Linear struct {
+	In, Out int
+	W, B    *Parameter // B may be nil when bias is disabled
+
+	x *tensor.Tensor // cached input (flattened to [rows, in])
+}
+
+// NewLinear constructs a Linear layer with Kaiming-initialized weights drawn
+// from init (bias zero); a nil init leaves weights zero. bias toggles the
+// additive bias term.
+func NewLinear(in, out int, bias bool, init *rng.Stream) *Linear {
+	l := &Linear{In: in, Out: out}
+	w := tensor.New(out, in)
+	if init != nil {
+		KaimingInit(w, in, init)
+	}
+	l.W = NewParameter("weight", w)
+	if bias {
+		l.B = NewParameter("bias", tensor.New(out))
+	}
+	return l
+}
+
+func (l *Linear) fold(x *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(x.Size()%l.In == 0, "Linear(%d→%d): input %v not divisible by in features", l.In, l.Out, x.Shape())
+	return x.Reshape(-1, l.In)
+}
+
+// Forward computes y = x·Wᵀ + b, preserving leading dimensions.
+func (l *Linear) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	orig := x.Shape()
+	x2 := l.fold(x)
+	l.x = x2
+	rows := x2.Dim(0)
+	y := tensor.New(rows, l.Out)
+	// y[rows,out] = x[rows,in] · Wᵀ[in,out]
+	gemmABT(ctx, y.Data, x2.Data, l.W.Value.Data, rows, l.In, l.Out)
+	if l.B != nil {
+		for r := 0; r < rows; r++ {
+			row := y.Data[r*l.Out : (r+1)*l.Out]
+			for j, bv := range l.B.Value.Data {
+				row[j] += bv
+			}
+		}
+	}
+	outShape := append(append([]int(nil), orig[:len(orig)-1]...), l.Out)
+	return y.Reshape(outShape...)
+}
+
+// Backward accumulates dW = dyᵀ·x and db = Σ_rows dy, returning dx = dy·W.
+func (l *Linear) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	orig := grad.Shape()
+	g2 := grad.Reshape(-1, l.Out)
+	rows := g2.Dim(0)
+	shapeCheck(l.x != nil && l.x.Dim(0) == rows, "Linear backward without matching forward")
+
+	// dW[out,in] = dyᵀ[out,rows] · x[rows,in]
+	dw := tensor.New(l.Out, l.In)
+	gemmATB(ctx, dw.Data, g2.Data, l.x.Data, l.Out, rows, l.In)
+	l.W.Grad.AddInPlace(dw)
+
+	if l.B != nil {
+		db := make([]float32, l.Out)
+		if ctx.Dev.DeterministicKernels() {
+			kernels.ColSumBlocked(db, g2.Data, rows, l.Out, ctx.Dev.KernelBlock())
+		} else {
+			kernels.ColSumAtomic(db, g2.Data, rows, l.Out, ctx.Dev.AtomicWorkers())
+		}
+		for j, v := range db {
+			l.B.Grad.Data[j] += v
+		}
+	}
+
+	// dx[rows,in] = dy[rows,out] · W[out,in]
+	dx := tensor.New(rows, l.In)
+	gemm(ctx, dx.Data, g2.Data, l.W.Value.Data, rows, l.Out, l.In)
+	l.x = nil // activation freed at mini-batch boundary
+	inShape := append(append([]int(nil), orig[:len(orig)-1]...), l.In)
+	return dx.Reshape(inShape...)
+}
+
+// Params returns weight (and bias when present).
+func (l *Linear) Params() []*Parameter {
+	if l.B == nil {
+		return []*Parameter{l.W}
+	}
+	return []*Parameter{l.W, l.B}
+}

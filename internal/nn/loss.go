@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CrossEntropy is softmax cross-entropy with mean reduction over the batch.
+// The mean reduction goes through the device reduction policy, so even the
+// scalar loss value is sensitive to kernel determinism — which is why the
+// paper compares loss curves bitwise.
+type CrossEntropy struct {
+	probs  *tensor.Tensor
+	labels []int
+}
+
+// NewCrossEntropy constructs the loss.
+func NewCrossEntropy() *CrossEntropy { return &CrossEntropy{} }
+
+// Forward computes mean(-log softmax(logits)[label]) for logits [B, K].
+func (ce *CrossEntropy) Forward(ctx *Context, logits *tensor.Tensor, labels []int) float32 {
+	shapeCheck(logits.Rank() == 2 && logits.Dim(0) == len(labels), "CrossEntropy: logits %v vs %d labels", logits.Shape(), len(labels))
+	b, k := logits.Dim(0), logits.Dim(1)
+	ctx.Dev.ChargeFLOPs(5*float64(logits.Size()), 1)
+	ce.probs = tensor.New(b, k)
+	ce.labels = append(ce.labels[:0], labels...)
+	losses := make([]float32, b)
+	for r := 0; r < b; r++ {
+		row := logits.Data[r*k : (r+1)*k]
+		mx := row[0]
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float32
+		prow := ce.probs.Data[r*k : (r+1)*k]
+		for c, v := range row {
+			e := float32(math.Exp(float64(v - mx)))
+			prow[c] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for c := range prow {
+			prow[c] *= inv
+		}
+		lbl := labels[r]
+		shapeCheck(lbl >= 0 && lbl < k, "CrossEntropy: label %d out of range %d", lbl, k)
+		losses[r] = -float32(math.Log(float64(prow[lbl]) + 1e-12))
+	}
+	return reduceSum(ctx, losses) / float32(b)
+}
+
+// Backward returns dL/dlogits = (softmax − onehot)/B.
+func (ce *CrossEntropy) Backward(ctx *Context) *tensor.Tensor {
+	shapeCheck(ce.probs != nil, "CrossEntropy backward without matching forward")
+	b, k := ce.probs.Dim(0), ce.probs.Dim(1)
+	grad := ce.probs.Clone()
+	inv := 1 / float32(b)
+	for r := 0; r < b; r++ {
+		grad.Data[r*k+ce.labels[r]] -= 1
+		for c := 0; c < k; c++ {
+			grad.Data[r*k+c] *= inv
+		}
+	}
+	ce.probs = nil
+	return grad
+}
+
+// MSE is mean squared error with mean reduction.
+type MSE struct {
+	diff *tensor.Tensor
+}
+
+// NewMSE constructs the loss.
+func NewMSE() *MSE { return &MSE{} }
+
+// Forward computes mean((pred − target)²).
+func (m *MSE) Forward(ctx *Context, pred, target *tensor.Tensor) float32 {
+	shapeCheck(pred.Size() == target.Size(), "MSE: pred %v vs target %v", pred.Shape(), target.Shape())
+	ctx.Dev.ChargeFLOPs(3*float64(pred.Size()), 1)
+	m.diff = pred.Sub(target)
+	sq := make([]float32, pred.Size())
+	for i, d := range m.diff.Data {
+		sq[i] = d * d
+	}
+	return reduceSum(ctx, sq) / float32(pred.Size())
+}
+
+// Backward returns 2(pred − target)/N.
+func (m *MSE) Backward(ctx *Context) *tensor.Tensor {
+	shapeCheck(m.diff != nil, "MSE backward without matching forward")
+	g := m.diff.Scale(2 / float32(m.diff.Size()))
+	m.diff = nil
+	return g
+}
+
+// BCEWithLogits is binary cross-entropy over logits with mean reduction,
+// used by the recommendation workload (NeuMF).
+type BCEWithLogits struct {
+	sig    *tensor.Tensor
+	target *tensor.Tensor
+}
+
+// NewBCEWithLogits constructs the loss.
+func NewBCEWithLogits() *BCEWithLogits { return &BCEWithLogits{} }
+
+// Forward computes mean BCE of sigmoid(logits) against targets in [0,1].
+func (b *BCEWithLogits) Forward(ctx *Context, logits, target *tensor.Tensor) float32 {
+	shapeCheck(logits.Size() == target.Size(), "BCE: pred %v vs target %v", logits.Shape(), target.Shape())
+	ctx.Dev.ChargeFLOPs(8*float64(logits.Size()), 1)
+	b.sig = tensor.New(logits.Shape()...)
+	b.target = target
+	losses := make([]float32, logits.Size())
+	for i, v := range logits.Data {
+		s := 1 / (1 + math.Exp(-float64(v)))
+		b.sig.Data[i] = float32(s)
+		t := float64(target.Data[i])
+		losses[i] = -float32(t*math.Log(s+1e-12) + (1-t)*math.Log(1-s+1e-12))
+	}
+	return reduceSum(ctx, losses) / float32(logits.Size())
+}
+
+// Backward returns (sigmoid(logits) − target)/N.
+func (b *BCEWithLogits) Backward(ctx *Context) *tensor.Tensor {
+	shapeCheck(b.sig != nil, "BCE backward without matching forward")
+	g := b.sig.Sub(b.target)
+	g.ScaleInPlace(1 / float32(g.Size()))
+	b.sig, b.target = nil, nil
+	return g
+}

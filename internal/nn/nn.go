@@ -1,0 +1,193 @@
+// Package nn implements the neural-network layers, containers, and losses of
+// the EasyScale training stack.
+//
+// Layers follow the explicit forward/backward module design: Forward caches
+// whatever activations Backward needs, and Backward both returns the input
+// gradient and accumulates parameter gradients. The caches correspond to the
+// paper's "temporal tensors and activations" — created in the forward pass,
+// destroyed after gradient generation — which is why EasyScale can constrain
+// an EST's time slice to one mini-batch and avoid swapping them.
+//
+// Every reduction and GEMM goes through the device handle in the Context, so
+// the accumulation order (and hence bitwise determinism across GPU types and
+// kernel-selection policies) is controlled in exactly one place.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Context carries the per-step execution environment through a layer stack.
+type Context struct {
+	Dev      *device.Device
+	RNG      *rng.Stream // framework RNG: dropout masks, any stochastic op
+	Training bool
+}
+
+// Parameter is a trainable tensor with its gradient accumulator.
+type Parameter struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParameter allocates a parameter and its zeroed gradient.
+func NewParameter(name string, value *tensor.Tensor) *Parameter {
+	return &Parameter{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Parameter) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable module.
+type Layer interface {
+	// Forward computes the layer output and caches what Backward needs.
+	Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor
+	// Backward consumes the output gradient, accumulates parameter
+	// gradients, and returns the input gradient.
+	Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly empty).
+	Params() []*Parameter
+}
+
+// Stateful is implemented by layers with non-trainable state that must be
+// checkpointed for determinism — the paper's "implicit framework states",
+// e.g. BatchNorm running statistics.
+type Stateful interface {
+	// StateTensors returns the mutable state buffers in a stable order.
+	StateTensors() []*tensor.Tensor
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs the layers in order.
+func (s *Sequential) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(ctx, x)
+	}
+	return x
+}
+
+// Backward runs the layers in reverse order.
+func (s *Sequential) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(ctx, grad)
+	}
+	return grad
+}
+
+// Params concatenates the parameters of all layers in order.
+func (s *Sequential) Params() []*Parameter {
+	var out []*Parameter
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// StateTensors concatenates the stateful buffers of all layers in order.
+func (s *Sequential) StateTensors() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range s.Layers {
+		if st, ok := l.(Stateful); ok {
+			out = append(out, st.StateTensors()...)
+		}
+	}
+	return out
+}
+
+// Flatten reshapes [B, ...] to [B, prod(...)].
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten builds a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all but the leading dimension.
+func (f *Flatten) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Parameter { return nil }
+
+// KaimingInit fills t with Kaiming-normal values for the given fan-in, drawn
+// from the provided stream. Initialization order is fixed by the flat index,
+// so identical seeds give bitwise identical parameters.
+func KaimingInit(t *tensor.Tensor, fanIn int, s *rng.Stream) {
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	for i := range t.Data {
+		t.Data[i] = s.NormFloat32() * std
+	}
+}
+
+// XavierInit fills t with Xavier-uniform values.
+func XavierInit(t *tensor.Tensor, fanIn, fanOut int, s *rng.Stream) {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	for i := range t.Data {
+		t.Data[i] = (s.Float32()*2 - 1) * limit
+	}
+}
+
+// reduceSum routes a reduction through the device policy: blocked fixed-order
+// when deterministic kernels are enforced, atomics otherwise.
+func reduceSum(ctx *Context, xs []float32) float32 {
+	if ctx.Dev.DeterministicKernels() {
+		return kernels.SumBlocked(xs, ctx.Dev.KernelBlock())
+	}
+	return kernels.SumAtomic(xs, ctx.Dev.AtomicWorkers())
+}
+
+// reduceMeanVar routes BatchNorm statistics through the device policy.
+func reduceMeanVar(ctx *Context, xs []float32) (mean, variance float32) {
+	if ctx.Dev.DeterministicKernels() {
+		return kernels.MeanVar(xs, ctx.Dev.KernelBlock())
+	}
+	return kernels.MeanVarAtomic(xs, ctx.Dev.AtomicWorkers())
+}
+
+// gemm routes C = A·B through the device policy: fixed-kc blocked kernels
+// when deterministic, split-K atomics otherwise. Charges simulated time.
+func gemm(ctx *Context, dst, a, b []float32, m, k, n int) {
+	ctx.Dev.ChargeFLOPs(2*float64(m)*float64(k)*float64(n), ctx.Dev.GemmEfficiency())
+	if ctx.Dev.DeterministicKernels() {
+		kernels.MatMulParallel(dst, a, b, m, k, n, ctx.Dev.KernelBlock())
+		return
+	}
+	kernels.MatMulAtomicSplitK(dst, a, b, m, k, n, ctx.Dev.AtomicWorkers())
+}
+
+func gemmATB(ctx *Context, dst, a, b []float32, m, k, n int) {
+	ctx.Dev.ChargeFLOPs(2*float64(m)*float64(k)*float64(n), ctx.Dev.GemmEfficiency())
+	kernels.MatMulATBParallel(dst, a, b, m, k, n, ctx.Dev.KernelBlock())
+}
+
+func gemmABT(ctx *Context, dst, a, b []float32, m, k, n int) {
+	ctx.Dev.ChargeFLOPs(2*float64(m)*float64(k)*float64(n), ctx.Dev.GemmEfficiency())
+	kernels.MatMulABTParallel(dst, a, b, m, k, n, ctx.Dev.KernelBlock())
+}
+
+func shapeCheck(cond bool, format string, args ...any) {
+	if !cond {
+		panic("nn: " + fmt.Sprintf(format, args...))
+	}
+}

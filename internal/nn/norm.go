@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of an NCHW tensor over (N, H, W).
+//
+// It owns the two kinds of implicit framework state the paper calls out:
+// batch statistics are computed by device-policy reductions (so their bitwise
+// value depends on kernel selection), and the running statistics used at eval
+// time are mutable state that must be checkpointed (StateTensors) for
+// training to be resumable deterministically.
+type BatchNorm2D struct {
+	C        int
+	Eps      float32
+	Momentum float32
+
+	Gamma, Beta             *Parameter
+	RunningMean, RunningVar *tensor.Tensor
+
+	xhat   *tensor.Tensor
+	invStd []float32
+}
+
+// NewBatchNorm2D constructs a BatchNorm layer with γ=1, β=0, PyTorch-default
+// eps and momentum.
+func NewBatchNorm2D(c int) *BatchNorm2D {
+	bn := &BatchNorm2D{C: c, Eps: 1e-5, Momentum: 0.1}
+	bn.Gamma = NewParameter("gamma", tensor.Full(1, c))
+	bn.Beta = NewParameter("beta", tensor.New(c))
+	bn.RunningMean = tensor.New(c)
+	bn.RunningVar = tensor.Full(1, c)
+	return bn
+}
+
+// Forward normalizes x; in training mode it also updates running statistics.
+func (bn *BatchNorm2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(x.Rank() == 4 && x.Dim(1) == bn.C, "BatchNorm2D: input %v incompatible with C=%d", x.Shape(), bn.C)
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	hw := h * w
+	n := b * hw
+	ctx.Dev.ChargeFLOPs(6*float64(x.Size()), 1)
+
+	y := tensor.New(x.Shape()...)
+	if ctx.Training {
+		bn.xhat = tensor.New(x.Shape()...)
+		if cap(bn.invStd) < c {
+			bn.invStd = make([]float32, c)
+		}
+		bn.invStd = bn.invStd[:c]
+	}
+	scratch := make([]float32, n)
+	for ci := 0; ci < c; ci++ {
+		var mean, variance float32
+		if ctx.Training {
+			// Gather the channel into a contiguous buffer so the reduction
+			// kernel's blocking applies exactly as on-device.
+			for bi := 0; bi < b; bi++ {
+				copy(scratch[bi*hw:(bi+1)*hw], x.Data[(bi*c+ci)*hw:(bi*c+ci+1)*hw])
+			}
+			mean, variance = reduceMeanVar(ctx, scratch)
+			bn.RunningMean.Data[ci] = (1-bn.Momentum)*bn.RunningMean.Data[ci] + bn.Momentum*mean
+			bn.RunningVar.Data[ci] = (1-bn.Momentum)*bn.RunningVar.Data[ci] + bn.Momentum*variance
+		} else {
+			mean, variance = bn.RunningMean.Data[ci], bn.RunningVar.Data[ci]
+		}
+		inv := float32(1 / math.Sqrt(float64(variance)+float64(bn.Eps)))
+		g, be := bn.Gamma.Value.Data[ci], bn.Beta.Value.Data[ci]
+		for bi := 0; bi < b; bi++ {
+			off := (bi*c + ci) * hw
+			for j := 0; j < hw; j++ {
+				xh := (x.Data[off+j] - mean) * inv
+				if ctx.Training {
+					bn.xhat.Data[off+j] = xh
+					bn.invStd[ci] = inv
+				}
+				y.Data[off+j] = g*xh + be
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements the full batch-norm gradient.
+func (bn *BatchNorm2D) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(bn.xhat != nil && tensor.SameShape(bn.xhat, grad), "BatchNorm2D backward without matching forward")
+	b, c := grad.Dim(0), grad.Dim(1)
+	hw := grad.Dim(2) * grad.Dim(3)
+	n := b * hw
+	ctx.Dev.ChargeFLOPs(10*float64(grad.Size()), 1)
+	dx := tensor.New(grad.Shape()...)
+	sdy := make([]float32, n)
+	sdyxh := make([]float32, n)
+	for ci := 0; ci < c; ci++ {
+		for bi := 0; bi < b; bi++ {
+			off := (bi*c + ci) * hw
+			copy(sdy[bi*hw:(bi+1)*hw], grad.Data[off:off+hw])
+			for j := 0; j < hw; j++ {
+				sdyxh[bi*hw+j] = grad.Data[off+j] * bn.xhat.Data[off+j]
+			}
+		}
+		sumDy := reduceSum(ctx, sdy)
+		sumDyXh := reduceSum(ctx, sdyxh)
+		bn.Beta.Grad.Data[ci] += sumDy
+		bn.Gamma.Grad.Data[ci] += sumDyXh
+		g := bn.Gamma.Value.Data[ci]
+		inv := bn.invStd[ci]
+		scale := g * inv / float32(n)
+		for bi := 0; bi < b; bi++ {
+			off := (bi*c + ci) * hw
+			for j := 0; j < hw; j++ {
+				dx.Data[off+j] = scale * (float32(n)*grad.Data[off+j] - sumDy - bn.xhat.Data[off+j]*sumDyXh)
+			}
+		}
+	}
+	bn.xhat = nil
+	return dx
+}
+
+// Params returns γ and β.
+func (bn *BatchNorm2D) Params() []*Parameter { return []*Parameter{bn.Gamma, bn.Beta} }
+
+// StateTensors exposes the running statistics for checkpointing.
+func (bn *BatchNorm2D) StateTensors() []*tensor.Tensor {
+	return []*tensor.Tensor{bn.RunningMean, bn.RunningVar}
+}
+
+// LayerNorm normalizes the last dimension of its input, as used by the
+// transformer workloads.
+type LayerNorm struct {
+	D   int
+	Eps float32
+
+	Gamma, Beta *Parameter
+
+	xhat   *tensor.Tensor
+	invStd []float32
+}
+
+// NewLayerNorm constructs a LayerNorm over vectors of size d.
+func NewLayerNorm(d int) *LayerNorm {
+	ln := &LayerNorm{D: d, Eps: 1e-5}
+	ln.Gamma = NewParameter("gamma", tensor.Full(1, d))
+	ln.Beta = NewParameter("beta", tensor.New(d))
+	return ln
+}
+
+// Forward normalizes each trailing-dimension vector.
+func (ln *LayerNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(x.Size()%ln.D == 0, "LayerNorm: input %v not divisible by D=%d", x.Shape(), ln.D)
+	rows := x.Size() / ln.D
+	ctx.Dev.ChargeFLOPs(6*float64(x.Size()), 1)
+	y := tensor.New(x.Shape()...)
+	ln.xhat = tensor.New(x.Shape()...)
+	if cap(ln.invStd) < rows {
+		ln.invStd = make([]float32, rows)
+	}
+	ln.invStd = ln.invStd[:rows]
+	kb := ctx.Dev.KernelBlock()
+	for r := 0; r < rows; r++ {
+		row := x.Data[r*ln.D : (r+1)*ln.D]
+		mean, variance := kernels.MeanVar(row, kb)
+		inv := float32(1 / math.Sqrt(float64(variance)+float64(ln.Eps)))
+		ln.invStd[r] = inv
+		for j := 0; j < ln.D; j++ {
+			xh := (row[j] - mean) * inv
+			ln.xhat.Data[r*ln.D+j] = xh
+			y.Data[r*ln.D+j] = ln.Gamma.Value.Data[j]*xh + ln.Beta.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements the layer-norm gradient.
+func (ln *LayerNorm) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	shapeCheck(ln.xhat != nil && ln.xhat.Size() == grad.Size(), "LayerNorm backward without matching forward")
+	rows := grad.Size() / ln.D
+	ctx.Dev.ChargeFLOPs(10*float64(grad.Size()), 1)
+	dx := tensor.New(grad.Shape()...)
+	kb := ctx.Dev.KernelBlock()
+	dyg := make([]float32, ln.D)
+	dygxh := make([]float32, ln.D)
+	for r := 0; r < rows; r++ {
+		off := r * ln.D
+		for j := 0; j < ln.D; j++ {
+			g := grad.Data[off+j]
+			ln.Gamma.Grad.Data[j] += g * ln.xhat.Data[off+j]
+			ln.Beta.Grad.Data[j] += g
+			dyg[j] = g * ln.Gamma.Value.Data[j]
+			dygxh[j] = dyg[j] * ln.xhat.Data[off+j]
+		}
+		meanDyg := kernels.SumBlocked(dyg, kb) / float32(ln.D)
+		meanDygXh := kernels.SumBlocked(dygxh, kb) / float32(ln.D)
+		inv := ln.invStd[r]
+		for j := 0; j < ln.D; j++ {
+			dx.Data[off+j] = inv * (dyg[j] - meanDyg - ln.xhat.Data[off+j]*meanDygXh)
+		}
+	}
+	ln.xhat = nil
+	return dx
+}
+
+// Params returns γ and β.
+func (ln *LayerNorm) Params() []*Parameter { return []*Parameter{ln.Gamma, ln.Beta} }

@@ -1,0 +1,209 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func paramWithGrad(val, grad float32, n int) *nn.Parameter {
+	p := nn.NewParameter("w", tensor.Full(val, n))
+	p.Grad.Fill(grad)
+	return p
+}
+
+func TestSGDVanillaStep(t *testing.T) {
+	p := paramWithGrad(1, 0.5, 3)
+	opt := NewSGD([]*nn.Parameter{p}, 0.1, 0, 0)
+	opt.Step()
+	for _, v := range p.Value.Data {
+		if math.Abs(float64(v)-0.95) > 1e-6 {
+			t.Fatalf("sgd step: %v, want 0.95", v)
+		}
+	}
+	if opt.StepCount() != 1 {
+		t.Fatal("step count")
+	}
+}
+
+func TestSGDMomentumMatchesPyTorchRule(t *testing.T) {
+	p := paramWithGrad(0, 1, 1)
+	opt := NewSGD([]*nn.Parameter{p}, 0.1, 0.9, 0)
+	opt.Step() // v=1, w=-0.1
+	p.Grad.Fill(1)
+	opt.Step() // v=0.9+1=1.9, w=-0.1-0.19=-0.29
+	if math.Abs(float64(p.Value.Data[0])+0.29) > 1e-6 {
+		t.Fatalf("momentum step: %v, want -0.29", p.Value.Data[0])
+	}
+	if len(opt.StateTensors()) != 1 {
+		t.Fatal("momentum buffer missing from state")
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := paramWithGrad(2, 0, 1)
+	opt := NewSGD([]*nn.Parameter{p}, 0.1, 0, 0.5)
+	opt.Step() // g = 0 + 0.5*2 = 1; w = 2 - 0.1
+	if math.Abs(float64(p.Value.Data[0])-1.9) > 1e-6 {
+		t.Fatalf("weight decay step: %v, want 1.9", p.Value.Data[0])
+	}
+}
+
+func TestSGDNoMomentumHasNoState(t *testing.T) {
+	opt := NewSGD([]*nn.Parameter{paramWithGrad(1, 1, 2)}, 0.1, 0, 0)
+	if opt.StateTensors() != nil {
+		t.Fatal("vanilla SGD should have no state tensors")
+	}
+}
+
+func TestZeroGrad(t *testing.T) {
+	p := paramWithGrad(1, 7, 4)
+	NewSGD([]*nn.Parameter{p}, 0.1, 0, 0).ZeroGrad()
+	for _, v := range p.Grad.Data {
+		if v != 0 {
+			t.Fatal("ZeroGrad failed")
+		}
+	}
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// With bias correction, the first Adam step is ≈ lr·sign(g).
+	p := paramWithGrad(0, 3, 1)
+	opt := NewAdam([]*nn.Parameter{p}, 0.01)
+	opt.Step()
+	if math.Abs(float64(p.Value.Data[0])+0.01) > 1e-4 {
+		t.Fatalf("adam first step: %v, want ≈ -0.01", p.Value.Data[0])
+	}
+	if got := len(opt.StateTensors()); got != 2 {
+		t.Fatalf("adam state tensors = %d, want 2", got)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// minimize (w-5)² with dL/dw = 2(w-5)
+	p := nn.NewParameter("w", tensor.New(1))
+	opt := NewAdam([]*nn.Parameter{p}, 0.1)
+	for i := 0; i < 500; i++ {
+		opt.ZeroGrad()
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 5)
+		opt.Step()
+	}
+	if math.Abs(float64(p.Value.Data[0])-5) > 0.05 {
+		t.Fatalf("adam did not converge: %v", p.Value.Data[0])
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	p := nn.NewParameter("w", tensor.New(1))
+	opt := NewSGD([]*nn.Parameter{p}, 0.1, 0.9, 0)
+	for i := 0; i < 200; i++ {
+		opt.ZeroGrad()
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 5)
+		opt.Step()
+	}
+	if math.Abs(float64(p.Value.Data[0])-5) > 0.05 {
+		t.Fatalf("sgd did not converge: %v", p.Value.Data[0])
+	}
+}
+
+func TestStepCountRestore(t *testing.T) {
+	opt := NewAdam([]*nn.Parameter{paramWithGrad(0, 1, 1)}, 0.01)
+	opt.Step()
+	opt.Step()
+	opt.SetStepCount(7)
+	if opt.StepCount() != 7 {
+		t.Fatal("SetStepCount failed")
+	}
+}
+
+func TestStepLRSchedule(t *testing.T) {
+	opt := NewSGD([]*nn.Parameter{paramWithGrad(0, 0, 1)}, 1.0, 0, 0)
+	sch := NewStepLR(opt, 2, 0.1)
+	if opt.LR() != 1.0 {
+		t.Fatal("base lr")
+	}
+	sch.EpochStep() // epoch 1 → no decay
+	if opt.LR() != 1.0 {
+		t.Fatalf("lr after 1 epoch = %v", opt.LR())
+	}
+	sch.EpochStep() // epoch 2 → ×0.1
+	if math.Abs(opt.LR()-0.1) > 1e-12 {
+		t.Fatalf("lr after 2 epochs = %v", opt.LR())
+	}
+	sch.EpochStep()
+	sch.EpochStep() // epoch 4 → ×0.01
+	if math.Abs(opt.LR()-0.01) > 1e-12 {
+		t.Fatalf("lr after 4 epochs = %v", opt.LR())
+	}
+	if sch.Epoch() != 4 {
+		t.Fatal("epoch counter")
+	}
+}
+
+func TestStepLRSetEpochRestores(t *testing.T) {
+	opt := NewSGD([]*nn.Parameter{paramWithGrad(0, 0, 1)}, 1.0, 0, 0)
+	sch := NewStepLR(opt, 3, 0.5)
+	sch.SetEpoch(7) // 2 decays
+	if math.Abs(opt.LR()-0.25) > 1e-12 {
+		t.Fatalf("restored lr = %v, want 0.25", opt.LR())
+	}
+}
+
+func TestMultiStepLR(t *testing.T) {
+	opt := NewSGD([]*nn.Parameter{paramWithGrad(0, 0, 1)}, 1.0, 0, 0)
+	sch := NewMultiStepLR(opt, []int{2, 5}, 0.1)
+	lrs := []float64{}
+	for e := 0; e < 6; e++ {
+		sch.EpochStep()
+		lrs = append(lrs, opt.LR())
+	}
+	want := []float64{1, 0.1, 0.1, 0.1, 0.01, 0.01}
+	for i := range want {
+		if math.Abs(lrs[i]-want[i]) > 1e-9 {
+			t.Fatalf("multistep lr[%d] = %v, want %v", i, lrs[i], want[i])
+		}
+	}
+	sch.SetEpoch(0)
+	if opt.LR() != 1.0 {
+		t.Fatal("SetEpoch(0) should restore base lr")
+	}
+}
+
+func TestCosineLR(t *testing.T) {
+	opt := NewSGD([]*nn.Parameter{paramWithGrad(0, 0, 1)}, 1.0, 0, 0)
+	sch := NewCosineLR(opt, 10)
+	sch.SetEpoch(5)
+	if math.Abs(opt.LR()-0.5) > 1e-9 {
+		t.Fatalf("cosine lr at T/2 = %v, want 0.5", opt.LR())
+	}
+	sch.SetEpoch(10)
+	if opt.LR() > 1e-9 {
+		t.Fatalf("cosine lr at T = %v, want 0", opt.LR())
+	}
+	sch.SetEpoch(15) // clamped past TMax
+	if opt.LR() > 1e-9 {
+		t.Fatalf("cosine lr past T = %v, want 0", opt.LR())
+	}
+	for i := 0; i < 3; i++ {
+		sch.EpochStep()
+	}
+	if sch.Epoch() != 18 {
+		t.Fatal("epoch counter")
+	}
+}
+
+func TestDeterministicUpdates(t *testing.T) {
+	run := func() float32 {
+		p := paramWithGrad(1, 0.3, 64)
+		opt := NewAdam([]*nn.Parameter{p}, 0.01)
+		for i := 0; i < 20; i++ {
+			opt.Step()
+		}
+		return p.Value.Data[63]
+	}
+	if run() != run() {
+		t.Fatal("optimizer updates must be bitwise deterministic")
+	}
+}

@@ -1,0 +1,199 @@
+// Package sched implements the EasyScale scheduler (§3.4): the per-job
+// companion module with its plan database and analytical waste/throughput
+// model (Equations 1a–1d), the intra-job scheduler that maps ESTs onto the
+// currently held GPUs and proposes scale-outs, and the inter-job cluster
+// scheduler that greedily grants proposals by speedup-per-GPU.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+)
+
+// Resources counts GPUs per type.
+type Resources map[device.Type]int
+
+// Clone deep-copies a resource vector.
+func (r Resources) Clone() Resources {
+	out := Resources{}
+	for t, n := range r {
+		if n != 0 {
+			out[t] = n
+		}
+	}
+	return out
+}
+
+// Total returns the GPU count.
+func (r Resources) Total() int {
+	n := 0
+	for _, c := range r {
+		n += c
+	}
+	return n
+}
+
+// Add returns r + o.
+func (r Resources) Add(o Resources) Resources {
+	out := r.Clone()
+	for t, n := range o {
+		out[t] += n
+	}
+	return out
+}
+
+// Fits reports whether r is elementwise ≤ avail.
+func (r Resources) Fits(avail Resources) bool {
+	for t, n := range r {
+		if n > avail[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders a canonical string for use as a map key.
+func (r Resources) Key() string {
+	s := ""
+	for _, t := range device.AllTypes() {
+		if n := r[t]; n > 0 {
+			s += fmt.Sprintf("%s:%d;", t, n)
+		}
+	}
+	return s
+}
+
+// Capability is the workload-specific compute capability C_i: mini-batches
+// per second one EST achieves on one GPU of each type.
+type Capability map[device.Type]float64
+
+// Plan is one entry of the companion module's database: a GPU quantity per
+// type, the EST-to-GPU mapping (A_i ESTs on each GPU of type i), and the
+// model-estimated throughput.
+type Plan struct {
+	GPUs       Resources
+	ESTsPerGPU map[device.Type]int
+	NEST       int     // Σ N_i·A_i (≥ maxP, Eq. 1a)
+	Overload   float64 // f_overload (Eq. 1b)
+	Waste      float64 // Eq. 1c
+	Throughput float64 // Eq. 1d, in mini-batches/sec aggregated
+}
+
+// Companion is the intra-job scheduler's standalone companion module: it
+// owns the plan database and the performance model, initialized analytically
+// (standing in for historical data) and refreshed when observed throughput
+// deviates from the estimate.
+type Companion struct {
+	MaxP int
+	Caps Capability
+
+	plans map[string]Plan // keyed by Resources.Key()
+}
+
+// NewCompanion builds a companion module for a job with maxP ESTs.
+func NewCompanion(maxP int, caps Capability) *Companion {
+	if maxP <= 0 {
+		panic("sched: maxP must be positive")
+	}
+	cp := &Companion{MaxP: maxP, Caps: caps, plans: map[string]Plan{}}
+	return cp
+}
+
+// assign computes the EST-to-GPU mapping for a resource vector by greedy
+// load balancing: repeatedly give one more EST per GPU to the type whose
+// per-EST slowdown (A_i+1)/C_i is smallest, until Σ N_i·A_i ≥ maxP — the
+// quantum property (integer ESTs) over consecutive computing capabilities.
+func (cp *Companion) assign(gpus Resources) (map[device.Type]int, int) {
+	a := map[device.Type]int{}
+	nEST := 0
+	for nEST < cp.MaxP {
+		best := device.Type(-1)
+		bestCost := 0.0
+		for _, t := range device.AllTypes() {
+			if gpus[t] == 0 || cp.Caps[t] <= 0 {
+				continue
+			}
+			cost := float64(a[t]+1) / cp.Caps[t]
+			if best < 0 || cost < bestCost {
+				best, bestCost = t, cost
+			}
+		}
+		if best < 0 {
+			return nil, 0 // no usable GPUs
+		}
+		a[best]++
+		nEST += gpus[best]
+	}
+	return a, nEST
+}
+
+// evaluate applies the waste model (Eq. 1a–1d) to a mapping.
+func (cp *Companion) evaluate(gpus Resources, a map[device.Type]int, nEST int) Plan {
+	f := 0.0
+	for t, ai := range a {
+		if ai > 0 {
+			if v := float64(ai) / cp.Caps[t]; v > f {
+				f = v
+			}
+		}
+	}
+	sumCap := 0.0
+	waste := 0.0
+	for _, t := range device.AllTypes() {
+		n := gpus[t]
+		if n == 0 {
+			continue
+		}
+		sumCap += float64(n) * cp.Caps[t]
+		waste += float64(n) * (cp.Caps[t] - float64(a[t])/f)
+	}
+	waste += float64(nEST-cp.MaxP) / f
+	return Plan{
+		GPUs:       gpus.Clone(),
+		ESTsPerGPU: a,
+		NEST:       nEST,
+		Overload:   f,
+		Waste:      waste,
+		Throughput: sumCap - waste,
+	}
+}
+
+// PlanFor returns the database plan for an exact resource vector, computing
+// and memoizing it on first use. ok is false when the vector cannot host the
+// job (no usable GPUs).
+func (cp *Companion) PlanFor(gpus Resources) (Plan, bool) {
+	if gpus.Total() == 0 {
+		return Plan{}, false
+	}
+	key := gpus.Key()
+	if p, ok := cp.plans[key]; ok {
+		return p, true
+	}
+	a, nEST := cp.assign(gpus)
+	if a == nil {
+		return Plan{}, false
+	}
+	p := cp.evaluate(gpus, a, nEST)
+	cp.plans[key] = p
+	return p, true
+}
+
+// UpdateCapability refreshes the performance model when the monitored
+// throughput biases from the estimate, invalidating the plan database.
+func (cp *Companion) UpdateCapability(t device.Type, observed float64) {
+	if observed <= 0 {
+		return
+	}
+	cp.Caps[t] = observed
+	cp.plans = map[string]Plan{}
+}
+
+// sortTypesByCapability returns GPU types fastest-first for deterministic
+// placement rendering.
+func (cp *Companion) sortTypesByCapability() []device.Type {
+	types := device.AllTypes()
+	sort.SliceStable(types, func(i, j int) bool { return cp.Caps[types[i]] > cp.Caps[types[j]] })
+	return types
+}

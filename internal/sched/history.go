@@ -1,0 +1,108 @@
+package sched
+
+import "repro/internal/device"
+
+// The paper's companion module "initializes the database using historical
+// data" when a job first runs. HistoryRecord is one observation from a past
+// run of the same (or a similar) workload: the resources it held, the
+// EST-to-GPU mapping it used, and the aggregate throughput it measured.
+
+// HistoryRecord is one past observation.
+type HistoryRecord struct {
+	GPUs       Resources
+	ESTsPerGPU map[device.Type]int
+	// MeasuredThroughput is the observed aggregate rate in global
+	// mini-batches per second.
+	MeasuredThroughput float64
+}
+
+// CapabilityFromHistory fits the per-type capability model C_i to historical
+// observations by inverting the waste model: an observation on homogeneous
+// type t with A ESTs per GPU and N GPUs satisfies (for nEST = N·A ≥ maxP)
+// throughput = nEST/f = N·A/(A/C) = N·C, so C = throughput/N. Heterogeneous
+// observations attribute throughput proportionally to the currently fitted
+// capabilities and refine iteratively. Types never observed fall back to the
+// provided prior.
+func CapabilityFromHistory(records []HistoryRecord, prior Capability) Capability {
+	caps := Capability{}
+	for t, c := range prior {
+		caps[t] = c
+	}
+	// pass 1: homogeneous observations pin their type directly
+	counts := map[device.Type]int{}
+	sums := map[device.Type]float64{}
+	for _, rec := range records {
+		if rec.MeasuredThroughput <= 0 {
+			continue
+		}
+		var only device.Type = -1
+		types := 0
+		for t, n := range rec.GPUs {
+			if n > 0 {
+				only = t
+				types++
+			}
+		}
+		if types != 1 {
+			continue
+		}
+		n := rec.GPUs[only]
+		sums[only] += rec.MeasuredThroughput / float64(n)
+		counts[only]++
+	}
+	for t, n := range counts {
+		caps[t] = sums[t] / float64(n)
+	}
+	// pass 2: heterogeneous observations scale the fitted capabilities so
+	// the model matches the measurement (preserving relative speeds)
+	for _, rec := range records {
+		if rec.MeasuredThroughput <= 0 {
+			continue
+		}
+		types := 0
+		for _, n := range rec.GPUs {
+			if n > 0 {
+				types++
+			}
+		}
+		if types < 2 {
+			continue
+		}
+		// estimate with current caps via the waste model
+		est := estimateThroughput(rec, caps)
+		if est <= 0 {
+			continue
+		}
+		ratio := rec.MeasuredThroughput / est
+		for t, n := range rec.GPUs {
+			if n > 0 && rec.ESTsPerGPU[t] > 0 {
+				caps[t] *= ratio
+			}
+		}
+	}
+	return caps
+}
+
+// estimateThroughput applies Eq. 1b–1d to a recorded configuration.
+func estimateThroughput(rec HistoryRecord, caps Capability) float64 {
+	f := 0.0
+	nEST := 0
+	for t, a := range rec.ESTsPerGPU {
+		if a > 0 && caps[t] > 0 {
+			if v := float64(a) / caps[t]; v > f {
+				f = v
+			}
+			nEST += rec.GPUs[t] * a
+		}
+	}
+	if f <= 0 || nEST == 0 {
+		return 0
+	}
+	return float64(nEST) / f
+}
+
+// NewCompanionFromHistory builds a companion module whose capability model
+// is fitted to past observations, with `prior` covering unobserved types.
+func NewCompanionFromHistory(maxP int, records []HistoryRecord, prior Capability) *Companion {
+	return NewCompanion(maxP, CapabilityFromHistory(records, prior))
+}

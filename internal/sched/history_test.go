@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestCapabilityFromHomogeneousHistory(t *testing.T) {
+	records := []HistoryRecord{
+		{GPUs: Resources{device.V100: 4}, ESTsPerGPU: map[device.Type]int{device.V100: 1}, MeasuredThroughput: 8.0},
+		{GPUs: Resources{device.V100: 2}, ESTsPerGPU: map[device.Type]int{device.V100: 2}, MeasuredThroughput: 4.0},
+		{GPUs: Resources{device.T4: 2}, ESTsPerGPU: map[device.Type]int{device.T4: 2}, MeasuredThroughput: 1.4},
+	}
+	prior := Capability{device.V100: 1, device.P100: 0.5, device.T4: 0.35}
+	caps := CapabilityFromHistory(records, prior)
+	if math.Abs(caps[device.V100]-2.0) > 1e-9 {
+		t.Fatalf("V100 capability fitted to %v, want 2.0", caps[device.V100])
+	}
+	if math.Abs(caps[device.T4]-0.7) > 1e-9 {
+		t.Fatalf("T4 capability fitted to %v, want 0.7", caps[device.T4])
+	}
+	// unobserved type keeps the prior
+	if caps[device.P100] != 0.5 {
+		t.Fatalf("P100 should keep prior, got %v", caps[device.P100])
+	}
+}
+
+func TestCapabilityFromHeterogeneousHistory(t *testing.T) {
+	// homogeneous pin: V100 = 1.0; then a mixed observation measuring 20%
+	// above the model scales the involved types up
+	records := []HistoryRecord{
+		{GPUs: Resources{device.V100: 2}, ESTsPerGPU: map[device.Type]int{device.V100: 1}, MeasuredThroughput: 2.0},
+		{GPUs: Resources{device.V100: 1, device.P100: 1},
+			ESTsPerGPU:         map[device.Type]int{device.V100: 3, device.P100: 1},
+			MeasuredThroughput: 1.6},
+	}
+	prior := Capability{device.V100: 0.5, device.P100: 0.5, device.T4: 0.35}
+	caps := CapabilityFromHistory(records, prior)
+	// model estimate before scaling: f = max(3/1, 1/0.5) = 3, nEST=4 → 1.333
+	// measured 1.6 → ratio 1.2 applied to V100 and P100
+	if math.Abs(caps[device.V100]-1.2) > 1e-9 {
+		t.Fatalf("V100 capability %v, want 1.2", caps[device.V100])
+	}
+	if math.Abs(caps[device.P100]-0.6) > 1e-9 {
+		t.Fatalf("P100 capability %v, want 0.6", caps[device.P100])
+	}
+}
+
+func TestCapabilityHistoryIgnoresBadRecords(t *testing.T) {
+	prior := Capability{device.V100: 1}
+	caps := CapabilityFromHistory([]HistoryRecord{
+		{GPUs: Resources{device.V100: 2}, MeasuredThroughput: -1},
+		{GPUs: Resources{}, MeasuredThroughput: 5},
+	}, prior)
+	if caps[device.V100] != 1 {
+		t.Fatal("bad records must not perturb the prior")
+	}
+}
+
+func TestNewCompanionFromHistoryPlans(t *testing.T) {
+	records := []HistoryRecord{
+		{GPUs: Resources{device.V100: 1}, ESTsPerGPU: map[device.Type]int{device.V100: 4}, MeasuredThroughput: 2.0},
+	}
+	cp := NewCompanionFromHistory(4, records, Capability{device.V100: 1, device.P100: 0.5, device.T4: 0.35})
+	p, ok := cp.PlanFor(Resources{device.V100: 4})
+	if !ok {
+		t.Fatal("plan expected")
+	}
+	// fitted V100 capability 2.0 → 4 GPUs × 2.0 = 8 steps/s
+	if math.Abs(p.Throughput-8) > 1e-9 {
+		t.Fatalf("history-fitted plan throughput %v, want 8", p.Throughput)
+	}
+}

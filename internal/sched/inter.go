@@ -1,0 +1,99 @@
+package sched
+
+import "sort"
+
+// Policy decides which proposals to accept given the free pool. The default
+// is the paper's greedy heuristic; the interface is the extension point §3.4
+// reserves for experimenting with other policies.
+type Policy interface {
+	// Decide returns the accepted subset of proposals, in grant order.
+	Decide(free Resources, proposals []Proposal) []Proposal
+}
+
+// GreedyPolicy accepts proposals in order of speedup-per-GPU, breaking ties
+// toward more GPUs, subject to the free pool; at most one proposal per job
+// per round.
+type GreedyPolicy struct{}
+
+// Decide implements Policy.
+func (GreedyPolicy) Decide(free Resources, proposals []Proposal) []Proposal {
+	sorted := append([]Proposal(nil), proposals...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].SpeedupPerGPU != sorted[j].SpeedupPerGPU {
+			return sorted[i].SpeedupPerGPU > sorted[j].SpeedupPerGPU
+		}
+		if sorted[i].Count != sorted[j].Count {
+			return sorted[i].Count > sorted[j].Count
+		}
+		return sorted[i].JobID < sorted[j].JobID
+	})
+	pool := free.Clone()
+	granted := map[string]bool{}
+	var out []Proposal
+	for _, pr := range sorted {
+		if granted[pr.JobID] {
+			continue
+		}
+		if pool[pr.Type] < pr.Count {
+			continue
+		}
+		pool[pr.Type] -= pr.Count
+		granted[pr.JobID] = true
+		out = append(out, pr)
+	}
+	return out
+}
+
+// InterJob is the cluster-scale scheduler: it tracks the fluctuating free
+// pool (idle GPUs left over by serving jobs), collects resource proposals
+// from the jobs' intra-job schedulers, and grants them by policy.
+type InterJob struct {
+	Policy Policy
+	free   Resources
+}
+
+// NewInterJob builds the scheduler with the greedy default policy.
+func NewInterJob(free Resources) *InterJob {
+	return &InterJob{Policy: GreedyPolicy{}, free: free.Clone()}
+}
+
+// Free returns the current free pool.
+func (s *InterJob) Free() Resources { return s.free.Clone() }
+
+// SetFree synchronizes the fluctuating free resources (e.g. after serving
+// jobs grow or shrink).
+func (s *InterJob) SetFree(free Resources) { s.free = free.Clone() }
+
+// Release returns GPUs to the pool.
+func (s *InterJob) Release(r Resources) {
+	for t, n := range r {
+		s.free[t] += n
+	}
+}
+
+// Take removes GPUs from the pool (preemption by high-priority jobs);
+// it clamps at zero and returns what was actually taken.
+func (s *InterJob) Take(r Resources) Resources {
+	got := Resources{}
+	for t, n := range r {
+		if n > s.free[t] {
+			n = s.free[t]
+		}
+		if n > 0 {
+			s.free[t] -= n
+			got[t] = n
+		}
+	}
+	return got
+}
+
+// Round runs one scheduling round: evaluates the proposals, debits the pool
+// for the accepted ones, and returns them for the intra-job schedulers to
+// apply.
+func (s *InterJob) Round(proposals []Proposal) []Proposal {
+	accepted := s.Policy.Decide(s.free, proposals)
+	for _, pr := range accepted {
+		s.free[pr.Type] -= pr.Count
+	}
+	return accepted
+}

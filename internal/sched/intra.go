@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Proposal is a resource request an intra-job scheduler submits to the
+// inter-job scheduler: an incremental, homogeneous batch of GPUs and the
+// estimated speedup it buys.
+type Proposal struct {
+	JobID string
+	// Add is the incremental request (a single GPU type, per §3.4).
+	Type  device.Type
+	Count int
+	// SpeedupTotal is estimated new/current throughput; SpeedupPerGPU is
+	// (SpeedupTotal−1)/Count, the inter-job scheduler's ranking key.
+	SpeedupTotal  float64
+	SpeedupPerGPU float64
+}
+
+// IntraJob coordinates one job's ESTs and its currently allocated GPUs.
+type IntraJob struct {
+	JobID     string
+	Companion *Companion
+	// HomogeneousOnly restricts plans to a single GPU type — the policy for
+	// jobs whose model relies on vendor kernels (D2 unavailable).
+	HomogeneousOnly bool
+
+	cur     Resources
+	curPlan Plan
+	// prev remembers the pre-scale-out state for the slowdown fallback.
+	prev        Resources
+	prevPlan    Plan
+	scaledOut   bool
+	FallbackTol float64 // observed/estimated ratio below which we fall back
+}
+
+// NewIntraJob builds the intra-job scheduler.
+func NewIntraJob(jobID string, cp *Companion, homogeneousOnly bool) *IntraJob {
+	return &IntraJob{
+		JobID:           jobID,
+		Companion:       cp,
+		HomogeneousOnly: homogeneousOnly,
+		cur:             Resources{},
+		FallbackTol:     0.8,
+	}
+}
+
+// Current returns the held resources.
+func (s *IntraJob) Current() Resources { return s.cur.Clone() }
+
+// CurrentPlan returns the active plan.
+func (s *IntraJob) CurrentPlan() Plan { return s.curPlan }
+
+// admissible filters a resource vector through the homogeneity policy.
+func (s *IntraJob) admissible(r Resources) bool {
+	if !s.HomogeneousOnly {
+		return true
+	}
+	types := 0
+	for _, n := range r {
+		if n > 0 {
+			types++
+		}
+	}
+	return types <= 1
+}
+
+// Apply is Role-1/Role-3: accept a (possibly changed) resource allocation
+// and select the best EST-to-GPU configuration for it. Returns false when
+// the job cannot run on the given resources (it then holds zero GPUs).
+func (s *IntraJob) Apply(r Resources) (Plan, bool) {
+	if !s.admissible(r) {
+		return Plan{}, false
+	}
+	p, ok := s.Companion.PlanFor(r)
+	if !ok {
+		s.cur, s.curPlan = Resources{}, Plan{}
+		return Plan{}, false
+	}
+	s.cur, s.curPlan = r.Clone(), p
+	return p, true
+}
+
+// TrimUnused drops GPU types the active plan assigns no ESTs to (their
+// capability would be pure waste) and returns them for release to the
+// cluster pool.
+func (s *IntraJob) TrimUnused() Resources {
+	released := Resources{}
+	for t, n := range s.cur {
+		if n > 0 && s.curPlan.ESTsPerGPU[t] == 0 {
+			released[t] = n
+		}
+	}
+	if len(released) == 0 {
+		return nil
+	}
+	next := s.cur.Clone()
+	for t := range released {
+		delete(next, t)
+	}
+	s.Apply(next)
+	return released
+}
+
+// Proposals is Role-2: explore incremental homogeneous scale-outs against
+// the free pool and return the top-K by estimated speedup.
+func (s *IntraJob) Proposals(free Resources, k int) []Proposal {
+	var out []Proposal
+	curThr := s.curPlan.Throughput
+	for _, t := range device.AllTypes() {
+		if s.HomogeneousOnly {
+			// only the type we already hold (or any single type if idle)
+			if s.cur.Total() > 0 && s.cur[t] == 0 {
+				continue
+			}
+		}
+		for add := 1; add <= free[t]; add++ {
+			next := s.cur.Clone()
+			next[t] += add
+			p, ok := s.Companion.PlanFor(next)
+			if !ok || p.Throughput <= 0 {
+				continue
+			}
+			var speedup, perGPU float64
+			if curThr > 0 {
+				speedup = p.Throughput / curThr
+				if speedup <= 1 {
+					continue
+				}
+				perGPU = (speedup - 1) / float64(add)
+			} else {
+				// An idle job (minimum GPUs is zero) values any allocation
+				// maximally: rank its proposals ahead of running jobs'
+				// incremental requests by throughput-per-GPU, so the greedy
+				// tie rule ("same speedup → more GPUs") lets it claim its
+				// full useful allocation in one grant.
+				speedup = p.Throughput
+				perGPU = 1e6 * p.Throughput / float64(add)
+			}
+			out = append(out, Proposal{
+				JobID: s.JobID, Type: t, Count: add,
+				SpeedupTotal:  speedup,
+				SpeedupPerGPU: perGPU,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SpeedupPerGPU != out[j].SpeedupPerGPU {
+			return out[i].SpeedupPerGPU > out[j].SpeedupPerGPU
+		}
+		return out[i].Count > out[j].Count
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Grant is Role-3 for an accepted proposal: scale out onto the granted GPUs,
+// remembering the previous state for the slowdown fallback.
+func (s *IntraJob) Grant(pr Proposal) (Plan, bool) {
+	s.prev, s.prevPlan = s.cur.Clone(), s.curPlan
+	next := s.cur.Clone()
+	next[pr.Type] += pr.Count
+	p, ok := s.Apply(next)
+	if ok {
+		s.scaledOut = true
+	}
+	return p, ok
+}
+
+// ObserveThroughput feeds a measured aggregate throughput back. If the job
+// recently scaled out and the measurement falls short of the estimate, the
+// job falls back to its previous resources and reports the GPUs to release;
+// the measurement also refreshes the companion's database when it biases.
+func (s *IntraJob) ObserveThroughput(measured float64) (release Resources, fellBack bool) {
+	if s.curPlan.Throughput > 0 && measured > 0 {
+		ratio := measured / s.curPlan.Throughput
+		if ratio < 0.5 || ratio > 2 {
+			// significant bias: refresh the dominant type's capability
+			for _, t := range device.AllTypes() {
+				if s.cur[t] > 0 && s.curPlan.ESTsPerGPU[t] > 0 {
+					s.Companion.UpdateCapability(t, s.Companion.Caps[t]*ratio)
+					break
+				}
+			}
+		}
+	}
+	if s.scaledOut && s.curPlan.Throughput > 0 && measured < s.curPlan.Throughput*s.FallbackTol {
+		release = Resources{}
+		for t, n := range s.cur {
+			release[t] = n - s.prev[t]
+		}
+		s.cur, s.curPlan = s.prev.Clone(), s.prevPlan
+		s.scaledOut = false
+		return release, true
+	}
+	s.scaledOut = false
+	return nil, false
+}
+
+// RenderPlacement converts the active plan into a core.Placement: GPUs
+// ordered fastest type first, virtual ranks assigned contiguously — a pure
+// function of the plan, so every worker derives the same mapping.
+func (s *IntraJob) RenderPlacement(numESTs int) core.Placement {
+	var p core.Placement
+	rank := 0
+	for _, t := range s.Companion.sortTypesByCapability() {
+		n := s.cur[t]
+		a := s.curPlan.ESTsPerGPU[t]
+		for g := 0; g < n; g++ {
+			var ranks []int
+			for k := 0; k < a && rank < numESTs; k++ {
+				ranks = append(ranks, rank)
+				rank++
+			}
+			if len(ranks) > 0 {
+				p.Devices = append(p.Devices, t)
+				p.Assignment = append(p.Assignment, ranks)
+			}
+		}
+	}
+	// over-provisioned plans may leave ranks unassigned if maxP < Σ slots —
+	// the loop above caps at numESTs; conversely distribute any remainder
+	// (defensive: should not happen when the plan satisfies Eq. 1a)
+	for rank < numESTs && len(p.Assignment) > 0 {
+		p.Assignment[len(p.Assignment)-1] = append(p.Assignment[len(p.Assignment)-1], rank)
+		rank++
+	}
+	return p
+}

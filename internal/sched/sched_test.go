@@ -1,0 +1,306 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func caps() Capability {
+	return Capability{device.V100: 1.0, device.P100: 0.5, device.T4: 0.35}
+}
+
+func TestResourcesBasics(t *testing.T) {
+	r := Resources{device.V100: 2, device.T4: 1}
+	if r.Total() != 3 {
+		t.Fatal("Total")
+	}
+	c := r.Clone()
+	c[device.V100] = 9
+	if r[device.V100] != 2 {
+		t.Fatal("Clone must be deep")
+	}
+	sum := r.Add(Resources{device.V100: 1})
+	if sum[device.V100] != 3 || sum[device.T4] != 1 {
+		t.Fatal("Add")
+	}
+	if !r.Fits(Resources{device.V100: 2, device.T4: 2}) {
+		t.Fatal("Fits should hold")
+	}
+	if r.Fits(Resources{device.V100: 1, device.T4: 2}) {
+		t.Fatal("Fits should fail")
+	}
+	if r.Key() == "" || r.Key() != r.Clone().Key() {
+		t.Fatal("Key must be stable")
+	}
+}
+
+func TestPlanBalancedHomogeneous(t *testing.T) {
+	cp := NewCompanion(4, caps())
+	p, ok := cp.PlanFor(Resources{device.V100: 4})
+	if !ok {
+		t.Fatal("plan expected")
+	}
+	if p.ESTsPerGPU[device.V100] != 1 || p.NEST != 4 {
+		t.Fatalf("plan %+v", p)
+	}
+	if math.Abs(p.Waste) > 1e-9 {
+		t.Fatalf("balanced plan should have zero waste, got %v", p.Waste)
+	}
+	if math.Abs(p.Throughput-4) > 1e-9 {
+		t.Fatalf("throughput %v, want 4", p.Throughput)
+	}
+}
+
+func TestPlanTimeSlicingOneGPU(t *testing.T) {
+	cp := NewCompanion(4, caps())
+	p, ok := cp.PlanFor(Resources{device.V100: 1})
+	if !ok {
+		t.Fatal("plan expected")
+	}
+	if p.ESTsPerGPU[device.V100] != 4 {
+		t.Fatalf("expected 4 ESTs on the single GPU, got %+v", p.ESTsPerGPU)
+	}
+	if math.Abs(p.Throughput-1) > 1e-9 {
+		t.Fatalf("time-sliced throughput %v, want 1 (= C of one V100)", p.Throughput)
+	}
+}
+
+func TestPlanHeterogeneousLoadBalance(t *testing.T) {
+	cp := NewCompanion(4, caps())
+	p, ok := cp.PlanFor(Resources{device.V100: 1, device.P100: 1})
+	if !ok {
+		t.Fatal("plan expected")
+	}
+	// balanced: 3 ESTs on the V100 (cost 3) vs 1 on the P100 (cost 2) →
+	// f=3, throughput = 4/3; the alternative 2/2 gives f=4, throughput 1
+	if p.ESTsPerGPU[device.V100] != 3 || p.ESTsPerGPU[device.P100] != 1 {
+		t.Fatalf("mapping %+v", p.ESTsPerGPU)
+	}
+	if math.Abs(p.Throughput-4.0/3) > 1e-9 {
+		t.Fatalf("hetero throughput %v, want 4/3", p.Throughput)
+	}
+}
+
+func TestPlanOverProvisionWaste(t *testing.T) {
+	// 3 GPUs, maxP=4: nEST=6 (A=2 each) or nEST=... greedy: A=1→3, A=2→6 ≥ 4
+	cp := NewCompanion(4, caps())
+	p, ok := cp.PlanFor(Resources{device.V100: 3})
+	if !ok {
+		t.Fatal("plan expected")
+	}
+	if p.NEST != 6 {
+		t.Fatalf("nEST = %d, want 6", p.NEST)
+	}
+	if p.Waste <= 0 {
+		t.Fatal("over-provisioned plan should have positive waste")
+	}
+	if p.Throughput >= 3 {
+		t.Fatalf("throughput %v must be below Σ N·C = 3", p.Throughput)
+	}
+}
+
+func TestPlanPropertiesQuick(t *testing.T) {
+	cp := NewCompanion(8, caps())
+	f := func(v, pq, t4 uint8) bool {
+		r := Resources{device.V100: int(v % 5), device.P100: int(pq % 5), device.T4: int(t4 % 5)}
+		if r.Total() == 0 {
+			_, ok := cp.PlanFor(r)
+			return !ok
+		}
+		p, ok := cp.PlanFor(r)
+		if !ok {
+			return false
+		}
+		sumCap := 0.0
+		for typ, n := range r {
+			sumCap += float64(n) * cp.Caps[typ]
+		}
+		return p.Waste >= -1e-9 && p.Throughput <= sumCap+1e-9 && p.NEST >= cp.MaxP && p.Throughput > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputMonotoneInHomogeneousGPUs(t *testing.T) {
+	cp := NewCompanion(8, caps())
+	prev := 0.0
+	for n := 1; n <= 8; n++ {
+		p, _ := cp.PlanFor(Resources{device.V100: n})
+		if p.Throughput < prev-1e-9 {
+			t.Fatalf("throughput decreased at %d GPUs: %v < %v", n, p.Throughput, prev)
+		}
+		prev = p.Throughput
+	}
+	if math.Abs(prev-8) > 1e-9 {
+		t.Fatalf("8 V100s with 8 ESTs should reach throughput 8, got %v", prev)
+	}
+}
+
+func TestUpdateCapabilityInvalidatesPlans(t *testing.T) {
+	cp := NewCompanion(4, caps())
+	p1, _ := cp.PlanFor(Resources{device.V100: 2})
+	cp.UpdateCapability(device.V100, 2.0)
+	p2, _ := cp.PlanFor(Resources{device.V100: 2})
+	if p2.Throughput <= p1.Throughput {
+		t.Fatal("capability update should raise estimated throughput")
+	}
+	cp.UpdateCapability(device.V100, -1) // ignored
+	if cp.Caps[device.V100] != 2.0 {
+		t.Fatal("invalid capability update must be ignored")
+	}
+}
+
+func TestIntraJobApplyAndRender(t *testing.T) {
+	s := NewIntraJob("job-0", NewCompanion(4, caps()), false)
+	_, ok := s.Apply(Resources{device.V100: 1, device.P100: 2})
+	if !ok {
+		t.Fatal("apply failed")
+	}
+	p := s.RenderPlacement(4)
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// fastest type first in placement
+	if p.Devices[0] != device.V100 {
+		t.Fatalf("placement order %v", p.Devices)
+	}
+	if _, ok := s.Apply(Resources{}); ok {
+		t.Fatal("empty resources must not apply")
+	}
+}
+
+func TestIntraJobHomogeneousOnly(t *testing.T) {
+	s := NewIntraJob("job-0", NewCompanion(4, caps()), true)
+	if _, ok := s.Apply(Resources{device.V100: 1, device.P100: 1}); ok {
+		t.Fatal("homogeneous-only job must reject mixed resources")
+	}
+	if _, ok := s.Apply(Resources{device.V100: 2}); !ok {
+		t.Fatal("single-type resources must apply")
+	}
+	// proposals must stay on the held type
+	props := s.Proposals(Resources{device.V100: 2, device.T4: 4}, 10)
+	for _, pr := range props {
+		if pr.Type != device.V100 {
+			t.Fatalf("homogeneous-only job proposed %v", pr.Type)
+		}
+	}
+}
+
+func TestProposalsRankedBySpeedupPerGPU(t *testing.T) {
+	s := NewIntraJob("job-0", NewCompanion(8, caps()), false)
+	s.Apply(Resources{device.V100: 1})
+	props := s.Proposals(Resources{device.V100: 4, device.T4: 2}, 20)
+	if len(props) == 0 {
+		t.Fatal("expected proposals")
+	}
+	for i := 1; i < len(props); i++ {
+		if props[i].SpeedupPerGPU > props[i-1].SpeedupPerGPU+1e-12 {
+			t.Fatal("proposals must be sorted by speedup per GPU")
+		}
+	}
+	for _, pr := range props {
+		if pr.SpeedupTotal <= 1 {
+			t.Fatalf("proposal with no speedup should be filtered: %+v", pr)
+		}
+	}
+}
+
+func TestIdleJobProposes(t *testing.T) {
+	s := NewIntraJob("job-0", NewCompanion(4, caps()), false)
+	props := s.Proposals(Resources{device.T4: 1}, 5)
+	if len(props) == 0 {
+		t.Fatal("an idle job must propose for any free GPU")
+	}
+}
+
+func TestGrantAndFallback(t *testing.T) {
+	s := NewIntraJob("job-0", NewCompanion(8, caps()), false)
+	s.Apply(Resources{device.V100: 2})
+	base := s.CurrentPlan().Throughput
+	props := s.Proposals(Resources{device.V100: 2}, 1)
+	if len(props) == 0 {
+		t.Fatal("expected a proposal")
+	}
+	p, ok := s.Grant(props[0])
+	if !ok || p.Throughput <= base {
+		t.Fatal("grant should raise estimated throughput")
+	}
+	// observed slowdown → fall back and release the new GPUs
+	release, fell := s.ObserveThroughput(base * 0.5)
+	if !fell {
+		t.Fatal("expected fallback on slowdown")
+	}
+	if release[device.V100] != props[0].Count {
+		t.Fatalf("release %v, want %d V100", release, props[0].Count)
+	}
+	if s.Current()[device.V100] != 2 {
+		t.Fatal("fallback should restore previous resources")
+	}
+	// healthy observation → no fallback
+	s.Grant(props[0])
+	if _, fell := s.ObserveThroughput(s.CurrentPlan().Throughput); fell {
+		t.Fatal("no fallback expected on healthy throughput")
+	}
+}
+
+func TestGreedyPolicyOrderAndCapacity(t *testing.T) {
+	props := []Proposal{
+		{JobID: "a", Type: device.V100, Count: 1, SpeedupTotal: 1.5, SpeedupPerGPU: 0.5},
+		{JobID: "b", Type: device.V100, Count: 2, SpeedupTotal: 3.0, SpeedupPerGPU: 1.0},
+		{JobID: "c", Type: device.V100, Count: 2, SpeedupTotal: 3.0, SpeedupPerGPU: 1.0},
+		{JobID: "b", Type: device.T4, Count: 1, SpeedupTotal: 1.2, SpeedupPerGPU: 0.2},
+	}
+	inter := NewInterJob(Resources{device.V100: 3})
+	accepted := inter.Round(props)
+	// b and c tie at 1.0; both want 2 of 3 V100s → first by job id (b), then
+	// c cannot fit, then a takes the last V100
+	if len(accepted) != 2 {
+		t.Fatalf("accepted %d proposals: %+v", len(accepted), accepted)
+	}
+	if accepted[0].JobID != "b" || accepted[1].JobID != "a" {
+		t.Fatalf("grant order wrong: %+v", accepted)
+	}
+	if inter.Free()[device.V100] != 0 {
+		t.Fatal("pool not debited")
+	}
+}
+
+func TestGreedyTiesPreferMoreGPUs(t *testing.T) {
+	props := []Proposal{
+		{JobID: "a", Type: device.V100, Count: 1, SpeedupPerGPU: 0.5, SpeedupTotal: 1.5},
+		{JobID: "b", Type: device.V100, Count: 3, SpeedupPerGPU: 0.5, SpeedupTotal: 2.5},
+	}
+	accepted := GreedyPolicy{}.Decide(Resources{device.V100: 3}, props)
+	if accepted[0].JobID != "b" {
+		t.Fatal("equal speedup must prefer the larger request")
+	}
+}
+
+func TestInterJobPoolOps(t *testing.T) {
+	inter := NewInterJob(Resources{device.V100: 2, device.T4: 1})
+	inter.Release(Resources{device.T4: 2})
+	if inter.Free()[device.T4] != 3 {
+		t.Fatal("release")
+	}
+	got := inter.Take(Resources{device.V100: 5})
+	if got[device.V100] != 2 || inter.Free()[device.V100] != 0 {
+		t.Fatalf("take clamping wrong: %v", got)
+	}
+	inter.SetFree(Resources{device.P100: 7})
+	if inter.Free()[device.P100] != 7 || inter.Free()[device.T4] != 0 {
+		t.Fatal("SetFree")
+	}
+}
+
+func TestCompanionPanicsOnBadMaxP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCompanion(0, caps())
+}

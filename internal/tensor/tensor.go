@@ -1,0 +1,384 @@
+// Package tensor implements the dense float32 tensor that underlies the
+// EasyScale training stack.
+//
+// Tensors are contiguous row-major buffers with an explicit shape. The
+// package provides structure and elementwise arithmetic; compute-heavy,
+// determinism-sensitive operations (matrix multiply, convolution, large
+// reductions) live in internal/kernels where the accumulation order — the
+// root cause of floating-point non-determinism the paper identifies — is an
+// explicit parameter.
+//
+// float32 is used throughout, matching GPU training numerics: the narrower
+// mantissa makes reordering effects (and hence the determinism levels
+// D0/D1/D2) observable at realistic problem sizes.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major float32 array. Data is exported so kernels can
+// operate on the raw buffer without copies.
+type Tensor struct {
+	shape []int
+	Data  []float32
+}
+
+// Numel returns the number of elements implied by shape. It panics on
+// negative dimensions.
+func Numel(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// New allocates a zero-filled tensor of the given shape.
+func New(shape ...int) *Tensor {
+	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float32, Numel(shape))}
+}
+
+// FromData wraps data (no copy) with the given shape. It panics if the
+// element counts disagree.
+func FromData(data []float32, shape ...int) *Tensor {
+	if len(data) != Numel(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	t.Fill(v)
+	return t
+}
+
+// Shape returns the tensor shape. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// offset converts a multi-index to a flat offset.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies o's data into t. Shapes must have equal element counts.
+func (t *Tensor) CopyFrom(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.Data, o.Data)
+}
+
+// Reshape returns a view sharing data with t under a new shape. One dimension
+// may be -1 to be inferred.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	ns := append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, d := range ns {
+		if d == -1 {
+			if infer >= 0 {
+				panic("tensor: multiple -1 dims in Reshape")
+			}
+			infer = i
+		} else {
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.Data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dim for reshape %v of %v", shape, t.shape))
+		}
+		ns[infer] = len(t.Data) / known
+	}
+	if Numel(ns) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: reshape %v incompatible with %v", ns, t.shape))
+	}
+	return &Tensor{shape: ns, Data: t.Data}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets all elements to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) binaryCheck(o *Tensor, op string) {
+	if len(t.Data) != len(o.Data) {
+		panic(fmt.Sprintf("tensor: %s size mismatch %v vs %v", op, t.shape, o.shape))
+	}
+}
+
+// Add returns t + o elementwise.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	t.binaryCheck(o, "Add")
+	r := t.Clone()
+	for i := range r.Data {
+		r.Data[i] += o.Data[i]
+	}
+	return r
+}
+
+// AddInPlace accumulates o into t.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	t.binaryCheck(o, "AddInPlace")
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+}
+
+// Sub returns t - o elementwise.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	t.binaryCheck(o, "Sub")
+	r := t.Clone()
+	for i := range r.Data {
+		r.Data[i] -= o.Data[i]
+	}
+	return r
+}
+
+// Mul returns t * o elementwise.
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	t.binaryCheck(o, "Mul")
+	r := t.Clone()
+	for i := range r.Data {
+		r.Data[i] *= o.Data[i]
+	}
+	return r
+}
+
+// MulInPlace multiplies t by o elementwise.
+func (t *Tensor) MulInPlace(o *Tensor) {
+	t.binaryCheck(o, "MulInPlace")
+	for i := range t.Data {
+		t.Data[i] *= o.Data[i]
+	}
+}
+
+// Div returns t / o elementwise.
+func (t *Tensor) Div(o *Tensor) *Tensor {
+	t.binaryCheck(o, "Div")
+	r := t.Clone()
+	for i := range r.Data {
+		r.Data[i] /= o.Data[i]
+	}
+	return r
+}
+
+// Scale returns t * s.
+func (t *Tensor) Scale(s float32) *Tensor {
+	r := t.Clone()
+	for i := range r.Data {
+		r.Data[i] *= s
+	}
+	return r
+}
+
+// ScaleInPlace multiplies t by s.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AddScalar returns t + s elementwise.
+func (t *Tensor) AddScalar(s float32) *Tensor {
+	r := t.Clone()
+	for i := range r.Data {
+		r.Data[i] += s
+	}
+	return r
+}
+
+// AxpyInPlace computes t += alpha * o.
+func (t *Tensor) AxpyInPlace(alpha float32, o *Tensor) {
+	t.binaryCheck(o, "AxpyInPlace")
+	for i := range t.Data {
+		t.Data[i] += alpha * o.Data[i]
+	}
+}
+
+// Equal reports bitwise equality of shape and data. NaNs compare by bit
+// pattern, which is exactly what the paper's bitwise-consistency claim needs.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !SameShape(t, o) {
+		return false
+	}
+	for i := range t.Data {
+		if math.Float32bits(t.Data[i]) != math.Float32bits(o.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest |t[i]-o[i]|; useful for loss-difference
+// plots (Figure 9) where divergence magnitude matters.
+func (t *Tensor) MaxAbsDiff(o *Tensor) float64 {
+	t.binaryCheck(o, "MaxAbsDiff")
+	var m float64
+	for i := range t.Data {
+		d := math.Abs(float64(t.Data[i]) - float64(o.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AllClose reports whether all elements agree within tol.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	return SameShape(t, o) && t.MaxAbsDiff(o) <= tol
+}
+
+// Sum returns the sequential left-to-right sum of all elements.
+func (t *Tensor) Sum() float32 {
+	var s float32
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns Sum()/Size().
+func (t *Tensor) Mean() float32 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float32(len(t.Data))
+}
+
+// ArgMaxRow returns, for a 2-D tensor, the argmax of each row. Used for
+// classification accuracy.
+func (t *Tensor) ArgMaxRow() []int {
+	if len(t.shape) != 2 {
+		panic("tensor: ArgMaxRow requires rank-2 tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		best, bi := t.Data[r*cols], 0
+		for c := 1; c < cols; c++ {
+			if v := t.Data[r*cols+c]; v > best {
+				best, bi = v, c
+			}
+		}
+		out[r] = bi
+	}
+	return out
+}
+
+// Row returns a view of row r of a rank-2 tensor (shares data).
+func (t *Tensor) Row(r int) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Row requires rank-2 tensor")
+	}
+	cols := t.shape[1]
+	return &Tensor{shape: []int{cols}, Data: t.Data[r*cols : (r+1)*cols]}
+}
+
+// SliceBatch returns a view of items [from, to) along the leading dimension.
+func (t *Tensor) SliceBatch(from, to int) *Tensor {
+	if len(t.shape) == 0 {
+		panic("tensor: SliceBatch on scalar")
+	}
+	if from < 0 || to > t.shape[0] || from > to {
+		panic(fmt.Sprintf("tensor: SliceBatch [%d,%d) out of range for dim %d", from, to, t.shape[0]))
+	}
+	inner := 1
+	for _, d := range t.shape[1:] {
+		inner *= d
+	}
+	ns := append([]int{to - from}, t.shape[1:]...)
+	return &Tensor{shape: ns, Data: t.Data[from*inner : to*inner]}
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.shape)
+	n := len(t.Data)
+	const maxShow = 8
+	for i := 0; i < n && i < maxShow; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%g", t.Data[i])
+	}
+	if n > maxShow {
+		fmt.Fprintf(&b, " ... (%d elems)", n)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Hash64 returns an FNV-1a hash over the raw bit patterns of the data. Two
+// bitwise-identical tensors hash identically; this is how integration tests
+// and the experiment harness fingerprint whole models cheaply.
+func (t *Tensor) Hash64() uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range t.Data {
+		bits := math.Float32bits(v)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64((bits >> s) & 0xff)
+			h *= 1099511628211
+		}
+	}
+	return h
+}

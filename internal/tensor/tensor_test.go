@@ -1,0 +1,253 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Size() != 6 || x.Rank() != 2 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("bad shape metadata: %v", x.Shape())
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New not zero-filled")
+		}
+	}
+}
+
+func TestFromDataAndAtSet(t *testing.T) {
+	x := FromData([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if x.At(1, 2) != 6 {
+		t.Fatalf("At(1,2)=%v", x.At(1, 2))
+	}
+	x.Set(9, 0, 1)
+	if x.At(0, 1) != 9 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestFromDataMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromData([]float32{1, 2}, 3)
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromData([]float32{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Data[0] = 42
+	if x.At(0, 0) != 42 {
+		t.Fatal("Reshape should share data")
+	}
+	z := x.Reshape(-1, 2)
+	if z.Dim(0) != 2 {
+		t.Fatalf("inferred dim = %d", z.Dim(0))
+	}
+}
+
+func TestReshapeBadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).Reshape(3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := Full(7, 3)
+	y := x.Clone()
+	y.Data[0] = 1
+	if x.Data[0] != 7 {
+		t.Fatal("Clone should copy data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromData([]float32{1, 2, 3}, 3)
+	b := FromData([]float32{4, 5, 6}, 3)
+	if got := a.Add(b).Data; got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := b.Sub(a).Data; got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := a.Mul(b).Data; got[1] != 10 {
+		t.Fatalf("Mul: %v", got)
+	}
+	if got := b.Div(a).Data; got[2] != 2 {
+		t.Fatalf("Div: %v", got)
+	}
+	if got := a.Scale(2).Data; got[2] != 6 {
+		t.Fatalf("Scale: %v", got)
+	}
+	if got := a.AddScalar(10).Data; got[0] != 11 {
+		t.Fatalf("AddScalar: %v", got)
+	}
+	c := a.Clone()
+	c.AxpyInPlace(2, b)
+	if c.Data[0] != 9 {
+		t.Fatalf("Axpy: %v", c.Data)
+	}
+	d := a.Clone()
+	d.AddInPlace(b)
+	if d.Data[1] != 7 {
+		t.Fatalf("AddInPlace: %v", d.Data)
+	}
+	e := a.Clone()
+	e.MulInPlace(b)
+	if e.Data[2] != 18 {
+		t.Fatalf("MulInPlace: %v", e.Data)
+	}
+	f := a.Clone()
+	f.ScaleInPlace(3)
+	if f.Data[1] != 6 {
+		t.Fatalf("ScaleInPlace: %v", f.Data)
+	}
+}
+
+func TestBinarySizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Add(New(3))
+}
+
+func TestEqualBitwise(t *testing.T) {
+	a := FromData([]float32{1, float32(math.NaN())}, 2)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone should be bitwise equal (same NaN bits)")
+	}
+	b.Data[0] = math.Nextafter32(1, 2)
+	if a.Equal(b) {
+		t.Fatal("one-ulp difference must not compare equal")
+	}
+	if a.Equal(New(3)) {
+		t.Fatal("shape mismatch must not compare equal")
+	}
+}
+
+func TestEqualCloneProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			vals = []float32{0}
+		}
+		x := FromData(vals, len(vals))
+		return x.Equal(x.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMatchesEqual(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			vals = []float32{1}
+		}
+		x := FromData(vals, len(vals))
+		y := x.Clone()
+		if x.Hash64() != y.Hash64() {
+			return false
+		}
+		y.Data[0] += 1
+		// hash should almost surely change when data changes
+		return x.Data[0]+1 != x.Data[0] == (x.Hash64() != y.Hash64()) || x.Data[0]+1 == x.Data[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	x := FromData([]float32{1, 2, 3, 4}, 4)
+	if x.Sum() != 10 || x.Mean() != 2.5 {
+		t.Fatalf("Sum/Mean: %v %v", x.Sum(), x.Mean())
+	}
+	if New(0).Mean() != 0 {
+		t.Fatal("empty Mean should be 0")
+	}
+}
+
+func TestMaxAbsDiffAndAllClose(t *testing.T) {
+	a := FromData([]float32{1, 2}, 2)
+	b := FromData([]float32{1.5, 2}, 2)
+	if d := a.MaxAbsDiff(b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff=%v", d)
+	}
+	if !a.AllClose(b, 0.5) || a.AllClose(b, 0.4) {
+		t.Fatal("AllClose tolerance handling wrong")
+	}
+}
+
+func TestArgMaxRow(t *testing.T) {
+	x := FromData([]float32{0, 3, 1, 9, 2, 5}, 2, 3)
+	got := x.ArgMaxRow()
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRow: %v", got)
+	}
+}
+
+func TestRowAndSliceBatch(t *testing.T) {
+	x := FromData([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+	r := x.Row(1)
+	if r.At(0) != 3 || r.At(1) != 4 {
+		t.Fatalf("Row: %v", r.Data)
+	}
+	s := x.SliceBatch(1, 3)
+	if s.Dim(0) != 2 || s.At(0, 0) != 3 || s.At(1, 1) != 6 {
+		t.Fatalf("SliceBatch: %v %v", s.Shape(), s.Data)
+	}
+	// views share memory
+	s.Data[0] = 99
+	if x.At(1, 0) != 99 {
+		t.Fatal("SliceBatch should be a view")
+	}
+}
+
+func TestSliceBatchBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3, 2).SliceBatch(2, 4)
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromData([]float32{1, 2}, 2)
+	if s := small.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	big := New(100)
+	if s := big.String(); s == "" {
+		t.Fatal("empty String() for big tensor")
+	}
+}
+
+func TestNumelNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Numel([]int{2, -1})
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(50, 60, 7)
+	b := Generate(50, 60, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace generation must be deterministic per seed")
+		}
+	}
+	c := Generate(50, 60, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	jobs := Generate(200, 60, 1)
+	if len(jobs) != 200 {
+		t.Fatal("count")
+	}
+	prev := 0.0
+	sizes := map[int]int{}
+	names := map[string]bool{}
+	for _, n := range models.Names() {
+		names[n] = true
+	}
+	for _, j := range jobs {
+		if j.ArrivalSec < prev {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+		prev = j.ArrivalSec
+		if !names[j.Model] {
+			t.Fatalf("unknown model %s", j.Model)
+		}
+		if j.WorkSteps <= 0 {
+			t.Fatal("work must be positive")
+		}
+		sizes[j.MaxP]++
+		w := models.MustBuild(j.Model, 0)
+		if j.HomogeneousOnly != w.UsesVendorKernels {
+			t.Fatal("homogeneity flag must follow the vendor-kernel scan")
+		}
+	}
+	if sizes[1] == 0 || sizes[16] == 0 {
+		t.Fatalf("size distribution degenerate: %v", sizes)
+	}
+	if sizes[1] < sizes[16] {
+		t.Fatalf("small jobs should dominate: %v", sizes)
+	}
+}
+
+func TestServingLoadDiurnal(t *testing.T) {
+	const total = 3000
+	load := ServingLoad(2*1440, total, 42)
+	st := Stats(load)
+	if st.Min < 0 || st.Max > total {
+		t.Fatalf("load out of range: %+v", st)
+	}
+	// the paper's Figure 1: the idle-vs-peak gap approaches 2,000 GPUs on a
+	// ~3,000 GPU fleet
+	if st.Gap < 1200 {
+		t.Fatalf("diurnal gap too small: %+v", st)
+	}
+	if st.Mean < total/4 || st.Mean > 3*total/4 {
+		t.Fatalf("mean load implausible: %+v", st)
+	}
+}
+
+func TestServingLoadDeterministic(t *testing.T) {
+	a := ServingLoad(100, 1000, 5)
+	b := ServingLoad(100, 1000, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("serving load must be deterministic per seed")
+		}
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	if st := Stats(nil); st.Max != 0 || st.Gap != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
