@@ -1,0 +1,33 @@
+# Developer checks for the EasyScale reproduction.
+#
+#   make check   — everything CI would run
+#   make race    — race detector over the concurrency-bearing packages
+#                  (the persistent kernel worker pool must stay race-clean)
+#   make bench   — the training-step benchmarks with allocation reporting
+
+GO ?= go
+
+.PHONY: check vet fmt build test race bench
+
+check: vet fmt build test race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/data/...
+
+bench:
+	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkTrainStep -benchmem -benchtime 30x

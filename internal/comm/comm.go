@@ -20,6 +20,7 @@ package comm
 import (
 	"fmt"
 
+	"repro/internal/pool"
 	"repro/internal/tensor"
 )
 
@@ -114,20 +115,33 @@ func BuildPlanFromReadyOrder(sizes []int, readyOrder []int, capElems int) Plan {
 // ring. The result therefore depends on the number of participants and on
 // where chunk boundaries fall — both change under elasticity.
 func RingReduce(contribs [][]float32) []float32 {
-	p := len(contribs)
-	if p == 0 {
+	if len(contribs) == 0 {
 		return nil
 	}
+	out := make([]float32, len(contribs[0]))
+	RingReduceInto(out, contribs)
+	return out
+}
+
+// RingReduceInto is RingReduce writing into a caller-provided buffer (every
+// element of dst is overwritten), so hot paths can use pooled scratch.
+func RingReduceInto(dst []float32, contribs [][]float32) {
+	p := len(contribs)
+	if p == 0 {
+		return
+	}
 	l := len(contribs[0])
+	if len(dst) != l {
+		panic("comm: ring reduce destination length mismatch")
+	}
 	for _, c := range contribs {
 		if len(c) != l {
 			panic("comm: ring reduce buffer length mismatch")
 		}
 	}
-	out := make([]float32, l)
 	if p == 1 {
-		copy(out, contribs[0])
-		return out
+		copy(dst, contribs[0])
+		return
 	}
 	chunk := (l + p - 1) / p
 	for c := 0; c*chunk < l; c++ {
@@ -142,10 +156,9 @@ func RingReduce(contribs [][]float32) []float32 {
 			for k := 1; k < p; k++ {
 				s += contribs[(start+k)%p][e]
 			}
-			out[e] = s
+			dst[e] = s
 		}
 	}
-	return out
 }
 
 // SequentialReduce sums the participants' buffers strictly in slice order —
@@ -175,6 +188,8 @@ type ElasticDDP struct {
 	plan           Plan
 	rebuilt        bool
 	RebuildEnabled bool // D1 disables reconstruction after restore
+
+	contribs [][]float32 // reusable per-participant staging headers
 }
 
 // NewElasticDDP builds the communicator with the static initial plan.
@@ -253,19 +268,28 @@ func (d *ElasticDDP) AllReduce(gradSets [][]*tensor.Tensor, divisor int) {
 		}
 	}
 	inv := 1 / float32(divisor)
+	if cap(d.contribs) < len(gradSets) {
+		d.contribs = make([][]float32, len(gradSets))
+	}
+	contribs := d.contribs[:len(gradSets)]
 	for _, bucket := range d.plan.Buckets {
 		blen := d.bucketLen(bucket)
-		contribs := make([][]float32, len(gradSets))
 		for i, gs := range gradSets {
-			contribs[i] = make([]float32, blen)
+			contribs[i] = pool.GetUninit(blen)
 			d.flatten(contribs[i], gs, bucket)
 		}
-		sum := RingReduce(contribs)
+		sum := pool.GetUninit(blen)
+		RingReduceInto(sum, contribs)
 		for i := range sum {
 			sum[i] *= inv
 		}
 		for _, gs := range gradSets {
 			d.unflatten(gs, bucket, sum)
+		}
+		pool.Put(sum)
+		for i := range contribs {
+			pool.Put(contribs[i])
+			contribs[i] = nil
 		}
 	}
 }

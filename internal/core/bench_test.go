@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/pool"
+)
+
+// benchJob builds an attached 4-EST job on one simulated V100 for the named
+// workload — the configuration the training-step benchmarks and the
+// allocation-regression tests share.
+func benchJob(tb testing.TB, name string) *Job {
+	tb.Helper()
+	cfg := DefaultConfig(4)
+	cfg.BatchPerEST = 4
+	j, err := NewJob(cfg, name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := j.Attach(EvenPlacement(4, device.V100)); err != nil {
+		tb.Fatal(err)
+	}
+	return j
+}
+
+// BenchmarkTrainStep measures one global training step (4 ESTs, one V100) per
+// workload, with allocation reporting — the hot path the pooled arena and the
+// persistent kernel worker pool target.
+func BenchmarkTrainStep(b *testing.B) {
+	for _, name := range []string{"vgg19", "resnet50"} {
+		b.Run(name, func(b *testing.B) {
+			j := benchJob(b, name)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.RunStep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestTrainStepAllocRegression pins the steady-state allocation count of a
+// pooled training step so regressions reintroducing per-op `make` calls on
+// the hot path fail loudly. The bounds are deliberately loose (~2× the
+// measured steady state at the time of writing) to stay robust across Go
+// versions; a regression to per-op allocation blows past them by orders of
+// magnitude. testing.AllocsPerRun runs under GOMAXPROCS(1), so this pins the
+// sequential (worker count 1) path.
+func TestTrainStepAllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation regression needs steady-state warmup")
+	}
+	bounds := map[string]float64{
+		"vgg19":    700,
+		"resnet50": 1600,
+	}
+	for name, bound := range bounds {
+		t.Run(name, func(t *testing.T) {
+			j := benchJob(t, name)
+			// Warm the arena and the worker pool out of the measurement.
+			if err := j.RunSteps(2); err != nil {
+				t.Fatal(err)
+			}
+			before := pool.Stats()
+			avg := testing.AllocsPerRun(3, func() {
+				if err := j.RunStep(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			after := pool.Stats()
+			if avg > bound {
+				t.Fatalf("steady-state allocs/step = %.0f, want <= %.0f", avg, bound)
+			}
+			// Leak check: everything drawn from the arena during the steps
+			// must have been returned by their step boundaries.
+			if leaked := after.InUse() - before.InUse(); leaked != 0 {
+				t.Fatalf("arena leak: %d buffers outstanding after %d steps", leaked, j.GlobalStep())
+			}
+		})
+	}
+}

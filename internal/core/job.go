@@ -10,6 +10,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/pool"
 	"repro/internal/tensor"
 )
 
@@ -40,6 +41,14 @@ type Job struct {
 	// estTimes records the simulated duration of each EST's last local
 	// step, indexed by virtual rank (Figure 13 instrumentation).
 	estTimes []time.Duration
+
+	// scratch feeds pooled activation/gradient buffers to one EST's local
+	// step and is drained at the end of it; stepScratch holds buffers that
+	// must survive until the global step completes (D0 per-worker gradient
+	// accumulations). Buffer reuse never changes accumulation order, so
+	// pooling is invisible to the consistency hashes.
+	scratch     *pool.Scope
+	stepScratch *pool.Scope
 }
 
 // NewJob builds a job for the named workload. The model, data order, and all
@@ -76,6 +85,8 @@ func NewJob(cfg Config, workloadName string) (*Job, error) {
 	}
 	j.lastLosses = make([]float32, cfg.NumESTs)
 	j.estTimes = make([]time.Duration, cfg.NumESTs)
+	j.scratch = pool.NewScope()
+	j.stepScratch = pool.NewScope()
 	return j, nil
 }
 
@@ -209,7 +220,7 @@ func (j *Job) gradBytes() float64 { return j.Workload.Memory().ParamsMB * 1e6 }
 // localStep executes one EST's mini-batch on its device and swaps the
 // gradients out.
 func (j *Job) localStep(est *ESTContext, dev *device.Device, lastOnWorker bool, soloOnWorker bool) {
-	ctx := &nn.Context{Dev: dev, RNG: est.RNG.Torch, Training: true}
+	ctx := &nn.Context{Dev: dev, RNG: est.RNG.Torch, Training: true, Scratch: j.scratch}
 	stepStart := dev.Now()
 
 	// context switch in: implicit model state of this EST's replica
@@ -254,6 +265,10 @@ func (j *Job) localStep(est *ESTContext, dev *device.Device, lastOnWorker bool, 
 		est.switchOut(modelState)
 	}
 	j.estTimes[est.VirtualRank] = dev.Now() - stepStart
+
+	// Every activation and gradient buffer borrowed during this local step is
+	// dead now (gradients were copied to the EST's host buffers above).
+	j.scratch.ReleaseAll()
 }
 
 // layerParamCounts groups parameters by forward layer for the bucket-rebuild
@@ -401,7 +416,7 @@ func (j *Job) RunStep() error {
 		for wi, ranks := range j.placement.Assignment {
 			acc := make([]*tensor.Tensor, len(params))
 			for pi := range params {
-				acc[pi] = j.ests[ranks[0]].Gradients[pi].Clone()
+				acc[pi] = j.ests[ranks[0]].Gradients[pi].CloneScoped(j.stepScratch)
 				for _, r := range ranks[1:] {
 					acc[pi].AddInPlace(j.ests[r].Gradients[pi])
 				}
@@ -417,6 +432,7 @@ func (j *Job) RunStep() error {
 	for i, p := range params {
 		p.Grad.CopyFrom(sets[0][i])
 	}
+	j.stepScratch.ReleaseAll()
 	j.advance()
 	return nil
 }

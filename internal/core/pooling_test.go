@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/pool"
+)
+
+// TestPoolingInvisibleToParamsHash runs the same job with the arena enabled
+// and disabled and asserts the trained parameters hash identically — buffer
+// reuse changes where scratch lives, never the accumulation order, so the
+// consistency fingerprints must not move. Covered per determinism level
+// because D0/D1 and DetNone exercise different kernel variants.
+func TestPoolingInvisibleToParamsHash(t *testing.T) {
+	if !pool.Enabled() {
+		t.Fatal("arena should be enabled by default")
+	}
+	placement := EvenPlacement(4, device.V100)
+	for _, tc := range []struct {
+		name  string
+		model string
+		level Determinism
+	}{
+		{"vgg19-d1", "vgg19", D1},
+		{"electra-d0", "electra", D0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() uint64 {
+				j := mustJob(t, testCfg(tc.level, false, 4), tc.model, placement)
+				if err := j.RunSteps(3); err != nil {
+					t.Fatal(err)
+				}
+				return j.ParamsHash()
+			}
+			pooled := run()
+
+			pool.Disable()
+			unpooled := run()
+			pool.Enable()
+
+			if pooled != unpooled {
+				t.Fatalf("pooling changed the parameter hash: %x vs %x", pooled, unpooled)
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package kernels
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/pool"
+)
 
 // ConvDims describes a 2-D convolution. Layout is NCHW for activations and
 // [CO, CI, KH, KW] for weights.
@@ -109,7 +113,7 @@ func Conv2D(dst, src, weight, bias []float32, d ConvDims, kc int) {
 		len(weight) != d.COut*kdim {
 		panic("kernels: Conv2D buffer size mismatch")
 	}
-	cols := make([]float32, kdim*spatial)
+	cols := pool.GetUninit(kdim * spatial)
 	imgIn := d.CIn * d.H * d.W
 	imgOut := d.COut * oh * ow
 	for b := 0; b < d.Batch; b++ {
@@ -126,6 +130,7 @@ func Conv2D(dst, src, weight, bias []float32, d ConvDims, kc int) {
 			}
 		}
 	}
+	pool.Put(cols)
 }
 
 // Conv2DBackward computes the three convolution gradients. gradOut is
@@ -162,14 +167,14 @@ func Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut []float3
 		panic("kernels: Conv2DBackward gradSrc size mismatch")
 	}
 
-	cols := make([]float32, kdim*spatial)
+	cols := pool.GetUninit(kdim * spatial)
 	var dcols []float32
 	if gradSrc != nil {
-		dcols = make([]float32, kdim*spatial)
+		dcols = pool.GetUninit(kdim * spatial)
 	}
 	var wpart []float32
 	if gradWeight != nil {
-		wpart = make([]float32, d.COut*kdim)
+		wpart = pool.GetUninit(d.COut * kdim)
 	}
 	for b := 0; b < d.Batch; b++ {
 		dout := gradOut[b*imgOut : (b+1)*imgOut] // [CO, spatial]
@@ -194,5 +199,12 @@ func Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut []float3
 			MatMulATB(dcols, weight, dout, kdim, d.COut, spatial, kc)
 			Col2Im(gradSrc[b*imgIn:(b+1)*imgIn], dcols, d)
 		}
+	}
+	pool.Put(cols)
+	if dcols != nil {
+		pool.Put(dcols)
+	}
+	if wpart != nil {
+		pool.Put(wpart)
 	}
 }

@@ -23,6 +23,8 @@ package kernels
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/pool"
 )
 
 // SumSequential adds xs left to right.
@@ -99,12 +101,13 @@ func MeanVar(xs []float32, block int) (mean, variance float32) {
 		return 0, 0
 	}
 	mean = SumBlocked(xs, block) / float32(len(xs))
-	devs := make([]float32, len(xs))
+	devs := pool.GetUninit(len(xs))
 	for i, v := range xs {
 		d := v - mean
 		devs[i] = d * d
 	}
 	variance = SumBlocked(devs, block) / float32(len(xs))
+	pool.Put(devs)
 	return mean, variance
 }
 
@@ -114,12 +117,13 @@ func MeanVarAtomic(xs []float32, workers int) (mean, variance float32) {
 		return 0, 0
 	}
 	mean = SumAtomic(xs, workers) / float32(len(xs))
-	devs := make([]float32, len(xs))
+	devs := pool.GetUninit(len(xs))
 	for i, v := range xs {
 		d := v - mean
 		devs[i] = d * d
 	}
 	variance = SumAtomic(devs, workers) / float32(len(xs))
+	pool.Put(devs)
 	return mean, variance
 }
 
@@ -138,7 +142,7 @@ func MatMul(dst, a, b []float32, m, k, n, kc int) {
 	if kc <= 0 || kc > k {
 		kc = k
 	}
-	part := make([]float32, n)
+	part := pool.GetUninit(n)
 	for i := 0; i < m; i++ {
 		row := dst[i*n : (i+1)*n]
 		for j := range row {
@@ -167,6 +171,7 @@ func MatMul(dst, a, b []float32, m, k, n, kc int) {
 			}
 		}
 	}
+	pool.Put(part)
 }
 
 // MatMulATB computes C = Aᵀ·B for row-major A[k×m], B[k×n] into dst[m×n],
@@ -176,7 +181,7 @@ func MatMulATB(dst, a, b []float32, m, k, n, kc int) {
 	if kc <= 0 || kc > k {
 		kc = k
 	}
-	part := make([]float32, n)
+	part := pool.GetUninit(n)
 	for i := 0; i < m; i++ {
 		row := dst[i*n : (i+1)*n]
 		for j := range row {
@@ -205,6 +210,7 @@ func MatMulATB(dst, a, b []float32, m, k, n, kc int) {
 			}
 		}
 	}
+	pool.Put(part)
 }
 
 // MatMulABT computes C = A·Bᵀ for row-major A[m×k], B[n×k] into dst[m×n],
@@ -259,7 +265,7 @@ func MatMulAtomicSplitK(dst, a, b []float32, m, k, n, splits int) {
 		wg.Add(1)
 		go func(c, k0, k1 int) {
 			defer wg.Done()
-			part := make([]float32, m*n)
+			part := pool.Get(m * n)
 			for i := 0; i < m; i++ {
 				prow := part[i*n : (i+1)*n]
 				for kk := k0; kk < k1; kk++ {
@@ -285,6 +291,9 @@ func MatMulAtomicSplitK(dst, a, b []float32, m, k, n, splits int) {
 			dst[i] += v
 		}
 	}
+	for _, p := range parts {
+		pool.Put(p)
+	}
 }
 
 // ColSumBlocked writes into dst[cols] the per-column sum of src[rows×cols],
@@ -299,7 +308,7 @@ func ColSumBlocked(dst, src []float32, rows, cols, block int) {
 	for j := range dst {
 		dst[j] = 0
 	}
-	part := make([]float32, cols)
+	part := pool.GetUninit(cols)
 	for r0 := 0; r0 < rows; r0 += block {
 		r1 := r0 + block
 		if r1 > rows {
@@ -318,6 +327,7 @@ func ColSumBlocked(dst, src []float32, rows, cols, block int) {
 			dst[j] += part[j]
 		}
 	}
+	pool.Put(part)
 }
 
 // ColSumAtomic is the non-deterministic counterpart of ColSumBlocked: row
@@ -343,7 +353,7 @@ func ColSumAtomic(dst, src []float32, rows, cols, workers int) {
 		wg.Add(1)
 		go func(c, r0, r1 int) {
 			defer wg.Done()
-			part := make([]float32, cols)
+			part := pool.Get(cols)
 			for r := r0; r < r1; r++ {
 				row := src[r*cols : (r+1)*cols]
 				for j, v := range row {
@@ -361,5 +371,8 @@ func ColSumAtomic(dst, src []float32, rows, cols, workers int) {
 		for j, v := range parts[c] {
 			dst[j] += v
 		}
+	}
+	for _, p := range parts {
+		pool.Put(p)
 	}
 }

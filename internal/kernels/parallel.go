@@ -1,8 +1,13 @@
 package kernels
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/pool"
 )
 
 // Host-side parallel execution of the deterministic kernels. Parallelism
@@ -13,21 +18,172 @@ import (
 // results are bitwise identical to the sequential kernels — asserted by
 // tests — so the simulation runs on all cores without perturbing the
 // determinism story.
+//
+// Dispatch runs on a persistent worker pool: helper goroutines are started
+// once and fed closures through a channel, so a kernel call costs a few
+// channel sends instead of goroutine spawns. The submitting goroutine always
+// participates in the work itself, which both uses its cycles and guarantees
+// progress even if every helper is busy elsewhere. Which goroutine executes
+// which chunk is scheduler-dependent, but chunk boundaries are deterministic
+// and chunk outputs disjoint, so the worker count is invisible to numerics.
 
-// parallelThreshold is the approximate FLOP count below which parallel
-// dispatch is not worth the goroutine overhead.
-const parallelThreshold = 1 << 16
+const (
+	// defaultWorkerCap bounds kernel-level concurrency when no explicit
+	// parallelism is configured.
+	defaultWorkerCap = 8
+	// defaultParallelThreshold is the approximate FLOP count below which
+	// parallel dispatch is not worth the dispatch overhead.
+	defaultParallelThreshold = 1 << 16
+)
 
-// maxWorkers caps kernel-level concurrency.
+var (
+	// cfgWorkers > 0 overrides the automatic worker count. Changing it only
+	// changes how disjoint output ranges are dispatched — never the numbers.
+	cfgWorkers atomic.Int32
+	// cfgThreshold > 0 overrides the parallel-dispatch FLOP threshold.
+	cfgThreshold atomic.Int64
+)
+
+func init() {
+	if v := os.Getenv("EASYSCALE_KERNEL_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			SetParallelism(n)
+		}
+	}
+	if v := os.Getenv("EASYSCALE_PARALLEL_THRESHOLD"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			SetParallelThreshold(n)
+		}
+	}
+}
+
+// SetParallelism overrides the kernel worker count (also settable via the
+// EASYSCALE_KERNEL_WORKERS environment variable). workers <= 0 restores the
+// default min(GOMAXPROCS, 8). The setting never affects numerics: it governs
+// only how many disjoint chunks run concurrently.
+func SetParallelism(workers int) {
+	if workers < 0 {
+		workers = 0
+	}
+	cfgWorkers.Store(int32(workers))
+}
+
+// Parallelism returns the resolved worker count kernels currently dispatch
+// with.
+func Parallelism() int { return maxWorkers() }
+
+// SetParallelThreshold overrides the FLOP count below which kernels run
+// sequentially (also settable via EASYSCALE_PARALLEL_THRESHOLD). flops <= 0
+// restores the default. Like the worker count, the threshold is invisible to
+// numerics.
+func SetParallelThreshold(flops int) {
+	if flops < 0 {
+		flops = 0
+	}
+	cfgThreshold.Store(int64(flops))
+}
+
+// ParallelThreshold returns the current parallel-dispatch FLOP threshold.
+func ParallelThreshold() int {
+	if t := cfgThreshold.Load(); t > 0 {
+		return int(t)
+	}
+	return defaultParallelThreshold
+}
+
+// maxWorkers resolves the kernel-level concurrency.
 func maxWorkers() int {
+	if w := int(cfgWorkers.Load()); w > 0 {
+		return w
+	}
 	w := runtime.GOMAXPROCS(0)
-	if w > 8 {
-		w = 8
+	if w > defaultWorkerCap {
+		w = defaultWorkerCap
 	}
 	if w < 1 {
 		w = 1
 	}
 	return w
+}
+
+// The persistent worker pool: helperCh feeds closures to goroutines started
+// once, on first parallel dispatch.
+var (
+	helperOnce sync.Once
+	helperCh   chan func()
+	helperN    int
+)
+
+func startHelpers() {
+	helperOnce.Do(func() {
+		helperN = runtime.GOMAXPROCS(0)
+		if helperN < 1 {
+			helperN = 1
+		}
+		helperCh = make(chan func(), 4*helperN)
+		for i := 0; i < helperN; i++ {
+			go func() {
+				for f := range helperCh {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// chunksFor splits [0,n) into at most `workers` contiguous chunks and returns
+// the chunk size and count. Boundaries depend only on n and workers.
+func chunksFor(n, workers int) (chunk, nchunks int) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk = (n + workers - 1) / workers
+	nchunks = (n + chunk - 1) / chunk
+	return chunk, nchunks
+}
+
+// parallelChunks invokes fn(ci, lo, hi) for every chunk concurrently: helper
+// goroutines and the caller pull chunk indices from a shared counter until
+// exhausted. Tasks never block inside fn, so the pool cannot deadlock even
+// when every helper is occupied — the caller alone drains the counter.
+func parallelChunks(n, chunk, nchunks int, fn func(ci, lo, hi int)) {
+	if nchunks <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	startHelpers()
+	var next atomic.Int64
+	run := func() {
+		for {
+			ci := int(next.Add(1) - 1)
+			if ci >= nchunks {
+				return
+			}
+			lo := ci * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(ci, lo, hi)
+		}
+	}
+	helpers := nchunks - 1
+	if helpers > helperN {
+		helpers = helperN
+	}
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		helperCh <- func() {
+			defer wg.Done()
+			run()
+		}
+	}
+	run()
+	wg.Wait()
 }
 
 // parallelRanges invokes fn over [0,n) in contiguous chunks, concurrently.
@@ -37,30 +193,15 @@ func parallelRanges(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	chunk, nchunks := chunksFor(n, workers)
+	parallelChunks(n, chunk, nchunks, func(_, lo, hi int) { fn(lo, hi) })
 }
 
 // MatMulParallel computes C = A·B exactly as MatMul (same kc blocking, same
 // per-element accumulation order) with rows computed concurrently.
 func MatMulParallel(dst, a, b []float32, m, k, n, kc int) {
 	checkGemm(dst, a, b, m, k, n, m*k, k*n, "MatMulParallel")
-	if 2*m*k*n < parallelThreshold || m < 2 {
+	if 2*m*k*n < ParallelThreshold() || m < 2 {
 		MatMul(dst, a, b, m, k, n, kc)
 		return
 	}
@@ -69,7 +210,7 @@ func MatMulParallel(dst, a, b []float32, m, k, n, kc int) {
 		kcEff = k
 	}
 	parallelRanges(m, func(lo, hi int) {
-		part := make([]float32, n)
+		part := pool.GetUninit(n)
 		for i := lo; i < hi; i++ {
 			row := dst[i*n : (i+1)*n]
 			for j := range row {
@@ -98,6 +239,7 @@ func MatMulParallel(dst, a, b []float32, m, k, n, kc int) {
 				}
 			}
 		}
+		pool.Put(part)
 	})
 }
 
@@ -105,7 +247,7 @@ func MatMulParallel(dst, a, b []float32, m, k, n, kc int) {
 // computed concurrently.
 func MatMulABTParallel(dst, a, b []float32, m, k, n, kc int) {
 	checkGemm(dst, a, b, m, k, n, m*k, n*k, "MatMulABTParallel")
-	if 2*m*k*n < parallelThreshold || m < 2 {
+	if 2*m*k*n < ParallelThreshold() || m < 2 {
 		MatMulABT(dst, a, b, m, k, n, kc)
 		return
 	}
@@ -140,7 +282,7 @@ func MatMulABTParallel(dst, a, b []float32, m, k, n, kc int) {
 // computed concurrently.
 func MatMulATBParallel(dst, a, b []float32, m, k, n, kc int) {
 	checkGemm(dst, a, b, m, k, n, k*m, k*n, "MatMulATBParallel")
-	if 2*m*k*n < parallelThreshold || m < 2 {
+	if 2*m*k*n < ParallelThreshold() || m < 2 {
 		MatMulATB(dst, a, b, m, k, n, kc)
 		return
 	}
@@ -149,7 +291,7 @@ func MatMulATBParallel(dst, a, b []float32, m, k, n, kc int) {
 		kcEff = k
 	}
 	parallelRanges(m, func(lo, hi int) {
-		part := make([]float32, n)
+		part := pool.GetUninit(n)
 		for i := lo; i < hi; i++ {
 			row := dst[i*n : (i+1)*n]
 			for j := range row {
@@ -178,6 +320,7 @@ func MatMulATBParallel(dst, a, b []float32, m, k, n, kc int) {
 				}
 			}
 		}
+		pool.Put(part)
 	})
 }
 
@@ -192,14 +335,14 @@ func Conv2DParallel(dst, src, weight, bias []float32, d ConvDims, kc int) {
 		len(weight) != d.COut*kdim {
 		panic("kernels: Conv2DParallel buffer size mismatch")
 	}
-	if d.Batch < 2 || 2*d.Batch*d.COut*spatial*kdim < parallelThreshold {
+	if d.Batch < 2 || 2*d.Batch*d.COut*spatial*kdim < ParallelThreshold() {
 		Conv2D(dst, src, weight, bias, d, kc)
 		return
 	}
 	imgIn := d.CIn * d.H * d.W
 	imgOut := d.COut * oh * ow
 	parallelRanges(d.Batch, func(lo, hi int) {
-		cols := make([]float32, kdim*spatial)
+		cols := pool.GetUninit(kdim * spatial)
 		for b := lo; b < hi; b++ {
 			Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
 			out := dst[b*imgOut : (b+1)*imgOut]
@@ -214,16 +357,18 @@ func Conv2DParallel(dst, src, weight, bias []float32, d ConvDims, kc int) {
 				}
 			}
 		}
+		pool.Put(cols)
 	})
 }
 
 // Conv2DBackwardParallel computes the convolution gradients exactly as
-// Conv2DBackward: per-image contributions run concurrently, then the
-// weight/bias partials are combined in batch order (bitwise identical to the
-// sequential accumulation).
+// Conv2DBackward: per-image contributions run concurrently with per-worker
+// pooled scratch, then the weight/bias partials are combined strictly in
+// batch order — the sequential accumulation order, so the result is bitwise
+// identical to Conv2DBackward for any worker count.
 func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut []float32, d ConvDims, kc int) {
 	d.validate()
-	if d.Batch < 2 {
+	if d.Batch < 2 || maxWorkers() == 1 {
 		Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut, d, kc)
 		return
 	}
@@ -234,29 +379,42 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 	if len(gradOut) != d.Batch*imgOut || len(src) != d.Batch*imgIn || len(weight) != d.COut*kdim {
 		panic("kernels: Conv2DBackwardParallel buffer size mismatch")
 	}
-	var wparts [][]float32
-	var bparts [][]float32
-	if gradWeight != nil {
-		if len(gradWeight) != d.COut*kdim {
-			panic("kernels: Conv2DBackwardParallel gradWeight size mismatch")
-		}
-		wparts = make([][]float32, d.Batch)
+	wsize := d.COut * kdim
+	if gradWeight != nil && len(gradWeight) != wsize {
+		panic("kernels: Conv2DBackwardParallel gradWeight size mismatch")
 	}
-	if gradBias != nil {
-		if len(gradBias) != d.COut {
-			panic("kernels: Conv2DBackwardParallel gradBias size mismatch")
-		}
-		bparts = make([][]float32, d.Batch)
+	if gradBias != nil && len(gradBias) != d.COut {
+		panic("kernels: Conv2DBackwardParallel gradBias size mismatch")
 	}
 	if gradSrc != nil && len(gradSrc) != d.Batch*imgIn {
 		panic("kernels: Conv2DBackwardParallel gradSrc size mismatch")
 	}
 
-	parallelRanges(d.Batch, func(lo, hi int) {
-		cols := make([]float32, kdim*spatial)
+	// Per-chunk buffers hold the per-image partials of that chunk's batch
+	// range; they stay alive until the ordered combine below.
+	chunk, nchunks := chunksFor(d.Batch, maxWorkers())
+	var chunkW, chunkB [][]float32
+	if gradWeight != nil {
+		chunkW = make([][]float32, nchunks)
+	}
+	if gradBias != nil {
+		chunkB = make([][]float32, nchunks)
+	}
+
+	parallelChunks(d.Batch, chunk, nchunks, func(ci, lo, hi int) {
+		cols := pool.GetUninit(kdim * spatial)
 		var dcols []float32
 		if gradSrc != nil {
-			dcols = make([]float32, kdim*spatial)
+			dcols = pool.GetUninit(kdim * spatial)
+		}
+		var wp, bp []float32
+		if gradWeight != nil {
+			wp = pool.GetUninit((hi - lo) * wsize)
+			chunkW[ci] = wp
+		}
+		if gradBias != nil {
+			bp = pool.GetUninit((hi - lo) * d.COut)
+			chunkB[ci] = bp
 		}
 		for b := lo; b < hi; b++ {
 			dout := gradOut[b*imgOut : (b+1)*imgOut]
@@ -264,34 +422,39 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 				Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
 			}
 			if gradWeight != nil {
-				wp := make([]float32, d.COut*kdim)
-				MatMulABT(wp, dout, cols, d.COut, spatial, kdim, kc)
-				wparts[b] = wp
+				MatMulABT(wp[(b-lo)*wsize:(b-lo+1)*wsize], dout, cols, d.COut, spatial, kdim, kc)
 			}
 			if gradBias != nil {
-				bp := make([]float32, d.COut)
 				for co := 0; co < d.COut; co++ {
 					row := dout[co*spatial : (co+1)*spatial]
-					bp[co] = SumBlocked(row, kc)
+					bp[(b-lo)*d.COut+co] = SumBlocked(row, kc)
 				}
-				bparts[b] = bp
 			}
 			if gradSrc != nil {
 				MatMulATB(dcols, weight, dout, kdim, d.COut, spatial, kc)
 				Col2Im(gradSrc[b*imgIn:(b+1)*imgIn], dcols, d)
 			}
 		}
+		pool.Put(cols)
+		if dcols != nil {
+			pool.Put(dcols)
+		}
 	})
 
-	// combine partials in batch order — the sequential accumulation order
+	// Combine partials strictly in batch order — the sequential accumulation
+	// order, independent of how many chunks computed them.
 	if gradWeight != nil {
 		for i := range gradWeight {
 			gradWeight[i] = 0
 		}
 		for b := 0; b < d.Batch; b++ {
-			for i, v := range wparts[b] {
+			wp := chunkW[b/chunk][(b%chunk)*wsize : (b%chunk+1)*wsize]
+			for i, v := range wp {
 				gradWeight[i] += v
 			}
+		}
+		for _, wp := range chunkW {
+			pool.Put(wp)
 		}
 	}
 	if gradBias != nil {
@@ -299,9 +462,13 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 			gradBias[i] = 0
 		}
 		for b := 0; b < d.Batch; b++ {
-			for i, v := range bparts[b] {
+			bp := chunkB[b/chunk][(b%chunk)*d.COut : (b%chunk+1)*d.COut]
+			for i, v := range bp {
 				gradBias[i] += v
 			}
+		}
+		for _, bp := range chunkB {
+			pool.Put(bp)
 		}
 	}
 }

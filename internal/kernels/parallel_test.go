@@ -98,6 +98,94 @@ func TestParallelConvNilOutputs(t *testing.T) {
 	Conv2DBackwardParallel(nil, gw, nil, src, weight, g, d, 0)
 }
 
+// TestParallelGEMMRandomShapes sweeps random shapes (forced through the
+// parallel path by a zero threshold) and asserts bitwise identity with the
+// sequential kernels for every transpose variant.
+func TestParallelGEMMRandomShapes(t *testing.T) {
+	SetParallelThreshold(1)
+	defer SetParallelThreshold(0)
+	s := rng.New(660)
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := 1+s.Intn(40), 1+s.Intn(150), 1+s.Intn(40)
+		kc := s.Intn(70)
+		a := randSlice(s, m*k)
+		b := randSlice(s, k*n)
+		aT := randSlice(s, k*m)
+		bT := randSlice(s, n*k)
+		seq := make([]float32, m*n)
+		par := make([]float32, m*n)
+
+		MatMul(seq, a, b, m, k, n, kc)
+		MatMulParallel(par, a, b, m, k, n, kc)
+		bitwiseEqual(t, par, seq, "random MatMul")
+
+		MatMulABT(seq, a, bT, m, k, n, kc)
+		MatMulABTParallel(par, a, bT, m, k, n, kc)
+		bitwiseEqual(t, par, seq, "random MatMulABT")
+
+		MatMulATB(seq, aT, b, m, k, n, kc)
+		MatMulATBParallel(par, aT, b, m, k, n, kc)
+		bitwiseEqual(t, par, seq, "random MatMulATB")
+	}
+}
+
+// TestParallelismNeverAffectsNumerics sweeps the worker-count tunable across
+// the GEMM and conv kernels: any worker count must produce bitwise-identical
+// results, because chunk outputs are disjoint and cross-chunk accumulation is
+// combined in the fixed sequential order.
+func TestParallelismNeverAffectsNumerics(t *testing.T) {
+	SetParallelThreshold(1)
+	defer func() {
+		SetParallelThreshold(0)
+		SetParallelism(0)
+	}()
+	s := rng.New(661)
+	m, k, n := 29, 120, 31
+	a := randSlice(s, m*k)
+	b := randSlice(s, k*n)
+	d := ConvDims{Batch: 7, CIn: 3, H: 9, W: 9, COut: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	src := randSlice(s, d.Batch*d.CIn*d.H*d.W)
+	weight := randSlice(s, d.COut*d.ColRows())
+	g := randSlice(s, d.Batch*d.COut*d.OutH()*d.OutW())
+
+	seq := make([]float32, m*n)
+	MatMul(seq, a, b, m, k, n, 16)
+	gsSeq := make([]float32, len(src))
+	gwSeq := make([]float32, len(weight))
+	gbSeq := make([]float32, d.COut)
+	Conv2DBackward(gsSeq, gwSeq, gbSeq, src, weight, g, d, 16)
+
+	for _, workers := range []int{1, 2, 3, 5, 8, 13} {
+		SetParallelism(workers)
+		if got := Parallelism(); got != workers {
+			t.Fatalf("Parallelism() = %d after SetParallelism(%d)", got, workers)
+		}
+		par := make([]float32, m*n)
+		MatMulParallel(par, a, b, m, k, n, 16)
+		bitwiseEqual(t, par, seq, "MatMul under SetParallelism")
+
+		gsPar := make([]float32, len(src))
+		gwPar := make([]float32, len(weight))
+		gbPar := make([]float32, d.COut)
+		Conv2DBackwardParallel(gsPar, gwPar, gbPar, src, weight, g, d, 16)
+		bitwiseEqual(t, gsPar, gsSeq, "Conv2DBackward gradSrc under SetParallelism")
+		bitwiseEqual(t, gwPar, gwSeq, "Conv2DBackward gradWeight under SetParallelism")
+		bitwiseEqual(t, gbPar, gbSeq, "Conv2DBackward gradBias under SetParallelism")
+	}
+}
+
+func TestParallelThresholdAccessors(t *testing.T) {
+	defer SetParallelThreshold(0)
+	SetParallelThreshold(12345)
+	if got := ParallelThreshold(); got != 12345 {
+		t.Fatalf("ParallelThreshold() = %d, want 12345", got)
+	}
+	SetParallelThreshold(0)
+	if got := ParallelThreshold(); got != defaultParallelThreshold {
+		t.Fatalf("default ParallelThreshold() = %d, want %d", got, defaultParallelThreshold)
+	}
+}
+
 func BenchmarkMatMulSequential(b *testing.B) {
 	s := rng.New(65)
 	m, k, n := 64, 256, 64

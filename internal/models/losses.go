@@ -51,7 +51,7 @@ func NewBCELoss() *BCELoss { return &BCELoss{BCE: nn.NewBCEWithLogits()} }
 func (l *BCELoss) Forward(ctx *nn.Context, output *tensor.Tensor, labels []int) float32 {
 	l.shape = append(l.shape[:0], output.Shape()...)
 	flat := output.Reshape(-1)
-	target := tensor.New(flat.Size())
+	target := tensor.NewScoped(ctx.Scratch, flat.Size())
 	for i, lab := range labels {
 		if lab != 0 {
 			target.Data[i] = 1

@@ -17,7 +17,7 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward zeroes negative elements.
 func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	ctx.Dev.ChargeFLOPs(float64(x.Size()), 1)
-	y := x.Clone()
+	y := ctx.clone(x)
 	if cap(r.mask) < x.Size() {
 		r.mask = make([]bool, x.Size())
 	}
@@ -36,7 +36,7 @@ func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 // Backward gates the gradient by the cached mask.
 func (r *ReLU) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(len(r.mask) == grad.Size(), "ReLU backward without matching forward")
-	g := grad.Clone()
+	g := ctx.clone(grad)
 	for i := range g.Data {
 		if !r.mask[i] {
 			g.Data[i] = 0
@@ -59,7 +59,7 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 // Forward computes 1/(1+exp(-x)).
 func (s *Sigmoid) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	ctx.Dev.ChargeFLOPs(4*float64(x.Size()), 1)
-	y := x.Clone()
+	y := ctx.clone(x)
 	for i, v := range y.Data {
 		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
@@ -70,7 +70,7 @@ func (s *Sigmoid) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 // Backward computes dy·y·(1-y).
 func (s *Sigmoid) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(s.y != nil && s.y.Size() == grad.Size(), "Sigmoid backward without matching forward")
-	g := grad.Clone()
+	g := ctx.clone(grad)
 	for i := range g.Data {
 		yv := s.y.Data[i]
 		g.Data[i] *= yv * (1 - yv)
@@ -93,7 +93,7 @@ func NewTanh() *Tanh { return &Tanh{} }
 // Forward computes tanh(x).
 func (t *Tanh) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	ctx.Dev.ChargeFLOPs(4*float64(x.Size()), 1)
-	y := x.Clone()
+	y := ctx.clone(x)
 	for i, v := range y.Data {
 		y.Data[i] = float32(math.Tanh(float64(v)))
 	}
@@ -104,7 +104,7 @@ func (t *Tanh) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 // Backward computes dy·(1-y²).
 func (t *Tanh) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(t.y != nil && t.y.Size() == grad.Size(), "Tanh backward without matching forward")
-	g := grad.Clone()
+	g := ctx.clone(grad)
 	for i := range g.Data {
 		yv := t.y.Data[i]
 		g.Data[i] *= 1 - yv*yv
@@ -131,7 +131,7 @@ const geluC = 0.7978845608028654 // sqrt(2/pi)
 func (g *GELU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	ctx.Dev.ChargeFLOPs(8*float64(x.Size()), 1)
 	g.x = x
-	y := x.Clone()
+	y := ctx.clone(x)
 	for i, v := range y.Data {
 		xv := float64(v)
 		y.Data[i] = float32(0.5 * xv * (1 + math.Tanh(geluC*(xv+0.044715*xv*xv*xv))))
@@ -142,7 +142,7 @@ func (g *GELU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 // Backward differentiates the tanh approximation.
 func (g *GELU) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(g.x != nil && g.x.Size() == grad.Size(), "GELU backward without matching forward")
-	out := grad.Clone()
+	out := ctx.clone(grad)
 	for i := range out.Data {
 		xv := float64(g.x.Data[i])
 		inner := geluC * (xv + 0.044715*xv*xv*xv)
@@ -186,7 +186,7 @@ func (d *Dropout) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 		d.mask = make([]float32, x.Size())
 	}
 	d.mask = d.mask[:x.Size()]
-	y := x.Clone()
+	y := ctx.clone(x)
 	for i := range y.Data {
 		if ctx.RNG.Float64() < d.P {
 			d.mask[i] = 0
@@ -205,7 +205,7 @@ func (d *Dropout) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 		return grad
 	}
 	shapeCheck(len(d.mask) == grad.Size(), "Dropout backward without matching forward")
-	g := grad.Clone()
+	g := ctx.clone(grad)
 	for i := range g.Data {
 		g.Data[i] *= d.mask[i]
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/kernels"
+	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -69,13 +70,13 @@ func (m *MultiHeadAttention) Forward(ctx *Context, x *tensor.Tensor) *tensor.Ten
 	m.k = m.Wk.Forward(ctx, x)
 	m.v = m.Wv.Forward(ctx, x)
 
-	m.attn = tensor.New(b, m.Heads, l, l)
-	y := tensor.New(b, l, m.D)
-	qh := make([]float32, l*dh)
-	kh := make([]float32, l*dh)
-	vh := make([]float32, l*dh)
-	scores := make([]float32, l*l)
-	out := make([]float32, l*dh)
+	m.attn = ctx.newTensorUninit(b, m.Heads, l, l)
+	y := ctx.newTensor(b, l, m.D) // zeroed: heads scatter-add into it
+	qh := pool.GetUninit(l * dh)
+	kh := pool.GetUninit(l * dh)
+	vh := pool.GetUninit(l * dh)
+	scores := pool.GetUninit(l * l)
+	out := pool.GetUninit(l * dh)
 	kb := ctx.Dev.KernelBlock()
 	for bi := 0; bi < b; bi++ {
 		for h := 0; h < m.Heads; h++ {
@@ -113,6 +114,9 @@ func (m *MultiHeadAttention) Forward(ctx *Context, x *tensor.Tensor) *tensor.Ten
 			m.headScatterAdd(y.Data, out, bi, h)
 		}
 	}
+	for _, buf := range [][]float32{qh, kh, vh, scores, out} {
+		pool.Put(buf)
+	}
 	return m.Wo.Forward(ctx, y)
 }
 
@@ -124,19 +128,20 @@ func (m *MultiHeadAttention) Backward(ctx *Context, grad *tensor.Tensor) *tensor
 	scale := float32(1 / math.Sqrt(float64(dh)))
 
 	dY := m.Wo.Backward(ctx, grad) // [B,L,D]
-	dQ := tensor.New(b, l, m.D)
-	dK := tensor.New(b, l, m.D)
-	dV := tensor.New(b, l, m.D)
+	// zeroed: per-head gradients scatter-add into the projections
+	dQ := ctx.newTensor(b, l, m.D)
+	dK := ctx.newTensor(b, l, m.D)
+	dV := ctx.newTensor(b, l, m.D)
 
-	qh := make([]float32, l*dh)
-	kh := make([]float32, l*dh)
-	vh := make([]float32, l*dh)
-	dyh := make([]float32, l*dh)
-	dA := make([]float32, l*l)
-	dS := make([]float32, l*l)
-	dqh := make([]float32, l*dh)
-	dkh := make([]float32, l*dh)
-	dvh := make([]float32, l*dh)
+	qh := pool.GetUninit(l * dh)
+	kh := pool.GetUninit(l * dh)
+	vh := pool.GetUninit(l * dh)
+	dyh := pool.GetUninit(l * dh)
+	dA := pool.GetUninit(l * l)
+	dS := pool.GetUninit(l * l)
+	dqh := pool.GetUninit(l * dh)
+	dkh := pool.GetUninit(l * dh)
+	dvh := pool.GetUninit(l * dh)
 	kb := ctx.Dev.KernelBlock()
 	for bi := 0; bi < b; bi++ {
 		for h := 0; h < m.Heads; h++ {
@@ -169,6 +174,9 @@ func (m *MultiHeadAttention) Backward(ctx *Context, grad *tensor.Tensor) *tensor
 			m.headScatterAdd(dK.Data, dkh, bi, h)
 			m.headScatterAdd(dV.Data, dvh, bi, h)
 		}
+	}
+	for _, buf := range [][]float32{qh, kh, vh, dyh, dA, dS, dqh, dkh, dvh} {
+		pool.Put(buf)
 	}
 	dx := m.Wq.Backward(ctx, dQ)
 	dx.AddInPlace(m.Wk.Backward(ctx, dK))

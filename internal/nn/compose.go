@@ -18,12 +18,18 @@ func NewResidual(body Layer) *Residual { return &Residual{Body: body} }
 func (r *Residual) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	y := r.Body.Forward(ctx, x)
 	shapeCheck(tensor.SameShape(x, y), "Residual: body changed shape %v → %v", x.Shape(), y.Shape())
-	return y.Add(x)
+	// Clone rather than mutate y: activations may cache their output tensor.
+	sum := ctx.clone(y)
+	sum.AddInPlace(x)
+	return sum
 }
 
 // Backward adds the skip gradient to the body gradient.
 func (r *Residual) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
-	return r.Body.Backward(ctx, grad).Add(grad)
+	// Clone rather than mutate: the body may return a view of grad (Flatten).
+	dx := ctx.clone(r.Body.Backward(ctx, grad))
+	dx.AddInPlace(grad)
+	return dx
 }
 
 // Params returns the body parameters.
@@ -51,7 +57,7 @@ func (m *MeanPool) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(x.Rank() == 3, "MeanPool: want [B,L,D], got %v", x.Shape())
 	m.b, m.l, m.d = x.Dim(0), x.Dim(1), x.Dim(2)
 	ctx.Dev.ChargeFLOPs(float64(x.Size()), 1)
-	y := tensor.New(m.b, m.d)
+	y := ctx.newTensor(m.b, m.d) // zeroed: sequence positions accumulate
 	inv := 1 / float32(m.l)
 	for bi := 0; bi < m.b; bi++ {
 		for li := 0; li < m.l; li++ {
@@ -68,7 +74,7 @@ func (m *MeanPool) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 // Backward spreads the gradient uniformly over the sequence.
 func (m *MeanPool) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(m.l > 0 && grad.Size() == m.b*m.d, "MeanPool backward without matching forward")
-	dx := tensor.New(m.b, m.l, m.d)
+	dx := ctx.newTensorUninit(m.b, m.l, m.d)
 	inv := 1 / float32(m.l)
 	for bi := 0; bi < m.b; bi++ {
 		g := grad.Data[bi*m.d : (bi+1)*m.d]
@@ -101,10 +107,10 @@ func NewPatchEmbed(c, p, d int, init *rng.Stream) *PatchEmbed {
 }
 
 // patchify rearranges [B,C,H,W] into [B·L, C·P·P] rows.
-func (pe *PatchEmbed) patchify(x *tensor.Tensor) *tensor.Tensor {
+func (pe *PatchEmbed) patchify(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	ph, pw := h/pe.P, w/pe.P
-	out := tensor.New(b*ph*pw, c*pe.P*pe.P)
+	out := ctx.newTensorUninit(b*ph*pw, c*pe.P*pe.P)
 	row := 0
 	for bi := 0; bi < b; bi++ {
 		for py := 0; py < ph; py++ {
@@ -130,7 +136,7 @@ func (pe *PatchEmbed) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(x.Rank() == 4 && x.Dim(1) == pe.C && x.Dim(2)%pe.P == 0 && x.Dim(3)%pe.P == 0,
 		"PatchEmbed: input %v incompatible with C=%d P=%d", x.Shape(), pe.C, pe.P)
 	pe.b, pe.h, pe.w = x.Dim(0), x.Dim(2), x.Dim(3)
-	patches := pe.patchify(x)
+	patches := pe.patchify(ctx, x)
 	y := pe.Proj.Forward(ctx, patches)
 	l := (pe.h / pe.P) * (pe.w / pe.P)
 	return y.Reshape(pe.b, l, pe.D)
@@ -141,7 +147,7 @@ func (pe *PatchEmbed) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor
 	shapeCheck(pe.b > 0, "PatchEmbed backward without matching forward")
 	l := (pe.h / pe.P) * (pe.w / pe.P)
 	dpatches := pe.Proj.Backward(ctx, grad.Reshape(pe.b*l, pe.D))
-	dx := tensor.New(pe.b, pe.C, pe.h, pe.w)
+	dx := ctx.newTensorUninit(pe.b, pe.C, pe.h, pe.w)
 	ph, pw := pe.h/pe.P, pe.w/pe.P
 	row := 0
 	for bi := 0; bi < pe.b; bi++ {

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"repro/internal/kernels"
+	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -54,7 +55,7 @@ func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	d := c.convDims(x)
 	c.x, c.dims = x, d
 	ctx.Dev.ChargeFLOPs(c.flops(d), ctx.Dev.ConvEfficiency())
-	y := tensor.New(d.Batch, d.COut, d.OutH(), d.OutW())
+	y := ctx.newTensorUninit(d.Batch, d.COut, d.OutH(), d.OutW())
 	var bias []float32
 	if c.B != nil {
 		bias = c.B.Value.Data
@@ -68,18 +69,22 @@ func (c *Conv2D) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(c.x != nil, "Conv2D backward without matching forward")
 	d := c.dims
 	ctx.Dev.ChargeFLOPs(2*c.flops(d), ctx.Dev.ConvEfficiency())
-	dx := tensor.New(d.Batch, d.CIn, d.H, d.W)
-	dw := tensor.New(c.W.Value.Shape()...)
+	dx := ctx.newTensorUninit(d.Batch, d.CIn, d.H, d.W)
+	dw := pool.GetUninit(c.W.Value.Size())
 	var db []float32
 	if c.B != nil {
-		db = make([]float32, d.COut)
+		db = pool.GetUninit(d.COut)
 	}
-	kernels.Conv2DBackwardParallel(dx.Data, dw.Data, db, c.x.Data, c.W.Value.Data, grad.Data, d, ctx.Dev.KernelBlock())
-	c.W.Grad.AddInPlace(dw)
+	kernels.Conv2DBackwardParallel(dx.Data, dw, db, c.x.Data, c.W.Value.Data, grad.Data, d, ctx.Dev.KernelBlock())
+	for i, v := range dw {
+		c.W.Grad.Data[i] += v
+	}
+	pool.Put(dw)
 	if c.B != nil {
 		for i, v := range db {
 			c.B.Grad.Data[i] += v
 		}
+		pool.Put(db)
 	}
 	c.x = nil
 	return dx
@@ -113,7 +118,7 @@ func (m *MaxPool2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(oh > 0 && ow > 0, "MaxPool2D: window %d too large for %v", m.K, x.Shape())
 	ctx.Dev.ChargeFLOPs(float64(b*ch*oh*ow*m.K*m.K), 1)
 	m.inShape = append(m.inShape[:0], x.Shape()...)
-	y := tensor.New(b, ch, oh, ow)
+	y := ctx.newTensorUninit(b, ch, oh, ow)
 	if cap(m.argmax) < y.Size() {
 		m.argmax = make([]int, y.Size())
 	}
@@ -147,7 +152,7 @@ func (m *MaxPool2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 // Backward scatters gradients to the cached argmax positions.
 func (m *MaxPool2D) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(len(m.argmax) == grad.Size(), "MaxPool2D backward without matching forward")
-	dx := tensor.New(m.inShape...)
+	dx := ctx.newTensor(m.inShape...) // zeroed: scatter-add target
 	for i, g := range grad.Data {
 		dx.Data[m.argmax[i]] += g
 	}
@@ -172,7 +177,7 @@ func (g *GlobalAvgPool) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	ctx.Dev.ChargeFLOPs(float64(x.Size()), 1)
 	g.inShape = append(g.inShape[:0], x.Shape()...)
-	y := tensor.New(b, c)
+	y := ctx.newTensorUninit(b, c)
 	hw := h * w
 	inv := 1 / float32(hw)
 	for i := 0; i < b*c; i++ {
@@ -185,7 +190,7 @@ func (g *GlobalAvgPool) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 // Backward spreads the gradient uniformly over each plane.
 func (g *GlobalAvgPool) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(len(g.inShape) == 4, "GlobalAvgPool backward without matching forward")
-	dx := tensor.New(g.inShape...)
+	dx := ctx.newTensorUninit(g.inShape...)
 	hw := g.inShape[2] * g.inShape[3]
 	inv := 1 / float32(hw)
 	for i, gv := range grad.Data {

@@ -34,7 +34,7 @@ func (e *Embedding) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	b, l := x.Dim(0), x.Dim(1)
 	ctx.Dev.ChargeFLOPs(float64(b*l*e.D), 1)
 	e.ids = e.ids[:0]
-	y := tensor.New(b, l, e.D)
+	y := ctx.newTensorUninit(b, l, e.D)
 	for i, v := range x.Data {
 		id := int(v)
 		shapeCheck(id >= 0 && id < e.Vocab, "Embedding: id %d out of vocab %d", id, e.Vocab)
@@ -58,7 +58,7 @@ func (e *Embedding) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	}
 	// Token ids carry no gradient; return zeros of the input shape so a
 	// containing Sequential keeps well-formed tensors flowing.
-	return tensor.New(grad.Dim(0), len(e.ids)/grad.Dim(0))
+	return ctx.newTensor(grad.Dim(0), len(e.ids)/grad.Dim(0))
 }
 
 // Params returns the embedding table.

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"repro/internal/kernels"
+	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -43,7 +44,7 @@ func (l *Linear) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	x2 := l.fold(x)
 	l.x = x2
 	rows := x2.Dim(0)
-	y := tensor.New(rows, l.Out)
+	y := ctx.newTensorUninit(rows, l.Out)
 	// y[rows,out] = x[rows,in] · Wᵀ[in,out]
 	gemmABT(ctx, y.Data, x2.Data, l.W.Value.Data, rows, l.In, l.Out)
 	if l.B != nil {
@@ -66,12 +67,15 @@ func (l *Linear) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(l.x != nil && l.x.Dim(0) == rows, "Linear backward without matching forward")
 
 	// dW[out,in] = dyᵀ[out,rows] · x[rows,in]
-	dw := tensor.New(l.Out, l.In)
-	gemmATB(ctx, dw.Data, g2.Data, l.x.Data, l.Out, rows, l.In)
-	l.W.Grad.AddInPlace(dw)
+	dw := pool.GetUninit(l.Out * l.In)
+	gemmATB(ctx, dw, g2.Data, l.x.Data, l.Out, rows, l.In)
+	for i, v := range dw {
+		l.W.Grad.Data[i] += v
+	}
+	pool.Put(dw)
 
 	if l.B != nil {
-		db := make([]float32, l.Out)
+		db := pool.GetUninit(l.Out)
 		if ctx.Dev.DeterministicKernels() {
 			kernels.ColSumBlocked(db, g2.Data, rows, l.Out, ctx.Dev.KernelBlock())
 		} else {
@@ -80,10 +84,11 @@ func (l *Linear) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 		for j, v := range db {
 			l.B.Grad.Data[j] += v
 		}
+		pool.Put(db)
 	}
 
 	// dx[rows,in] = dy[rows,out] · W[out,in]
-	dx := tensor.New(rows, l.In)
+	dx := ctx.newTensorUninit(rows, l.In)
 	gemm(ctx, dx.Data, g2.Data, l.W.Value.Data, rows, l.Out, l.In)
 	l.x = nil // activation freed at mini-batch boundary
 	inShape := append(append([]int(nil), orig[:len(orig)-1]...), l.In)

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"repro/internal/pool"
 	"repro/internal/tensor"
 )
 
@@ -23,9 +24,9 @@ func (ce *CrossEntropy) Forward(ctx *Context, logits *tensor.Tensor, labels []in
 	shapeCheck(logits.Rank() == 2 && logits.Dim(0) == len(labels), "CrossEntropy: logits %v vs %d labels", logits.Shape(), len(labels))
 	b, k := logits.Dim(0), logits.Dim(1)
 	ctx.Dev.ChargeFLOPs(5*float64(logits.Size()), 1)
-	ce.probs = tensor.New(b, k)
+	ce.probs = ctx.newTensorUninit(b, k)
 	ce.labels = append(ce.labels[:0], labels...)
-	losses := make([]float32, b)
+	losses := pool.GetUninit(b)
 	for r := 0; r < b; r++ {
 		row := logits.Data[r*k : (r+1)*k]
 		mx := row[0]
@@ -49,14 +50,16 @@ func (ce *CrossEntropy) Forward(ctx *Context, logits *tensor.Tensor, labels []in
 		shapeCheck(lbl >= 0 && lbl < k, "CrossEntropy: label %d out of range %d", lbl, k)
 		losses[r] = -float32(math.Log(float64(prow[lbl]) + 1e-12))
 	}
-	return reduceSum(ctx, losses) / float32(b)
+	loss := reduceSum(ctx, losses) / float32(b)
+	pool.Put(losses)
+	return loss
 }
 
 // Backward returns dL/dlogits = (softmax − onehot)/B.
 func (ce *CrossEntropy) Backward(ctx *Context) *tensor.Tensor {
 	shapeCheck(ce.probs != nil, "CrossEntropy backward without matching forward")
 	b, k := ce.probs.Dim(0), ce.probs.Dim(1)
-	grad := ce.probs.Clone()
+	grad := ctx.clone(ce.probs)
 	inv := 1 / float32(b)
 	for r := 0; r < b; r++ {
 		grad.Data[r*k+ce.labels[r]] -= 1
@@ -80,18 +83,23 @@ func NewMSE() *MSE { return &MSE{} }
 func (m *MSE) Forward(ctx *Context, pred, target *tensor.Tensor) float32 {
 	shapeCheck(pred.Size() == target.Size(), "MSE: pred %v vs target %v", pred.Shape(), target.Shape())
 	ctx.Dev.ChargeFLOPs(3*float64(pred.Size()), 1)
-	m.diff = pred.Sub(target)
-	sq := make([]float32, pred.Size())
-	for i, d := range m.diff.Data {
+	m.diff = ctx.newTensorUninit(pred.Shape()...)
+	sq := pool.GetUninit(pred.Size())
+	for i, pv := range pred.Data {
+		d := pv - target.Data[i]
+		m.diff.Data[i] = d
 		sq[i] = d * d
 	}
-	return reduceSum(ctx, sq) / float32(pred.Size())
+	loss := reduceSum(ctx, sq) / float32(pred.Size())
+	pool.Put(sq)
+	return loss
 }
 
 // Backward returns 2(pred − target)/N.
 func (m *MSE) Backward(ctx *Context) *tensor.Tensor {
 	shapeCheck(m.diff != nil, "MSE backward without matching forward")
-	g := m.diff.Scale(2 / float32(m.diff.Size()))
+	g := ctx.clone(m.diff)
+	g.ScaleInPlace(2 / float32(g.Size()))
 	m.diff = nil
 	return g
 }
@@ -110,22 +118,27 @@ func NewBCEWithLogits() *BCEWithLogits { return &BCEWithLogits{} }
 func (b *BCEWithLogits) Forward(ctx *Context, logits, target *tensor.Tensor) float32 {
 	shapeCheck(logits.Size() == target.Size(), "BCE: pred %v vs target %v", logits.Shape(), target.Shape())
 	ctx.Dev.ChargeFLOPs(8*float64(logits.Size()), 1)
-	b.sig = tensor.New(logits.Shape()...)
+	b.sig = ctx.newTensorUninit(logits.Shape()...)
 	b.target = target
-	losses := make([]float32, logits.Size())
+	losses := pool.GetUninit(logits.Size())
 	for i, v := range logits.Data {
 		s := 1 / (1 + math.Exp(-float64(v)))
 		b.sig.Data[i] = float32(s)
 		t := float64(target.Data[i])
 		losses[i] = -float32(t*math.Log(s+1e-12) + (1-t)*math.Log(1-s+1e-12))
 	}
-	return reduceSum(ctx, losses) / float32(logits.Size())
+	loss := reduceSum(ctx, losses) / float32(logits.Size())
+	pool.Put(losses)
+	return loss
 }
 
 // Backward returns (sigmoid(logits) − target)/N.
 func (b *BCEWithLogits) Backward(ctx *Context) *tensor.Tensor {
 	shapeCheck(b.sig != nil, "BCE backward without matching forward")
-	g := b.sig.Sub(b.target)
+	g := ctx.clone(b.sig)
+	for i := range g.Data {
+		g.Data[i] -= b.target.Data[i]
+	}
 	g.ScaleInPlace(1 / float32(g.Size()))
 	b.sig, b.target = nil, nil
 	return g

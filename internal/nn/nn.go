@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/kernels"
+	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -28,6 +29,28 @@ type Context struct {
 	Dev      *device.Device
 	RNG      *rng.Stream // framework RNG: dropout masks, any stochastic op
 	Training bool
+	// Scratch, when non-nil, supplies pooled buffers for activations and
+	// gradients whose lifetime ends at the surrounding step boundary (the
+	// owner calls ReleaseAll). Buffer reuse cannot perturb numerics — every
+	// layer zeroes or fully overwrites its scratch — so a nil Scratch (plain
+	// GC allocation, used by evaluation) is bitwise-equivalent.
+	Scratch *pool.Scope
+}
+
+// newTensor returns a zero-filled step-scoped tensor.
+func (c *Context) newTensor(shape ...int) *tensor.Tensor {
+	return tensor.NewScoped(c.Scratch, shape...)
+}
+
+// newTensorUninit returns a step-scoped tensor with arbitrary contents, for
+// outputs every element of which is written before being read.
+func (c *Context) newTensorUninit(shape ...int) *tensor.Tensor {
+	return tensor.NewScopedUninit(c.Scratch, shape...)
+}
+
+// clone returns a step-scoped deep copy of t.
+func (c *Context) clone(t *tensor.Tensor) *tensor.Tensor {
+	return t.CloneScoped(c.Scratch)
 }
 
 // Parameter is a trainable tensor with its gradient accumulator.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/kernels"
+	"repro/internal/pool"
 	"repro/internal/tensor"
 )
 
@@ -45,15 +46,15 @@ func (bn *BatchNorm2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	n := b * hw
 	ctx.Dev.ChargeFLOPs(6*float64(x.Size()), 1)
 
-	y := tensor.New(x.Shape()...)
+	y := ctx.newTensorUninit(x.Shape()...)
 	if ctx.Training {
-		bn.xhat = tensor.New(x.Shape()...)
+		bn.xhat = ctx.newTensorUninit(x.Shape()...)
 		if cap(bn.invStd) < c {
 			bn.invStd = make([]float32, c)
 		}
 		bn.invStd = bn.invStd[:c]
 	}
-	scratch := make([]float32, n)
+	scratch := pool.GetUninit(n)
 	for ci := 0; ci < c; ci++ {
 		var mean, variance float32
 		if ctx.Training {
@@ -82,6 +83,7 @@ func (bn *BatchNorm2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	pool.Put(scratch)
 	return y
 }
 
@@ -92,9 +94,9 @@ func (bn *BatchNorm2D) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tenso
 	hw := grad.Dim(2) * grad.Dim(3)
 	n := b * hw
 	ctx.Dev.ChargeFLOPs(10*float64(grad.Size()), 1)
-	dx := tensor.New(grad.Shape()...)
-	sdy := make([]float32, n)
-	sdyxh := make([]float32, n)
+	dx := ctx.newTensorUninit(grad.Shape()...)
+	sdy := pool.GetUninit(n)
+	sdyxh := pool.GetUninit(n)
 	for ci := 0; ci < c; ci++ {
 		for bi := 0; bi < b; bi++ {
 			off := (bi*c + ci) * hw
@@ -117,6 +119,8 @@ func (bn *BatchNorm2D) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tenso
 			}
 		}
 	}
+	pool.Put(sdy)
+	pool.Put(sdyxh)
 	bn.xhat = nil
 	return dx
 }
@@ -154,8 +158,8 @@ func (ln *LayerNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	shapeCheck(x.Size()%ln.D == 0, "LayerNorm: input %v not divisible by D=%d", x.Shape(), ln.D)
 	rows := x.Size() / ln.D
 	ctx.Dev.ChargeFLOPs(6*float64(x.Size()), 1)
-	y := tensor.New(x.Shape()...)
-	ln.xhat = tensor.New(x.Shape()...)
+	y := ctx.newTensorUninit(x.Shape()...)
+	ln.xhat = ctx.newTensorUninit(x.Shape()...)
 	if cap(ln.invStd) < rows {
 		ln.invStd = make([]float32, rows)
 	}
@@ -180,10 +184,10 @@ func (ln *LayerNorm) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor 
 	shapeCheck(ln.xhat != nil && ln.xhat.Size() == grad.Size(), "LayerNorm backward without matching forward")
 	rows := grad.Size() / ln.D
 	ctx.Dev.ChargeFLOPs(10*float64(grad.Size()), 1)
-	dx := tensor.New(grad.Shape()...)
+	dx := ctx.newTensorUninit(grad.Shape()...)
 	kb := ctx.Dev.KernelBlock()
-	dyg := make([]float32, ln.D)
-	dygxh := make([]float32, ln.D)
+	dyg := pool.GetUninit(ln.D)
+	dygxh := pool.GetUninit(ln.D)
 	for r := 0; r < rows; r++ {
 		off := r * ln.D
 		for j := 0; j < ln.D; j++ {
@@ -200,6 +204,8 @@ func (ln *LayerNorm) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor 
 			dx.Data[off+j] = inv * (dyg[j] - meanDyg - ln.xhat.Data[off+j]*meanDygXh)
 		}
 	}
+	pool.Put(dyg)
+	pool.Put(dygxh)
 	ln.xhat = nil
 	return dx
 }

@@ -1,0 +1,202 @@
+// Package pool implements the deterministic scratch arena of the EasyScale
+// training stack: size-classed, sync.Pool-backed recycling of []float32
+// buffers.
+//
+// The paper's consistency argument (§3.3) fixes the *order* of float32
+// accumulation, never the *location* of the buffers holding the operands — so
+// every scratch buffer on the training hot path can be recycled without
+// perturbing a single bit. The arena exists purely to take allocation and GC
+// pressure off the simulated step time; all kernels zero or fully overwrite
+// their scratch exactly as they would a fresh allocation, which is why Get
+// (zeroed) and GetUninit (arbitrary contents, for buffers the caller fully
+// overwrites) are separate entry points.
+//
+// Buffers are grouped in power-of-two size classes from 2^minBits up to
+// 2^maxBits elements; larger requests bypass the arena and go straight to the
+// garbage collector. Put re-derives the class from the buffer's capacity, so
+// only buffers the arena handed out (or exact power-of-two foreign buffers,
+// which is harmless) are ever recycled.
+//
+// pool.Disable() is the debugging escape hatch: with the arena disabled every
+// Get is a plain make and every Put a no-op, so suspected aliasing bugs can
+// be bisected against GC-backed allocation. Stats() exposes get/put counters
+// whose difference (InUse) lets tests assert that a training step returns
+// every buffer it borrowed — the leak-check mode.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minBits is the smallest pooled class (64 elements); tinier buffers are
+	// cheaper to allocate than to classify.
+	minBits = 6
+	// maxBits is the largest pooled class (2^24 elements = 64 MiB); anything
+	// larger is rare enough to leave to the garbage collector.
+	maxBits    = 24
+	numClasses = maxBits - minBits + 1
+)
+
+// classes[i] holds *[]float32 buffers of capacity exactly 1<<(minBits+i).
+var classes [numClasses]sync.Pool
+
+// holders recycles the *[]float32 boxes themselves so that a Get/Put cycle
+// performs no interface-boxing allocation in steady state (pointers convert
+// to interface{} without allocating).
+var holders = sync.Pool{New: func() any { return new([]float32) }}
+
+var disabled atomic.Bool
+
+// gets / puts / misses count arena traffic; see Stats.
+var gets, puts, misses atomic.Int64
+
+// classIndex returns the size-class index for a request of n elements, or -1
+// when the request is outside the pooled range.
+func classIndex(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if b < minBits {
+		b = minBits
+	}
+	if b > maxBits {
+		return -1
+	}
+	return b - minBits
+}
+
+// GetUninit returns a buffer of length n with arbitrary contents. Use it only
+// when every element is written before being read; otherwise use Get.
+func GetUninit(n int) []float32 {
+	ci := classIndex(n)
+	if ci < 0 || disabled.Load() {
+		return make([]float32, n)
+	}
+	gets.Add(1)
+	if h, ok := classes[ci].Get().(*[]float32); ok {
+		s := *h
+		*h = nil
+		holders.Put(h)
+		return s[:n]
+	}
+	misses.Add(1)
+	return make([]float32, n, 1<<(minBits+ci))
+}
+
+// Get returns a zero-filled buffer of length n — the drop-in replacement for
+// make([]float32, n).
+func Get(n int) []float32 {
+	s := GetUninit(n)
+	// Freshly made buffers are already zero; only recycled ones need clearing.
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Put returns a buffer to the arena. The caller must not retain any reference
+// to buf (or any subslice of it) after Put. Buffers outside the pooled size
+// classes, and all buffers while the arena is disabled, are dropped for the
+// garbage collector to reclaim.
+func Put(buf []float32) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 || disabled.Load() {
+		return // not one of ours (classes are exact powers of two)
+	}
+	b := bits.Len(uint(c)) - 1
+	if b < minBits || b > maxBits {
+		return
+	}
+	puts.Add(1)
+	h := holders.Get().(*[]float32)
+	*h = buf[:0:c]
+	classes[b-minBits].Put(h)
+}
+
+// Disable turns the arena off globally: Get degrades to make, Put to a no-op.
+// Numerics are unaffected by construction; this exists so memory bugs can be
+// debugged against plain GC allocation. Disable at process start — toggling
+// mid-step simply drops in-flight buffers, which is safe but wasteful.
+func Disable() { disabled.Store(true) }
+
+// Enable turns the arena back on (the default state).
+func Enable() { disabled.Store(false) }
+
+// Enabled reports whether the arena is active.
+func Enabled() bool { return !disabled.Load() }
+
+// Counters is a snapshot of arena traffic.
+type Counters struct {
+	Gets   int64 // pooled-range Get/GetUninit calls
+	Puts   int64 // accepted Put calls
+	Misses int64 // Gets that had to allocate (class was empty)
+}
+
+// InUse returns the number of borrowed buffers not yet returned. A hot path
+// that releases all scratch at its step boundary keeps this delta at zero
+// across steps — the invariant the leak-check tests assert.
+func (c Counters) InUse() int64 { return c.Gets - c.Puts }
+
+// Stats returns the current traffic counters.
+func Stats() Counters {
+	return Counters{Gets: gets.Load(), Puts: puts.Load(), Misses: misses.Load()}
+}
+
+// Scope tracks a set of borrowed buffers so they can be released together at
+// a step boundary — the ownership model for activation and gradient scratch
+// whose lifetime spans several calls (forward caches consumed by backward).
+// A Scope is NOT safe for concurrent use; each goroutine that needs one owns
+// its own. A nil *Scope is valid and degrades to plain allocation, so code
+// paths without a surrounding step boundary (e.g. evaluation) need no
+// special-casing.
+type Scope struct {
+	bufs [][]float32
+}
+
+// NewScope returns an empty scope.
+func NewScope() *Scope { return &Scope{} }
+
+// Get borrows a zero-filled buffer of length n, released by ReleaseAll.
+func (s *Scope) Get(n int) []float32 {
+	if s == nil {
+		return make([]float32, n)
+	}
+	b := Get(n)
+	s.bufs = append(s.bufs, b)
+	return b
+}
+
+// GetUninit borrows a buffer of length n with arbitrary contents.
+func (s *Scope) GetUninit(n int) []float32 {
+	if s == nil {
+		return make([]float32, n)
+	}
+	b := GetUninit(n)
+	s.bufs = append(s.bufs, b)
+	return b
+}
+
+// ReleaseAll returns every tracked buffer to the arena. The caller must not
+// use any buffer (or tensor wrapping one) obtained from this scope afterwards.
+func (s *Scope) ReleaseAll() {
+	if s == nil {
+		return
+	}
+	for i, b := range s.bufs {
+		Put(b)
+		s.bufs[i] = nil
+	}
+	s.bufs = s.bufs[:0]
+}
+
+// Len returns the number of tracked buffers (diagnostics).
+func (s *Scope) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.bufs)
+}

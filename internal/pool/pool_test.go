@@ -1,0 +1,144 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassIndex(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, -1},
+		{-5, -1},
+		{1, 0},
+		{64, 0},
+		{65, 1},
+		{128, 1},
+		{1 << 24, maxBits - minBits},
+		{1<<24 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classIndex(c.n); got != c.want {
+			t.Errorf("classIndex(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetReturnsZeroedRecycledBuffer(t *testing.T) {
+	b := GetUninit(100)
+	for i := range b {
+		b[i] = 42
+	}
+	Put(b)
+	// The recycled buffer (possibly the same one) must come back zeroed.
+	c := Get(100)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("Get returned dirty element %d = %v", i, v)
+		}
+	}
+	Put(c)
+}
+
+func TestGetLengthAndCapacityClass(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1000, 1 << 20} {
+		b := GetUninit(n)
+		if len(b) != n {
+			t.Fatalf("GetUninit(%d) has len %d", n, len(b))
+		}
+		Put(b)
+	}
+	// Outside the pooled range: plain allocation, exact capacity.
+	big := GetUninit(1<<24 + 1)
+	if len(big) != 1<<24+1 {
+		t.Fatalf("oversize GetUninit has len %d", len(big))
+	}
+}
+
+func TestPutForeignBufferDropped(t *testing.T) {
+	before := Stats()
+	Put(make([]float32, 100)) // cap 100 is not a power of two
+	if after := Stats(); after.Puts != before.Puts {
+		t.Fatal("non-power-of-two buffer was accepted")
+	}
+}
+
+func TestDisable(t *testing.T) {
+	Disable()
+	defer Enable()
+	before := Stats()
+	b := Get(128)
+	Put(b)
+	after := Stats()
+	if after.Gets != before.Gets || after.Puts != before.Puts {
+		t.Fatal("disabled arena still counts traffic")
+	}
+}
+
+func TestScopeReleasesAll(t *testing.T) {
+	s := NewScope()
+	before := Stats()
+	s.Get(128)
+	s.GetUninit(256)
+	if s.Len() != 2 {
+		t.Fatalf("scope tracks %d buffers, want 2", s.Len())
+	}
+	mid := Stats()
+	if mid.Gets-before.Gets != 2 {
+		t.Fatalf("scope drew %d buffers, want 2", mid.Gets-before.Gets)
+	}
+	s.ReleaseAll()
+	after := Stats()
+	if after.InUse() != before.InUse() {
+		t.Fatalf("scope leaked %d buffers", after.InUse()-before.InUse())
+	}
+	if s.Len() != 0 {
+		t.Fatal("scope not empty after ReleaseAll")
+	}
+}
+
+func TestNilScopeDegradesToMake(t *testing.T) {
+	var s *Scope
+	before := Stats()
+	b := s.Get(128)
+	if len(b) != 128 {
+		t.Fatalf("nil scope Get len %d", len(b))
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("nil scope Get not zeroed")
+		}
+	}
+	if len(s.GetUninit(64)) != 64 {
+		t.Fatal("nil scope GetUninit wrong length")
+	}
+	s.ReleaseAll() // must not panic
+	if s.Len() != 0 {
+		t.Fatal("nil scope has nonzero Len")
+	}
+	if after := Stats(); after.Gets != before.Gets {
+		t.Fatal("nil scope drew from the arena")
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b := Get(512)
+				for j := range b {
+					if b[j] != 0 {
+						panic("dirty buffer under concurrency")
+					}
+				}
+				b[0] = 1
+				Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}

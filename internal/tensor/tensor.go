@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/pool"
 )
 
 // Tensor is a dense row-major float32 array. Data is exported so kernels can
@@ -42,6 +44,26 @@ func Numel(shape []int) int {
 // New allocates a zero-filled tensor of the given shape.
 func New(shape ...int) *Tensor {
 	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float32, Numel(shape))}
+}
+
+// NewScoped allocates a zero-filled tensor whose data buffer is borrowed from
+// the scope and reclaimed by its ReleaseAll — the hot-path variant of New for
+// step-scoped activations and gradients. A nil scope degrades to New.
+func NewScoped(s *pool.Scope, shape ...int) *Tensor {
+	return &Tensor{shape: append([]int(nil), shape...), Data: s.Get(Numel(shape))}
+}
+
+// NewScopedUninit is NewScoped without the zero fill, for tensors every
+// element of which is written before being read.
+func NewScopedUninit(s *pool.Scope, shape ...int) *Tensor {
+	return &Tensor{shape: append([]int(nil), shape...), Data: s.GetUninit(Numel(shape))}
+}
+
+// CloneScoped returns a deep copy whose buffer is borrowed from the scope.
+func (t *Tensor) CloneScoped(s *pool.Scope) *Tensor {
+	c := NewScopedUninit(s, t.shape...)
+	copy(c.Data, t.Data)
+	return c
 }
 
 // FromData wraps data (no copy) with the given shape. It panics if the
