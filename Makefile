@@ -6,10 +6,11 @@
 #   make bench   — the training-step benchmarks with allocation reporting
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: check vet fmt build test race bench
+.PHONY: check vet fmt build test race fuzz bench
 
-check: vet fmt build test race
+check: vet fmt build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -27,7 +28,14 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/data/...
+	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/data/... ./internal/dist/... ./internal/faults/...
+
+# short fuzz smokes over the wire-frame and checkpoint decoders: corrupt
+# input must never panic, always surface a protocol/ErrCorrupt error
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run '^$$' -fuzz FuzzDecodeGrads -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/checkpoint
 
 bench:
 	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkTrainStep -benchmem -benchtime 30x

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -55,16 +56,18 @@ func die(err error) {
 }
 
 // jobFlags registers the shared job-definition flags.
-func jobFlags(fs *flag.FlagSet) (model *string, ests, batch *int, gpus *string, seed *uint64) {
+func jobFlags(fs *flag.FlagSet) (model *string, ests, batch *int, gpus *string, seed *uint64, epoch *uint64, timeout *time.Duration) {
 	model = fs.String("model", "bert", "workload name")
 	ests = fs.Int("ests", 4, "number of logical workers (ESTs)")
 	batch = fs.Int("batch", 4, "per-EST mini-batch size")
 	gpus = fs.String("gpus", "V100:2", "placement, e.g. V100:1,P100:1 (one worker process per GPU entry)")
 	seed = fs.Uint64("seed", 42, "job master seed")
+	epoch = fs.Uint64("epoch", 1, "rendezvous epoch; the coordinator rejects workers from any other epoch")
+	timeout = fs.Duration("timeout", 0, "network operation deadline (0: EASYSCALE_DIST_TIMEOUT or the built-in default)")
 	return
 }
 
-func buildSpec(model string, ests, batch int, gpus string, seed uint64, coord string) (dist.WorkerSpec, error) {
+func buildSpec(model string, ests, batch int, gpus string, seed uint64, epoch uint64, timeout time.Duration, coord string) (dist.WorkerSpec, error) {
 	p, err := parsePlacement(gpus, ests)
 	if err != nil {
 		return dist.WorkerSpec{}, err
@@ -72,7 +75,8 @@ func buildSpec(model string, ests, batch int, gpus string, seed uint64, coord st
 	cfg := core.DefaultConfig(ests)
 	cfg.BatchPerEST = batch
 	cfg.Seed = seed
-	return dist.WorkerSpec{Cfg: cfg, Workload: model, Placement: p, CoordAddr: coord}, nil
+	cfg.DistTimeout = timeout
+	return dist.WorkerSpec{Cfg: cfg, Workload: model, Placement: p, CoordAddr: coord, Epoch: epoch}, nil
 }
 
 func parsePlacement(spec string, ests int) (core.Placement, error) {
@@ -113,7 +117,7 @@ func runCoordinator(args []string) {
 	out := fs.String("out", "", "file to write the resulting on-demand checkpoint to")
 	in := fs.String("in", "", "checkpoint file to restore the generation from")
 	verify := fs.Bool("verify", false, "verify the result bitwise against an in-process fixed-DoP run")
-	model, ests, batch, gpus, seed := jobFlags(fs)
+	model, ests, batch, gpus, seed, epoch, timeout := jobFlags(fs)
 	die(fs.Parse(args))
 
 	var ckptIn []byte
@@ -126,9 +130,12 @@ func runCoordinator(args []string) {
 	coord, err := dist.NewCoordinatorAddr(*addr)
 	die(err)
 	defer coord.Close()
-	fmt.Printf("coordinator listening on %s, waiting for %d workers...\n", coord.Addr(), *workers)
+	if *timeout > 0 {
+		coord.SetTimeout(*timeout)
+	}
+	fmt.Printf("coordinator listening on %s, waiting for %d workers (epoch %d)...\n", coord.Addr(), *workers, *epoch)
 
-	ckpt, err := coord.RunGeneration(*workers, *steps, ckptIn)
+	ckpt, err := coord.RunGeneration(*epoch, *workers, *steps, ckptIn)
 	die(err)
 	fmt.Printf("generation complete: %d steps across %d worker processes\n", *steps, *workers)
 
@@ -138,7 +145,7 @@ func runCoordinator(args []string) {
 	}
 
 	if *verify {
-		spec, err := buildSpec(*model, *ests, *batch, *gpus, *seed, "")
+		spec, err := buildSpec(*model, *ests, *batch, *gpus, *seed, *epoch, *timeout, "")
 		die(err)
 		got, err := core.RestoreJob(spec.Cfg, ckpt)
 		die(err)
@@ -163,10 +170,10 @@ func runCoordinator(args []string) {
 func runWorker(args []string) {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	coord := fs.String("coord", "127.0.0.1:7070", "coordinator rendezvous address")
-	model, ests, batch, gpus, seed := jobFlags(fs)
+	model, ests, batch, gpus, seed, epoch, timeout := jobFlags(fs)
 	die(fs.Parse(args))
 
-	spec, err := buildSpec(*model, *ests, *batch, *gpus, *seed, *coord)
+	spec, err := buildSpec(*model, *ests, *batch, *gpus, *seed, *epoch, *timeout, *coord)
 	die(err)
 	die(dist.RunWorker(spec))
 	fmt.Println("worker done")

@@ -7,27 +7,41 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/dist"
+	"repro/internal/faults"
 )
 
 func main() {
 	cfg := core.DefaultConfig(4)
 	cfg.BatchPerEST = 4
+	cfg.DistTimeout = 10 * time.Second
 
 	phases := []dist.Phase{
 		{Placement: core.EvenPlacement(4, device.V100, device.V100, device.V100, device.V100), Steps: 10},
 		{Placement: core.EvenPlacement(4, device.V100, device.P100), Steps: 10},
 		{Placement: core.EvenPlacement(4, device.V100), Steps: 10},
 	}
+	// a seeded fault campaign: up to three mid-gather worker crashes,
+	// injected deterministically, recovered from the on-demand checkpoint
+	plan := &faults.Plan{
+		Seed:   2023,
+		Budget: 3,
+		Rules:  map[faults.Site]faults.Rule{faults.Gather: {Prob: 0.4, Action: faults.Crash}},
+	}
 	fmt.Println("running 3 worker generations over TCP (4 → 2 → 1 workers),")
-	fmt.Println("with one injected worker crash recovered from the on-demand checkpoint...")
-	ckpt, err := dist.RunElasticResilient(cfg, "bert", phases, 3, 4)
+	fmt.Println("with seeded worker crashes recovered from the on-demand checkpoint...")
+	ckpt, err := dist.RunElasticResilient(cfg, "bert", phases, dist.ResilientOptions{
+		Retry:  dist.RetryPolicy{MaxRetries: 3},
+		Faults: plan,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("recovered from %d injected faults\n", plan.Fired())
 
 	distJob, err := core.RestoreJob(cfg, ckpt)
 	if err != nil {

@@ -92,6 +92,14 @@ type Config struct {
 	// ablation of Figure 11. Training is then NOT accuracy-consistent; it
 	// exists only to measure the switching overhead.
 	DisableContextSwitch bool
+
+	// DistTimeout bounds every blocking network operation of the
+	// distributed runtime (dial, accept, frame read/write), so a hung peer
+	// surfaces as a deadline error instead of wedging a generation. Zero
+	// falls back to the EASYSCALE_DIST_TIMEOUT environment variable, then
+	// to the dist package's default. It does not participate in checkpoint
+	// identity: timeouts never affect numerics.
+	DistTimeout time.Duration
 }
 
 // DefaultConfig returns a D1+D2 EasyScale configuration with the common

@@ -1,19 +1,32 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/rng"
 )
 
 // Coordinator is the rendezvous and elasticity controller (the AIMaster
 // analog): workers register, receive rank / leader address / restore
 // checkpoint, and at the end of each generation the leader deposits the
 // assembled on-demand checkpoint for the next generation to restore from.
+//
+// Every blocking operation — accepting a worker, reading its hello, waiting
+// for the leader's checkpoint — is bounded by the coordinator's timeout, so
+// a hung or vanished worker surfaces as a deadline error instead of wedging
+// the generation. Rendezvous is epoch-tagged: a generation admits only
+// hellos carrying its own epoch, so a straggler from a crashed attempt can
+// never be admitted into the retry generation.
 type Coordinator struct {
-	ln net.Listener
+	ln      net.Listener
+	timeout time.Duration
+	epoch   uint64
 }
 
 // NewCoordinator starts the rendezvous listener on an ephemeral loopback
@@ -28,50 +41,87 @@ func NewCoordinatorAddr(addr string) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{ln: ln}, nil
+	return &Coordinator{ln: ln, timeout: resolveTimeout(0)}, nil
 }
 
 // Addr returns the rendezvous address workers dial.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
+// SetTimeout overrides the per-operation deadline (accept, frame
+// read/write). The constructor default comes from EASYSCALE_DIST_TIMEOUT or
+// DefaultTimeout.
+func (c *Coordinator) SetTimeout(d time.Duration) {
+	if d > 0 {
+		c.timeout = d
+	}
+}
+
 // Close shuts the rendezvous listener down.
 func (c *Coordinator) Close() { c.ln.Close() }
 
-// RunGeneration admits `workers` workers, assigns ranks in connection order
-// (rank 0 is the leader), distributes membership with the restore checkpoint
-// (nil for a fresh job) and the step budget, then waits for completion and
-// returns the new on-demand checkpoint produced by the leader.
-func (c *Coordinator) RunGeneration(workers, steps int, ckpt []byte) ([]byte, error) {
+// BeginEpoch advances to and returns the next rendezvous epoch. The elastic
+// drivers call it once per generation attempt, so every retry gets a fresh
+// epoch and stale workers are fenced out.
+func (c *Coordinator) BeginEpoch() uint64 {
+	c.epoch++
+	return c.epoch
+}
+
+// RunGeneration admits `workers` workers whose hellos carry `epoch`, assigns
+// ranks in connection order (rank 0 is the leader), distributes membership
+// with the restore checkpoint (nil for a fresh job) and the step budget,
+// then waits for completion and returns the new on-demand checkpoint
+// produced by the leader. Hellos from any other epoch are answered with
+// MsgReject and do not consume an admission slot.
+func (c *Coordinator) RunGeneration(epoch uint64, workers, steps int, ckpt []byte) ([]byte, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("dist: generation needs at least one worker")
 	}
-	conns := make([]net.Conn, workers)
-	addrs := make([]string, workers)
+	conns := make([]net.Conn, 0, workers)
+	addrs := make([]string, 0, workers)
 	defer func() {
 		for _, cn := range conns {
-			if cn != nil {
-				cn.Close()
-			}
+			cn.Close()
 		}
 	}()
-	for i := 0; i < workers; i++ {
-		cn, err := c.ln.Accept()
+	deadline := time.Now().Add(c.timeout)
+	for len(conns) < workers {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: epoch %d: admitted %d of %d workers before rendezvous deadline", epoch, len(conns), workers)
+		}
+		cn, err := acceptTimeout(c.ln, c.timeout)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dist: epoch %d: admitted %d of %d workers: %w", epoch, len(conns), workers, err)
 		}
 		payload, err := Expect(cn, MsgHello)
 		if err != nil {
+			cn.Close()
 			return nil, err
 		}
 		r := checkpoint.NewReader(payload)
-		addr, err := r.String()
+		helloEpoch, err := r.Uint64()
 		if err != nil {
+			cn.Close()
 			return nil, err
 		}
-		conns[i], addrs[i] = cn, addr
+		addr, err := r.String()
+		if err != nil {
+			cn.Close()
+			return nil, err
+		}
+		if helloEpoch != epoch {
+			// a straggler from a crashed earlier attempt (or a worker
+			// launched for a future one): fence it out, keep accepting
+			reason := fmt.Sprintf("stale epoch %d (current %d)", helloEpoch, epoch)
+			WriteFrame(cn, MsgReject, []byte(reason))
+			cn.Close()
+			continue
+		}
+		conns, addrs = append(conns, cn), append(addrs, addr)
 	}
 	for rank, cn := range conns {
 		w := checkpoint.NewWriter()
+		w.PutUint64(epoch)
 		w.PutInt(rank)
 		w.PutString(addrs[0]) // rank 0 is the leader
 		w.PutInt(steps)
@@ -81,12 +131,10 @@ func (c *Coordinator) RunGeneration(workers, steps int, ckpt []byte) ([]byte, er
 		}
 	}
 	// the leader deposits the checkpoint, then everyone reports done
-	var newCkpt []byte
-	payload, err := Expect(conns[0], MsgCkpt)
+	newCkpt, err := Expect(conns[0], MsgCkpt)
 	if err != nil {
 		return nil, err
 	}
-	newCkpt = payload
 	for _, cn := range conns {
 		if _, err := Expect(cn, MsgDone); err != nil {
 			return nil, err
@@ -101,24 +149,35 @@ type Phase struct {
 	Steps     int
 }
 
-// runPhase spawns one networked worker per placement entry and runs one
-// generation, optionally injecting a crash into the last follower.
-func runPhase(coord *Coordinator, cfg core.Config, workload string, ph Phase, ckpt []byte, failAfter int) ([]byte, error) {
+// runPhase spawns one networked worker per placement entry under a fresh
+// rendezvous epoch and runs one generation. Each worker derives its own
+// deterministic fault injector from the plan (nil for no injection).
+func runPhase(coord *Coordinator, cfg core.Config, workload string, ph Phase, ckpt []byte, plan *faults.Plan) ([]byte, error) {
 	workers := len(ph.Placement.Assignment)
+	epoch := coord.BeginEpoch()
 	errCh := make(chan error, workers)
 	for w := 0; w < workers; w++ {
-		spec := WorkerSpec{Cfg: cfg, Workload: workload, Placement: ph.Placement, CoordAddr: coord.Addr()}
-		if failAfter > 0 && w == workers-1 {
-			spec.FailAfterSteps = failAfter
+		spec := WorkerSpec{
+			Cfg:       cfg,
+			Workload:  workload,
+			Placement: ph.Placement,
+			CoordAddr: coord.Addr(),
+			Epoch:     epoch,
+			Faults:    plan.Injector(epoch, w),
 		}
 		go func() { errCh <- RunWorker(spec) }()
 	}
-	next, err := coord.RunGeneration(workers, ph.Steps, ckpt)
+	next, err := coord.RunGeneration(epoch, workers, ph.Steps, ckpt)
 	var firstErr error
 	for w := 0; w < workers; w++ {
 		if werr := <-errCh; werr != nil && firstErr == nil {
 			firstErr = werr
 		}
+	}
+	// an injected crash is the root cause of whatever secondary error the
+	// coordinator observed (EOF, deadline) — surface it first
+	if firstErr != nil && errors.Is(firstErr, faults.ErrInjectedCrash) {
+		return nil, firstErr
 	}
 	if err != nil {
 		return nil, err
@@ -139,13 +198,14 @@ func RunElastic(cfg core.Config, workload string, phases []Phase) ([]byte, error
 		return nil, err
 	}
 	defer coord.Close()
+	coord.SetTimeout(resolveTimeout(cfg.DistTimeout))
 
 	var ckpt []byte
 	for pi, ph := range phases {
 		if err := ph.Placement.Validate(cfg.NumESTs); err != nil {
 			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
 		}
-		next, err := runPhase(coord, cfg, workload, ph, ckpt, 0)
+		next, err := runPhase(coord, cfg, workload, ph, ckpt, nil)
 		if err != nil {
 			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
 		}
@@ -154,18 +214,43 @@ func RunElastic(cfg core.Config, workload string, phases []Phase) ([]byte, error
 	return ckpt, nil
 }
 
+// RetryPolicy shapes the phase retry loop of RunElasticResilient.
+type RetryPolicy struct {
+	// MaxRetries is how many times a failed phase attempt is retried
+	// (so a phase runs at most MaxRetries+1 times).
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it. Zero defaults to 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero defaults to 2s.
+	MaxBackoff time.Duration
+}
+
+// ResilientOptions configures RunElasticResilient.
+type ResilientOptions struct {
+	Retry RetryPolicy
+	// Faults, when non-nil, is the seeded fault campaign injected into
+	// every worker of every attempt. With Faults.Budget ≤ Retry.MaxRetries
+	// the run provably converges: each fired fault dooms at most one
+	// attempt of one phase.
+	Faults *faults.Plan
+}
+
 // RunElasticResilient is RunElastic with crash recovery: a phase whose
-// worker generation dies is retried from the last on-demand checkpoint (a
-// phase is all-or-nothing, so a retried phase reproduces exactly what the
-// uninterrupted phase would have computed — training never loses
-// consistency, only time). failAfter > 0 injects one crash into the first
-// attempt of every phase to exercise the path.
-func RunElasticResilient(cfg core.Config, workload string, phases []Phase, maxRetries, failAfter int) ([]byte, error) {
+// worker generation dies is retried — after a jittered exponential backoff —
+// from the last on-demand checkpoint. A phase is all-or-nothing, so a
+// retried phase reproduces exactly what the uninterrupted phase would have
+// computed: training never loses consistency, only time. Every retry runs
+// under a fresh rendezvous epoch, so stragglers of the dead attempt are
+// fenced out rather than admitted.
+func RunElasticResilient(cfg core.Config, workload string, phases []Phase, opts ResilientOptions) ([]byte, error) {
 	coord, err := NewCoordinator()
 	if err != nil {
 		return nil, err
 	}
 	defer coord.Close()
+	coord.SetTimeout(resolveTimeout(cfg.DistTimeout))
+	jit := rng.NewNamed(cfg.Seed, "dist-retry")
 
 	var ckpt []byte
 	for pi, ph := range phases {
@@ -174,12 +259,11 @@ func RunElasticResilient(cfg core.Config, workload string, phases []Phase, maxRe
 		}
 		var next []byte
 		var lastErr error
-		for attempt := 0; attempt <= maxRetries; attempt++ {
-			inject := 0
-			if attempt == 0 {
-				inject = failAfter
+		for attempt := 0; attempt <= opts.Retry.MaxRetries; attempt++ {
+			if attempt > 0 {
+				time.Sleep(backoff(attempt-1, opts.Retry.BaseBackoff, opts.Retry.MaxBackoff, jit))
 			}
-			next, lastErr = runPhase(coord, cfg, workload, ph, ckpt, inject)
+			next, lastErr = runPhase(coord, cfg, workload, ph, ckpt, opts.Faults)
 			if lastErr == nil {
 				break
 			}

@@ -1,18 +1,25 @@
 package dist
 
 import (
+	"errors"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/faults"
 )
 
 func distCfg(ests int) core.Config {
 	cfg := core.DefaultConfig(ests)
 	cfg.BatchPerEST = 4
 	cfg.D2 = true
+	// keep failure-path tests fast: nothing in-process should ever take
+	// close to this long, but a wedged path fails in seconds, not 30s
+	cfg.DistTimeout = 5 * time.Second
 	return cfg
 }
 
@@ -169,7 +176,7 @@ func TestCoordinatorValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.RunGeneration(0, 1, nil); err == nil {
+	if _, err := c.RunGeneration(1, 0, 1, nil); err == nil {
 		t.Fatal("zero workers must error")
 	}
 	if c.Addr() == "" {
@@ -195,18 +202,31 @@ func TestGradsCodecRoundTrip(t *testing.T) {
 	}
 }
 
-// TestResilientRecoversFromCrash injects a worker crash into the first
-// attempt of each phase; the retried phases must reproduce the uninterrupted
-// run bitwise ("no EasyScale job fails" — §5.3).
+// TestResilientRecoversFromCrash injects deterministic mid-gather crashes
+// (budget-bounded, so with MaxRetries ≥ Budget the run must converge); the
+// retried phases must reproduce the uninterrupted run bitwise ("no EasyScale
+// job fails" — §5.3).
 func TestResilientRecoversFromCrash(t *testing.T) {
 	cfg := distCfg(4)
 	phases := []Phase{
 		{Placement: core.EvenPlacement(4, device.V100, device.V100), Steps: 6},
 		{Placement: core.EvenPlacement(4, device.V100, device.V100, device.V100), Steps: 6},
 	}
-	ckpt, err := RunElasticResilient(cfg, "electra", phases, 2, 3)
+	plan := &faults.Plan{
+		Seed:   1,
+		Budget: 2,
+		Rules:  map[faults.Site]faults.Rule{faults.Gather: {Prob: 1, Action: faults.Crash}},
+	}
+	opts := ResilientOptions{
+		Retry:  RetryPolicy{MaxRetries: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond},
+		Faults: plan,
+	}
+	ckpt, err := RunElasticResilient(cfg, "electra", phases, opts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if plan.Fired() == 0 {
+		t.Fatal("fault plan never fired — crash path not exercised")
 	}
 	distJob := restore(t, cfg, ckpt)
 	ref := inProcessReference(t, cfg, "electra", []Phase{
@@ -221,14 +241,224 @@ func TestResilientRecoversFromCrash(t *testing.T) {
 func TestResilientExhaustsRetries(t *testing.T) {
 	cfg := distCfg(2)
 	phases := []Phase{{Placement: core.EvenPlacement(2, device.V100, device.V100), Steps: 8}}
-	// maxRetries = -1 means even the first (injected-crash) attempt is the
-	// only one... use 0 retries with an injected crash: must fail
+	plan := &faults.Plan{
+		Seed:   1,
+		Budget: 1,
+		Rules:  map[faults.Site]faults.Rule{faults.Gather: {Prob: 1, Action: faults.Crash}},
+	}
+	// zero retries: the single (crashed) attempt is the only one
+	_, err := RunElasticResilient(cfg, "neumf", phases, ResilientOptions{Faults: plan})
+	if err == nil {
+		t.Fatal("injected crash must surface as an error")
+	}
+	if !errors.Is(err, faults.ErrInjectedCrash) {
+		t.Fatalf("error should wrap the injected crash, got: %v", err)
+	}
+}
+
+// TestCoordinatorDeadlineOnHungWorker: a worker that connects and then goes
+// silent must surface as a deadline error, not block RunGeneration forever.
+func TestCoordinatorDeadlineOnHungWorker(t *testing.T) {
 	coord, err := NewCoordinator()
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	if _, err := runPhase(coord, cfg, "neumf", phases[0], nil, 2); err == nil {
-		t.Fatal("injected crash must surface as an error")
+	coord.SetTimeout(300 * time.Millisecond)
+
+	hung, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hung.Close() // connects, never sends a hello
+
+	start := time.Now()
+	_, err = coord.RunGeneration(1, 1, 1, nil)
+	if err == nil {
+		t.Fatal("hung worker must produce an error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("coordinator took %v to give up on a hung worker", elapsed)
+	}
+}
+
+// TestWorkerDialDeadCoordinatorFailsFast: dialing a dead rendezvous endpoint
+// must error within the configured deadline instead of hanging.
+func TestWorkerDialDeadCoordinatorFailsFast(t *testing.T) {
+	cfg := distCfg(2)
+	cfg.DistTimeout = 300 * time.Millisecond
+	spec := WorkerSpec{
+		Cfg: cfg, Workload: "neumf",
+		Placement: core.EvenPlacement(2, device.V100),
+		CoordAddr: "127.0.0.1:1", // reserved port: nothing listens here
+		Epoch:     1,
+	}
+	start := time.Now()
+	err := RunWorker(spec)
+	if err == nil {
+		t.Fatal("dialing a dead coordinator must error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("worker took %v to give up on a dead coordinator", elapsed)
+	}
+}
+
+// TestStaleEpochRejected: a straggler hello from a previous generation is
+// answered with MsgReject and does not consume an admission slot; the
+// current-epoch worker is still admitted.
+func TestStaleEpochRejected(t *testing.T) {
+	coord, err := NewCoordinator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.SetTimeout(2 * time.Second)
+	coord.BeginEpoch() // epoch 1 (the "crashed attempt")
+	epoch := coord.BeginEpoch()
+
+	sendHello := func(c net.Conn, e uint64) {
+		w := checkpoint.NewWriter()
+		w.PutUint64(e)
+		w.PutString("127.0.0.1:9") // never dialed: single-worker generation
+		if err := WriteFrame(c, MsgHello, w.Bytes()); err != nil {
+			t.Error(err)
+		}
+	}
+
+	staleErr := make(chan error, 1)
+	genDone := make(chan error, 1)
+	go func() {
+		// straggler from epoch 1
+		c, err := net.Dial("tcp", coord.Addr())
+		if err != nil {
+			staleErr <- err
+			return
+		}
+		defer c.Close()
+		sendHello(c, epoch-1)
+		typ, payload, err := ReadFrame(c)
+		if err != nil {
+			staleErr <- err
+			return
+		}
+		if typ != MsgReject {
+			staleErr <- errFrame(typ)
+			return
+		}
+		if !strings.Contains(string(payload), "stale epoch") {
+			staleErr <- errFrame(typ)
+			return
+		}
+		staleErr <- nil
+
+		// now the legitimate epoch-2 worker joins and plays a minimal
+		// single-worker generation: hello → membership → ckpt → done
+		c2, err := net.Dial("tcp", coord.Addr())
+		if err != nil {
+			genDone <- err
+			return
+		}
+		defer c2.Close()
+		sendHello(c2, epoch)
+		mem, err := Expect(c2, MsgMembership)
+		if err != nil {
+			genDone <- err
+			return
+		}
+		mr := checkpoint.NewReader(mem)
+		gotEpoch, _ := mr.Uint64()
+		if gotEpoch != epoch {
+			genDone <- errFrame(MsgMembership)
+			return
+		}
+		if err := WriteFrame(c2, MsgCkpt, []byte("ckpt-bytes")); err != nil {
+			genDone <- err
+			return
+		}
+		genDone <- WriteFrame(c2, MsgDone, nil)
+	}()
+
+	ckpt, err := coord.RunGeneration(epoch, 1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ckpt) != "ckpt-bytes" {
+		t.Fatalf("generation returned %q", ckpt)
+	}
+	if err := <-staleErr; err != nil {
+		t.Fatalf("stale worker: %v", err)
+	}
+	if err := <-genDone; err != nil {
+		t.Fatalf("fresh worker: %v", err)
+	}
+}
+
+func errFrame(t MsgType) error { return &frameErr{t} }
+
+type frameErr struct{ t MsgType }
+
+func (e *frameErr) Error() string { return "unexpected frame type " + string(rune('0'+e.t)) }
+
+// TestMergeGradsValidation: duplicate, unassigned, missing, and
+// wrong-bucket-count contributions must all be protocol errors — never a
+// silent overwrite of another EST's gradients or a nil-slot panic in the
+// reduce loop.
+func TestMergeGradsValidation(t *testing.T) {
+	f := follower{worker: 1, expect: map[int]bool{1: true, 2: true}}
+
+	// vrank the follower does not host
+	err := mergeGrads(f, map[int][][]float32{0: {{1}}, 1: {{2}}}, map[int][][]float32{}, 1)
+	if err == nil || !strings.Contains(err.Error(), "does not host") {
+		t.Fatalf("unassigned vrank: %v", err)
+	}
+	// missing vrank (only one of two)
+	err = mergeGrads(f, map[int][][]float32{1: {{2}}}, map[int][][]float32{}, 1)
+	if err == nil {
+		t.Fatal("missing vrank must error")
+	}
+	// wrong bucket count
+	err = mergeGrads(f, map[int][][]float32{1: {{1}}, 2: {{2}, {3}}}, map[int][][]float32{}, 1)
+	if err == nil || !strings.Contains(err.Error(), "buckets") {
+		t.Fatalf("bucket-count mismatch: %v", err)
+	}
+	// valid contribution merges
+	sets := map[int][][]float32{}
+	if err := mergeGrads(f, map[int][][]float32{1: {{1}}, 2: {{2}}}, sets, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sets[1][0][0] != 1 || sets[2][0][0] != 2 {
+		t.Fatalf("merged sets %v", sets)
+	}
+
+	// a frame carrying the same vrank twice is rejected at decode
+	w := checkpoint.NewWriter()
+	w.PutInt(0) // step
+	w.PutInt(2) // two rank entries...
+	for i := 0; i < 2; i++ {
+		w.PutInt(3) // ...both claiming vrank 3
+		w.PutInt(1)
+		w.PutFloat32s([]float32{float32(i)})
+	}
+	if _, _, err := decodeGrads(w.Bytes()); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate vrank in frame: %v", err)
+	}
+}
+
+// TestWriteFrameRejectsOversizedPayload: a payload the uint32 length header
+// cannot carry must be rejected before any bytes hit the wire.
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	huge := make([]byte, maxFrame+1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- WriteFrame(a, MsgGrads, huge) }()
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "exceeds") && !strings.Contains(err.Error(), "refusing") {
+			t.Fatalf("oversized payload: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WriteFrame attempted to write an oversized frame (blocked on pipe)")
 	}
 }

@@ -44,14 +44,23 @@ const (
 	MsgCkpt
 	// MsgDone signals a worker finished its phase cleanly.
 	MsgDone
+	// MsgReject refuses a rendezvous hello (payload: reason string); the
+	// coordinator sends it to a worker whose epoch is stale.
+	MsgReject
 )
 
 // maxFrame bounds a frame payload (checkpoints of the scaled-down models are
 // well under this).
 const maxFrame = 256 << 20
 
-// WriteFrame sends a tagged, length-prefixed frame.
+// WriteFrame sends a tagged, length-prefixed frame. Payloads beyond maxFrame
+// are rejected before any bytes hit the wire: a uint32 length header cannot
+// represent them, so writing one would silently truncate the length and
+// desynchronize the stream for every subsequent frame.
 func WriteFrame(c net.Conn, t MsgType, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("dist: refusing to write frame of %d bytes (limit %d)", len(payload), maxFrame)
+	}
 	var hdr [5]byte
 	hdr[0] = byte(t)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
@@ -72,13 +81,25 @@ func ReadFrame(c net.Conn) (MsgType, []byte, error) {
 	if _, err := io.ReadFull(c, hdr[:]); err != nil {
 		return 0, nil, fmt.Errorf("dist: read header: %w", err)
 	}
-	n := binary.LittleEndian.Uint32(hdr[1:])
+	n := int(binary.LittleEndian.Uint32(hdr[1:]))
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c, payload); err != nil {
-		return 0, nil, fmt.Errorf("dist: read payload: %w", err)
+	// grow the payload in bounded chunks as bytes actually arrive, so a
+	// corrupt or hostile length header cannot force a huge allocation for
+	// data the peer never sends
+	const chunk = 1 << 20
+	var payload []byte
+	for len(payload) < n {
+		take := n - len(payload)
+		if take > chunk {
+			take = chunk
+		}
+		start := len(payload)
+		payload = append(payload, make([]byte, take)...)
+		if _, err := io.ReadFull(c, payload[start:]); err != nil {
+			return 0, nil, fmt.Errorf("dist: read payload: %w", err)
+		}
 	}
 	return MsgType(hdr[0]), payload, nil
 }

@@ -3,10 +3,12 @@ package dist
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 // WorkerSpec is what the launcher hands every worker process: the job
@@ -18,16 +20,61 @@ type WorkerSpec struct {
 	Workload  string
 	Placement core.Placement
 	CoordAddr string
-	// FailAfterSteps, when positive, makes the worker crash (drop its
-	// connections) after that many global steps — the fault-injection hook
-	// behind the resilience tests.
-	FailAfterSteps int
+	// Epoch is the rendezvous generation this worker belongs to; the
+	// coordinator rejects hellos from any other epoch, fencing stragglers
+	// of a crashed attempt out of the retry generation.
+	Epoch uint64
+	// Faults, when non-nil, is this worker's deterministic fault injector
+	// (derived from a faults.Plan per epoch and worker index).
+	Faults *faults.Injector
+}
+
+// injectFault consults the worker's injector at a site. A Crash closes the
+// given connections and returns an error wrapping faults.ErrInjectedCrash; a
+// ConnDrop closes them silently so the failure surfaces on the next I/O; a
+// Delay stalls in place.
+func injectFault(in *faults.Injector, site faults.Site, conns ...net.Conn) error {
+	act, d := in.Check(site)
+	switch act {
+	case faults.Crash:
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return fmt.Errorf("dist: %w at %s", faults.ErrInjectedCrash, site)
+	case faults.ConnDrop:
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	case faults.Delay:
+		time.Sleep(d)
+	}
+	return nil
+}
+
+// fnvHash folds a string FNV-64 style, for deriving per-worker jitter seeds.
+func fnvHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // RunWorker executes one worker process: rendezvous with the coordinator,
 // build (or restore) the job, run the phase's global steps with gradient
 // synchronization over TCP, then ship the hosted EST contexts (and, on the
 // leader, the assembled on-demand checkpoint) back.
+//
+// Every network operation is bounded by the configured timeout
+// (core.Config.DistTimeout / EASYSCALE_DIST_TIMEOUT / DefaultTimeout): dials
+// retry with jittered exponential backoff until the deadline, and reads and
+// writes arm per-operation deadlines, so a dead or hung peer surfaces as an
+// error instead of hanging the worker forever.
 //
 // The gradient numerics are bitwise identical to the in-process engine: the
 // leader reduces every bucket over the EST gradient sets ordered by virtual
@@ -37,11 +84,7 @@ func RunWorker(spec WorkerSpec) error {
 	if spec.Cfg.Level < core.D1 {
 		return fmt.Errorf("dist: distributed runtime requires D1 determinism (got %v)", spec.Cfg.Level)
 	}
-	coord, err := net.Dial("tcp", spec.CoordAddr)
-	if err != nil {
-		return fmt.Errorf("dist: dial coordinator: %w", err)
-	}
-	defer coord.Close()
+	timeout := resolveTimeout(spec.Cfg.DistTimeout)
 
 	// every worker opens a listener; the coordinator elects rank 0 leader
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -49,17 +92,43 @@ func RunWorker(spec WorkerSpec) error {
 		return err
 	}
 	defer ln.Close()
+	// the listener address is unique per worker, so it doubles as the
+	// per-worker jitter discriminator for dial backoff
+	jitterSeed := spec.Cfg.Seed ^ spec.Epoch ^ fnvHash(ln.Addr().String())
+
+	if err := injectFault(spec.Faults, faults.Dial); err != nil {
+		return err
+	}
+	coord, err := dialRetry(spec.CoordAddr, timeout, jitterSeed)
+	if err != nil {
+		return fmt.Errorf("dist: dial coordinator: %w", err)
+	}
+	defer coord.Close()
 
 	hello := checkpoint.NewWriter()
+	hello.PutUint64(spec.Epoch)
 	hello.PutString(ln.Addr().String())
 	if err := WriteFrame(coord, MsgHello, hello.Bytes()); err != nil {
 		return err
 	}
-	memRaw, err := Expect(coord, MsgMembership)
+	t, memRaw, err := ReadFrame(coord)
 	if err != nil {
 		return err
 	}
+	if t == MsgReject {
+		return fmt.Errorf("dist: rendezvous rejected: %s", memRaw)
+	}
+	if t != MsgMembership {
+		return fmt.Errorf("dist: expected membership frame, got %d", t)
+	}
 	mr := checkpoint.NewReader(memRaw)
+	memEpoch, err := mr.Uint64()
+	if err != nil {
+		return err
+	}
+	if memEpoch != spec.Epoch {
+		return fmt.Errorf("dist: membership epoch %d does not match worker epoch %d", memEpoch, spec.Epoch)
+	}
 	rank, err := mr.Int()
 	if err != nil {
 		return err
@@ -96,10 +165,10 @@ func RunWorker(spec WorkerSpec) error {
 	}
 
 	if rank == 0 {
-		return runLeader(job, spec, ln, coord, steps)
+		return runLeader(job, spec, ln, coord, steps, timeout)
 	}
 	ln.Close()
-	return runFollower(job, spec, rank, leaderAddr, coord, steps)
+	return runFollower(job, spec, rank, leaderAddr, coord, steps, timeout, jitterSeed)
 }
 
 // myRanks returns the virtual ranks a placement worker hosts.
@@ -131,14 +200,26 @@ func decodeGrads(data []byte) (step int, byRank map[int][][]float32, err error) 
 	if nr, err = r.Int(); err != nil {
 		return
 	}
+	// every rank entry needs at least its vrank and bucket-count words, so
+	// a count beyond Remaining()/16 is corruption, not data — reject it
+	// before it turns into an allocation bomb
+	if nr < 0 || nr > r.Remaining()/16 {
+		return 0, nil, fmt.Errorf("dist: grads frame declares %d ranks in %d bytes", nr, r.Remaining())
+	}
 	byRank = make(map[int][][]float32, nr)
 	for i := 0; i < nr; i++ {
 		var vrank, nb int
 		if vrank, err = r.Int(); err != nil {
 			return
 		}
+		if _, dup := byRank[vrank]; dup {
+			return 0, nil, fmt.Errorf("dist: duplicate virtual rank %d in grads frame", vrank)
+		}
 		if nb, err = r.Int(); err != nil {
 			return
+		}
+		if nb < 0 || nb > r.Remaining()/8 {
+			return 0, nil, fmt.Errorf("dist: grads frame declares %d buckets in %d bytes", nb, r.Remaining())
 		}
 		buckets := make([][]float32, nb)
 		for b := range buckets {
@@ -166,6 +247,9 @@ func decodeBuckets(data []byte) ([][]float32, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n < 0 || n > r.Remaining()/8 {
+		return nil, fmt.Errorf("dist: buckets frame declares %d buckets in %d bytes", n, r.Remaining())
+	}
 	out := make([][]float32, n)
 	for i := range out {
 		if out[i], err = r.Float32s(); err != nil {
@@ -190,41 +274,110 @@ func localBuckets(job *core.Job, ranks []int) map[int][][]float32 {
 	return out
 }
 
+// follower is a leader-side handle on one admitted follower: its connection
+// and the exact virtual-rank set it is responsible for.
+type follower struct {
+	conn   net.Conn
+	worker int
+	expect map[int]bool
+}
+
+// acceptFollowers admits every follower, identified by the worker-rank hello
+// each sends after dialing, and pins the virtual ranks it must contribute.
+func acceptFollowers(ln net.Listener, p core.Placement, timeout time.Duration) ([]follower, error) {
+	n := len(p.Assignment) - 1
+	out := make([]follower, 0, n)
+	seen := map[int]bool{}
+	for len(out) < n {
+		c, err := acceptTimeout(ln, timeout)
+		if err != nil {
+			return out, err
+		}
+		payload, err := Expect(c, MsgHello)
+		if err != nil {
+			c.Close()
+			return out, fmt.Errorf("dist: follower hello: %w", err)
+		}
+		r := checkpoint.NewReader(payload)
+		w, err := r.Int()
+		if err != nil {
+			c.Close()
+			return out, err
+		}
+		if w < 1 || w >= len(p.Assignment) {
+			c.Close()
+			return out, fmt.Errorf("dist: follower claims worker rank %d outside [1,%d)", w, len(p.Assignment))
+		}
+		if seen[w] {
+			c.Close()
+			return out, fmt.Errorf("dist: duplicate follower for worker rank %d", w)
+		}
+		seen[w] = true
+		expect := make(map[int]bool, len(p.Assignment[w]))
+		for _, v := range p.Assignment[w] {
+			expect[v] = true
+		}
+		out = append(out, follower{conn: c, worker: w, expect: expect})
+	}
+	return out, nil
+}
+
+// mergeGrads validates one follower's decoded contribution against its
+// assigned virtual ranks — exactly its own set, no duplicates (decodeGrads
+// rejects those), nothing missing, every rank with the full bucket count —
+// and merges it into sets. Without this, a misbehaving or misrouted frame
+// could silently overwrite another EST's gradients or leave a nil slot that
+// panics in the reduce loop.
+func mergeGrads(f follower, byRank map[int][][]float32, sets map[int][][]float32, numBuckets int) error {
+	if len(byRank) != len(f.expect) {
+		return fmt.Errorf("dist: worker %d sent %d EST contributions, expected %d", f.worker, len(byRank), len(f.expect))
+	}
+	for vrank, bufs := range byRank {
+		if !f.expect[vrank] {
+			return fmt.Errorf("dist: worker %d sent gradients for virtual rank %d it does not host", f.worker, vrank)
+		}
+		if len(bufs) != numBuckets {
+			return fmt.Errorf("dist: worker %d rank %d sent %d buckets, expected %d", f.worker, vrank, len(bufs), numBuckets)
+		}
+		sets[vrank] = bufs
+	}
+	return nil
+}
+
 // runLeader drives rank 0: accept follower connections, then per step gather
 // every EST's buckets, reduce in canonical virtual order, broadcast, finish.
-func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, steps int) error {
+func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, steps int, timeout time.Duration) error {
 	world := spec.Cfg.NumESTs
-	followers := len(spec.Placement.Assignment) - 1
-	conns := make([]net.Conn, 0, followers)
+	followers, err := acceptFollowers(ln, spec.Placement, timeout)
 	defer func() {
-		for _, c := range conns {
-			c.Close()
+		for _, f := range followers {
+			f.conn.Close()
 		}
 	}()
-	for i := 0; i < followers; i++ {
-		c, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		conns = append(conns, c)
+	if err != nil {
+		return err
 	}
 	own := myRanks(spec.Placement, 0)
-
-	for s := 0; s < steps; s++ {
-		if spec.FailAfterSteps > 0 && s == spec.FailAfterSteps {
-			for _, c := range conns {
-				c.Close()
-			}
-			coord.Close()
-			return fmt.Errorf("dist: injected worker crash at step %d", s)
+	allConns := func() []net.Conn {
+		cs := []net.Conn{coord}
+		for _, f := range followers {
+			cs = append(cs, f.conn)
 		}
+		return cs
+	}
+
+	ddp := job.DDP()
+	for s := 0; s < steps; s++ {
 		if err := job.RunLocalPhase(0); err != nil {
 			return err
 		}
 		sets := localBuckets(job, own)
+		if err := injectFault(spec.Faults, faults.Gather, allConns()...); err != nil {
+			return err
+		}
 		// gather: exactly one MsgGrads frame per follower per step
-		for _, c := range conns {
-			payload, err := Expect(c, MsgGrads)
+		for _, f := range followers {
+			payload, err := Expect(f.conn, MsgGrads)
 			if err != nil {
 				return fmt.Errorf("dist: leader gather: %w", err)
 			}
@@ -235,12 +388,19 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 			if step != s {
 				return fmt.Errorf("dist: step skew: follower at %d, leader at %d", step, s)
 			}
-			for vrank, bufs := range byRank {
-				sets[vrank] = bufs
+			if err := mergeGrads(f, byRank, sets, ddp.NumBuckets()); err != nil {
+				return err
+			}
+		}
+		// the placement covers every virtual rank, and each follower was
+		// validated against its own slice of it — but verify closure before
+		// the reduce indexes into the sets
+		for v := 0; v < world; v++ {
+			if sets[v] == nil {
+				return fmt.Errorf("dist: no gradient contribution for virtual rank %d", v)
 			}
 		}
 		// reduce each bucket over virtual ranks 0..W-1 in canonical order
-		ddp := job.DDP()
 		reduced := make([][]float32, ddp.NumBuckets())
 		inv := 1 / float32(world)
 		for b := range reduced {
@@ -254,9 +414,12 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 			}
 			reduced[b] = sum
 		}
+		if err := injectFault(spec.Faults, faults.Broadcast, allConns()...); err != nil {
+			return err
+		}
 		payload := encodeBuckets(reduced)
-		for _, c := range conns {
-			if err := WriteFrame(c, MsgReduced, payload); err != nil {
+		for _, f := range followers {
+			if err := WriteFrame(f.conn, MsgReduced, payload); err != nil {
 				return err
 			}
 		}
@@ -267,9 +430,12 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 
 	// assemble the on-demand checkpoint: import every remote EST context,
 	// bring the data loader to the canonical cursor, serialize, ship.
-	for _, c := range conns {
+	if err := injectFault(spec.Faults, faults.CkptShip, allConns()...); err != nil {
+		return err
+	}
+	for _, f := range followers {
 		for {
-			t, payload, err := ReadFrame(c)
+			t, payload, err := ReadFrame(f.conn)
 			if err != nil {
 				return err
 			}
@@ -292,25 +458,35 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 }
 
 // runFollower drives a non-leader rank.
-func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, coord net.Conn, steps int) error {
-	leader, err := net.Dial("tcp", leaderAddr)
+func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, coord net.Conn, steps int, timeout time.Duration, jitterSeed uint64) error {
+	if err := injectFault(spec.Faults, faults.Dial, coord); err != nil {
+		return err
+	}
+	leader, err := dialRetry(leaderAddr, timeout, jitterSeed^uint64(rank))
 	if err != nil {
 		return fmt.Errorf("dist: dial leader: %w", err)
 	}
 	defer leader.Close()
+	// identify ourselves so the leader can pin our virtual-rank set
+	hello := checkpoint.NewWriter()
+	hello.PutInt(rank)
+	if err := WriteFrame(leader, MsgHello, hello.Bytes()); err != nil {
+		return err
+	}
 	own := myRanks(spec.Placement, rank)
 
 	for s := 0; s < steps; s++ {
-		if spec.FailAfterSteps > 0 && s == spec.FailAfterSteps {
-			leader.Close()
-			coord.Close()
-			return fmt.Errorf("dist: injected worker crash at step %d", s)
-		}
 		if err := job.RunLocalPhase(rank); err != nil {
 			return err
 		}
 		bufs := localBuckets(job, own)
+		if err := injectFault(spec.Faults, faults.Gather, leader, coord); err != nil {
+			return err
+		}
 		if err := WriteFrame(leader, MsgGrads, encodeGrads(s, bufs, own)); err != nil {
+			return err
+		}
+		if err := injectFault(spec.Faults, faults.Broadcast, leader, coord); err != nil {
 			return err
 		}
 		payload, err := Expect(leader, MsgReduced)
@@ -326,6 +502,9 @@ func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, co
 		}
 	}
 	// ship hosted EST contexts for the leader's checkpoint
+	if err := injectFault(spec.Faults, faults.CkptShip, leader, coord); err != nil {
+		return err
+	}
 	for _, r := range own {
 		if err := WriteFrame(leader, MsgCkpt, job.ExportESTContext(r)); err != nil {
 			return err

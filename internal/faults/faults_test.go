@@ -1,0 +1,81 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterministic(t *testing.T) {
+	plan := func() *Plan {
+		return &Plan{
+			Seed: 7,
+			Rules: map[Site]Rule{
+				Dial:   {Prob: 0.5, Action: Crash},
+				Gather: {Prob: 0.3, Action: ConnDrop},
+			},
+		}
+	}
+	a, b := plan().Injector(3, 1), plan().Injector(3, 1)
+	for i := 0; i < 200; i++ {
+		site := Dial
+		if i%2 == 1 {
+			site = Gather
+		}
+		actA, _ := a.Check(site)
+		actB, _ := b.Check(site)
+		if actA != actB {
+			t.Fatalf("visit %d: same (seed, epoch, worker) diverged: %v vs %v", i, actA, actB)
+		}
+	}
+}
+
+func TestInjectorVariesByEpochAndWorker(t *testing.T) {
+	p := &Plan{Seed: 7, Rules: map[Site]Rule{Dial: {Prob: 0.5, Action: Crash}}}
+	seq := func(epoch uint64, worker int) (out [64]bool) {
+		in := p.Injector(epoch, worker)
+		for i := range out {
+			act, _ := in.Check(Dial)
+			out[i] = act != None
+		}
+		return
+	}
+	if seq(1, 0) == seq(2, 0) {
+		t.Fatal("epochs 1 and 2 produced identical fault schedules")
+	}
+	if seq(1, 0) == seq(1, 1) {
+		t.Fatal("workers 0 and 1 produced identical fault schedules")
+	}
+}
+
+func TestBudgetBoundsFires(t *testing.T) {
+	p := &Plan{Seed: 1, Budget: 3, Rules: map[Site]Rule{Dial: {Prob: 1, Action: Crash}}}
+	in := p.Injector(1, 0)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if act, _ := in.Check(Dial); act == Crash {
+			fired++
+		}
+	}
+	if fired != 3 || p.Fired() != 3 || p.FiredAt(Dial) != 3 {
+		t.Fatalf("budget 3: fired=%d plan.Fired=%d at-dial=%d", fired, p.Fired(), p.FiredAt(Dial))
+	}
+}
+
+func TestNilPlanAndInjectorNeverFire(t *testing.T) {
+	var p *Plan
+	in := p.Injector(1, 0)
+	if act, _ := in.Check(Gather); act != None {
+		t.Fatalf("nil injector fired %v", act)
+	}
+	if p.Fired() != 0 || p.FiredAt(Gather) != 0 {
+		t.Fatal("nil plan reported fires")
+	}
+}
+
+func TestDelayRuleCarriesDuration(t *testing.T) {
+	p := &Plan{Seed: 1, Rules: map[Site]Rule{Broadcast: {Prob: 1, Action: Delay, Delay: 5 * time.Millisecond}}}
+	act, d := p.Injector(1, 0).Check(Broadcast)
+	if act != Delay || d != 5*time.Millisecond {
+		t.Fatalf("got %v %v, want delay 5ms", act, d)
+	}
+}

@@ -29,15 +29,22 @@ func Summarize(xs []float64) Summary {
 	s.P50 = Percentile(sorted, 0.50)
 	s.P90 = Percentile(sorted, 0.90)
 	s.P99 = Percentile(sorted, 0.99)
-	var sum, sumsq float64
+	var sum float64
 	for _, v := range sorted {
 		sum += v
-		sumsq += v * v
 	}
 	n := float64(len(sorted))
 	s.Mean = sum / n
-	variance := sumsq/n - s.Mean*s.Mean
-	if variance > 0 {
+	// two-pass variance: the textbook sumsq/n − mean² form cancels
+	// catastrophically for large-mean series (it can even go negative,
+	// silently zeroing Std); summing squared deviations from the mean is
+	// stable regardless of offset
+	var sumd2 float64
+	for _, v := range sorted {
+		d := v - s.Mean
+		sumd2 += d * d
+	}
+	if variance := sumd2 / n; variance > 0 {
 		s.Std = math.Sqrt(variance)
 	}
 	return s

@@ -20,6 +20,32 @@ func TestSummarizeKnown(t *testing.T) {
 	}
 }
 
+// TestSummarizeLargeOffsetStd: regression for catastrophic cancellation.
+// With the old sumsq/n − mean² formula, a small-variance series riding a
+// large mean (e.g. JCTs measured in nanoseconds since epoch) lost all
+// significant digits of the variance — which could even go negative and
+// silently zero Std. The two-pass computation is offset-invariant.
+func TestSummarizeLargeOffsetStd(t *testing.T) {
+	base := []float64{1, 2, 3, 4, 5}
+	want := math.Sqrt(2) // population std of 1..5
+	for _, offset := range []float64{0, 1e6, 1e9, 1e12} {
+		xs := make([]float64, len(base))
+		for i, v := range base {
+			xs[i] = v + offset
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Std-want) > 1e-3 {
+			t.Fatalf("offset %g: Std = %v, want %v (catastrophic cancellation)", offset, s.Std, want)
+		}
+	}
+}
+
+func TestSummarizeConstantSeriesZeroStd(t *testing.T) {
+	if s := Summarize([]float64{7.5e11, 7.5e11, 7.5e11}); s.Std != 0 {
+		t.Fatalf("constant series Std = %v, want exactly 0", s.Std)
+	}
+}
+
 func TestSummarizeDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Summarize(xs)
