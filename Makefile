@@ -8,9 +8,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet fmt build test race fuzz bench
+.PHONY: check vet fmt build test race fuzz bench benchsmoke
 
-check: vet fmt build test race fuzz
+check: vet fmt build test race fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -30,12 +30,24 @@ test: build
 race:
 	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/data/... ./internal/dist/... ./internal/faults/...
 
-# short fuzz smokes over the wire-frame and checkpoint decoders: corrupt
-# input must never panic, always surface a protocol/ErrCorrupt error
+# short fuzz smokes: the wire-frame and checkpoint decoders must never panic
+# on corrupt input, and the tiled GEMM kernels must stay bitwise identical to
+# the reference loops for arbitrary shapes, kc blocks, and non-finite inputs
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/dist
 	$(GO) test -run '^$$' -fuzz FuzzDecodeGrads -fuzztime $(FUZZTIME) ./internal/dist
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz 'FuzzGemmTiledVsReferenceMatMul$$' -fuzztime $(FUZZTIME) ./internal/kernels
+	$(GO) test -run '^$$' -fuzz 'FuzzGemmTiledVsReferenceMatMulATB$$' -fuzztime $(FUZZTIME) ./internal/kernels
+	$(GO) test -run '^$$' -fuzz 'FuzzGemmTiledVsReferenceMatMulABT$$' -fuzztime $(FUZZTIME) ./internal/kernels
 
+# benchstat-comparable output (fixed iteration count, -benchmem); run before
+# and after a kernels change and record the pair in BENCH_prN.json
 bench:
-	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkTrainStep -benchmem -benchtime 30x
+	$(GO) test ./internal/core/ -run '^$$' -bench 'BenchmarkTrainStep$$' -benchmem -benchtime 30x
+	$(GO) test . -run '^$$' -bench 'BenchmarkFig09LossDiff$$' -benchmem -benchtime 2x
+
+# one-iteration short-mode smoke of the kernel benchmarks: catches benchmark
+# rot (signature drift, panics on the bench path) without the full run
+benchsmoke:
+	$(GO) test ./internal/core/ -run '^$$' -bench 'BenchmarkTrainStep$$' -benchtime 1x -short

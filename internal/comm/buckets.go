@@ -1,6 +1,9 @@
 package comm
 
-import "repro/internal/tensor"
+import (
+	"repro/internal/pool"
+	"repro/internal/tensor"
+)
 
 // Bucket-level accessors used by the distributed runtime: a remote worker
 // flattens its local ESTs' gradients per bucket, ships buffers through the
@@ -17,10 +20,13 @@ func (d *ElasticDDP) BucketParams(b int) []int {
 // BucketLen returns the element count of bucket b.
 func (d *ElasticDDP) BucketLen(b int) int { return d.bucketLen(d.plan.Buckets[b]) }
 
-// FlattenBucket packs bucket b of one gradient set into a fresh buffer.
+// FlattenBucket packs bucket b of one gradient set into a buffer drawn from
+// the arena (fully overwritten). Callers on per-step paths should pool.Put
+// the buffer once the reduce is done with it; holding or dropping it is also
+// safe, merely unpooled.
 func (d *ElasticDDP) FlattenBucket(b int, grads []*tensor.Tensor) []float32 {
 	bucket := d.plan.Buckets[b]
-	buf := make([]float32, d.bucketLen(bucket))
+	buf := pool.GetUninit(d.bucketLen(bucket))
 	d.flatten(buf, grads, bucket)
 	return buf
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/pool"
 )
 
 // WorkerSpec is what the launcher hands every worker process: the job
@@ -414,6 +415,13 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 			}
 			reduced[b] = sum
 		}
+		// the local flatten buffers are arena-backed (FlattenBucket) and done
+		// with; follower buffers were decoded from network frames and are not
+		for _, r := range own {
+			for _, buf := range sets[r] {
+				pool.Put(buf)
+			}
+		}
 		if err := injectFault(spec.Faults, faults.Broadcast, allConns()...); err != nil {
 			return err
 		}
@@ -483,7 +491,15 @@ func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, co
 		if err := injectFault(spec.Faults, faults.Gather, leader, coord); err != nil {
 			return err
 		}
-		if err := WriteFrame(leader, MsgGrads, encodeGrads(s, bufs, own)); err != nil {
+		frame := encodeGrads(s, bufs, own)
+		// encodeGrads copied the buckets into the frame; return the
+		// arena-backed flatten buffers before the write
+		for _, bs := range bufs {
+			for _, buf := range bs {
+				pool.Put(buf)
+			}
+		}
+		if err := WriteFrame(leader, MsgGrads, frame); err != nil {
 			return err
 		}
 		if err := injectFault(spec.Faults, faults.Broadcast, leader, coord); err != nil {

@@ -24,7 +24,7 @@ func (d ConvDims) OutW() int { return (d.W+2*d.PadW-d.KW)/d.StrideW + 1 }
 // ColRows returns the im2col row count (CI*KH*KW).
 func (d ConvDims) ColRows() int { return d.CIn * d.KH * d.KW }
 
-// ColCols returns the im2col column count (OutH*OutW).
+// ColCols returns the im2col column count (OH*OW).
 func (d ConvDims) ColCols() int { return d.OutH() * d.OutW() }
 
 func (d ConvDims) validate() {
@@ -38,7 +38,10 @@ func (d ConvDims) validate() {
 
 // Im2Col expands one image src[CI,H,W] into cols[CI*KH*KW, OH*OW]. This is a
 // pure data movement: it involves no accumulation and is therefore identical
-// across all kernel variants.
+// across all kernel variants. The hot conv paths no longer materialize this
+// matrix — the expansion is fused into the GEMM B-panel pack (gemm.go) — but
+// the explicit form remains the executable specification the fused packs are
+// tested against.
 func Im2Col(cols, src []float32, d ConvDims) {
 	d.validate()
 	oh, ow := d.OutH(), d.OutW()
@@ -77,9 +80,7 @@ func Col2Im(dst, cols []float32, d ConvDims) {
 	if len(cols) != d.ColRows()*d.ColCols() || len(dst) != d.CIn*d.H*d.W {
 		panic("kernels: Col2Im buffer size mismatch")
 	}
-	for i := range dst {
-		dst[i] = 0
-	}
+	zeroFill(dst)
 	idx := 0
 	for c := 0; c < d.CIn; c++ {
 		for kh := 0; kh < d.KH; kh++ {
@@ -99,11 +100,26 @@ func Col2Im(dst, cols []float32, d ConvDims) {
 	}
 }
 
+// addBias adds bias[co] to each spatial row of one image's output.
+func addBias(out, bias []float32, cout, spatial int) {
+	for co := 0; co < cout; co++ {
+		bv := bias[co]
+		row := out[co*spatial : (co+1)*spatial]
+		for j := range row {
+			row[j] += bv
+		}
+	}
+}
+
 // Conv2D computes the forward convolution dst[B,CO,OH,OW] from src[B,CI,H,W]
 // and weight[CO,CI,KH,KW] (+ optional bias[CO]) via im2col + GEMM, with the
 // GEMM reduction over CI*KH*KW blocked by kc. Different kc values model
 // different GPU architectures' kernels; a fixed kc across types is the D2
 // hardware-agnostic kernel.
+//
+// The weight panel is packed once and reused across the batch; each image's
+// im2col expansion is fused into the B-panel pack, so no cols matrix is ever
+// materialized. Both reorganizations are bitwise invisible.
 func Conv2D(dst, src, weight, bias []float32, d ConvDims, kc int) {
 	d.validate()
 	oh, ow := d.OutH(), d.OutW()
@@ -113,24 +129,18 @@ func Conv2D(dst, src, weight, bias []float32, d ConvDims, kc int) {
 		len(weight) != d.COut*kdim {
 		panic("kernels: Conv2D buffer size mismatch")
 	}
-	cols := pool.GetUninit(kdim * spatial)
 	imgIn := d.CIn * d.H * d.W
 	imgOut := d.COut * oh * ow
+	pa := packA(weight, d.COut, kdim, normKC(kc, kdim), kdim, 1)
 	for b := 0; b < d.Batch; b++ {
-		Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
 		out := dst[b*imgOut : (b+1)*imgOut]
-		MatMul(out, weight, cols, d.COut, kdim, spatial, kc)
+		bsrc := bPanelSrc{kind: bIm2Col, data: src[b*imgIn : (b+1)*imgIn], dims: &d}
+		gemmRange(out, spatial, &pa, &bsrc, 0, pa.mtiles, 0, spatial)
 		if bias != nil {
-			for co := 0; co < d.COut; co++ {
-				bv := bias[co]
-				row := out[co*spatial : (co+1)*spatial]
-				for j := range row {
-					row[j] += bv
-				}
-			}
+			addBias(out, bias, d.COut, spatial)
 		}
 	}
-	pool.Put(cols)
+	pa.release()
 }
 
 // Conv2DBackward computes the three convolution gradients. gradOut is
@@ -138,6 +148,11 @@ func Conv2D(dst, src, weight, bias []float32, d ConvDims, kc int) {
 // (accumulated over the batch in batch order), and gradBias [CO]. Any of the
 // gradient outputs may be nil to skip. kc blocks the GEMM reductions exactly
 // as in the forward pass.
+//
+// The transposed weight panel of the dX GEMM is packed once per call and
+// reused across the batch; the cols operand of the dW GEMM is packed
+// directly from the source image (fused im2colᵀ), so the backward pass, like
+// the forward, never materializes an im2col matrix.
 func Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut []float32, d ConvDims, kc int) {
 	d.validate()
 	oh, ow := d.OutH(), d.OutW()
@@ -151,39 +166,38 @@ func Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut []float3
 		if len(gradWeight) != d.COut*kdim {
 			panic("kernels: Conv2DBackward gradWeight size mismatch")
 		}
-		for i := range gradWeight {
-			gradWeight[i] = 0
-		}
+		zeroFill(gradWeight)
 	}
 	if gradBias != nil {
 		if len(gradBias) != d.COut {
 			panic("kernels: Conv2DBackward gradBias size mismatch")
 		}
-		for i := range gradBias {
-			gradBias[i] = 0
-		}
+		zeroFill(gradBias)
 	}
 	if gradSrc != nil && len(gradSrc) != d.Batch*imgIn {
 		panic("kernels: Conv2DBackward gradSrc size mismatch")
 	}
 
-	cols := pool.GetUninit(kdim * spatial)
 	var dcols []float32
+	var paT packedA
 	if gradSrc != nil {
 		dcols = pool.GetUninit(kdim * spatial)
+		// transposed weight panel for dCols = Wᵀ·dOut, packed once per call
+		paT = packA(weight, kdim, d.COut, normKC(kc, d.COut), 1, kdim)
 	}
 	var wpart []float32
 	if gradWeight != nil {
 		wpart = pool.GetUninit(d.COut * kdim)
 	}
+	kcW := normKC(kc, spatial)
 	for b := 0; b < d.Batch; b++ {
 		dout := gradOut[b*imgOut : (b+1)*imgOut] // [CO, spatial]
-		if gradWeight != nil || gradSrc != nil {
-			Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
-		}
 		if gradWeight != nil {
 			// dW += dOut · colsᵀ : [CO, spatial]·[spatial, kdim] = [CO, kdim]
-			MatMulABT(wpart, dout, cols, d.COut, spatial, kdim, kc)
+			paD := packA(dout, d.COut, spatial, kcW, spatial, 1)
+			bsrc := bPanelSrc{kind: bIm2ColT, data: src[b*imgIn : (b+1)*imgIn], dims: &d}
+			gemmRange(wpart, kdim, &paD, &bsrc, 0, paD.mtiles, 0, kdim)
+			paD.release()
 			for i, v := range wpart {
 				gradWeight[i] += v
 			}
@@ -196,13 +210,14 @@ func Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut []float3
 		}
 		if gradSrc != nil {
 			// dCols = Wᵀ · dOut : [kdim, CO]·[CO, spatial]
-			MatMulATB(dcols, weight, dout, kdim, d.COut, spatial, kc)
+			bsrc := bPanelSrc{kind: bRowMajor, data: dout, ld: spatial}
+			gemmRange(dcols, spatial, &paT, &bsrc, 0, paT.mtiles, 0, spatial)
 			Col2Im(gradSrc[b*imgIn:(b+1)*imgIn], dcols, d)
 		}
 	}
-	pool.Put(cols)
 	if dcols != nil {
 		pool.Put(dcols)
+		paT.release()
 	}
 	if wpart != nil {
 		pool.Put(wpart)

@@ -1,0 +1,379 @@
+package kernels
+
+import "repro/internal/pool"
+
+// Cache-blocked, register-tiled GEMM under the bitwise contract.
+//
+// The determinism argument of §3.3 pins the *per-output-element accumulation
+// order*: every C[i,j] must add its k-partials in the fixed kc-blocked order
+// (products in ascending kk within a block, block partials in ascending block
+// order). It says nothing about the loop order over *independent* outputs, or
+// about where operands live — which leaves the kernels free to be
+// reorganized for locality. The implementation here is a BLIS-style blocked
+// GEMM:
+//
+//   - A is packed once per call into mr-wide row strips, kk-major within each
+//     kc block, so the micro-kernel reads it with unit stride regardless of
+//     the operand's original layout (normal or transposed).
+//   - B is packed per (kc block × nc column block) into nr-wide column
+//     strips, again kk-major. The pack step is a pure data movement, so it
+//     can source a plain matrix, a transposed one, or an image via the
+//     im2col index map (the conv path) without touching numerics.
+//   - Each mr×nr output tile is computed by a register-tiled micro-kernel
+//     holding mr·nr scalar accumulators: for each kk ascending, it performs
+//     mr·nr multiply-adds off mr+nr loads. Per element this is exactly the
+//     reference loop's `part += a·b` sequence, so the result is bitwise
+//     identical to the naive kernels for every input, block size, and tile
+//     boundary — asserted by the differential tests and fuzzers.
+//
+// Blocking parameters: gemmMR×gemmNR is the register tile (fixed by the
+// micro-kernel), gemmMC rows × gemmNC columns are the cache blocks. All four
+// are invisible to numerics; only kc (the accumulation block, chosen by the
+// device model) shows up in the bits.
+
+const (
+	// gemmMR×gemmNR is the micro-kernel register tile. 4×4 keeps the 16
+	// accumulators plus the per-step mr+nr operand loads within what the
+	// compiler can hold in registers on amd64/arm64.
+	gemmMR = 4
+	gemmNR = 4
+)
+
+var (
+	// gemmMC bounds the rows of packed A the micro-kernel loop walks per B
+	// strip (the L2-resident A block), in units of gemmMR strips.
+	gemmMCStrips = 32 // 128 rows
+	// gemmNC bounds the columns packed per B panel (the L1/L2-resident B
+	// block). Must stay a multiple of gemmNR.
+	gemmNC = 256
+	// tiledMinWork is the m·k·n product below which the dispatchers use the
+	// reference loops: at trivial sizes the pack+tile overhead outweighs the
+	// register reuse. Dispatch by size is invisible to numerics because the
+	// two paths are bitwise identical.
+	tiledMinWork = 4096
+)
+
+// packedA is operand A packed for the tiled GEMM: ceil(m/mr) row strips of
+// width gemmMR (zero-padded past m), kk-major within each kc block, blocks in
+// ascending k order. The flat offset of (block k0, strip s) is
+// k0·mtiles·mr + s·kb·mr with kb the block's length, so lookups are closed
+// form. The buffer is drawn from the arena; callers must release().
+type packedA struct {
+	buf    []float32
+	m, k   int
+	kc     int
+	mtiles int
+}
+
+// packA packs A(i,kk) = a[i·rs + kk·cs] — rs/cs express normal (rs=lda,cs=1)
+// and transposed (rs=1,cs=lda) operands with one packer. kc must already be
+// normalized to [1,k] (or k==0).
+func packA(a []float32, m, k, kc, rs, cs int) packedA {
+	mtiles := (m + gemmMR - 1) / gemmMR
+	pa := packedA{m: m, k: k, kc: kc, mtiles: mtiles}
+	pa.buf = pool.GetUninit(mtiles * gemmMR * k)
+	off := 0
+	for k0 := 0; k0 < k; k0 += kc {
+		kb := min(kc, k-k0)
+		for s := 0; s < mtiles; s++ {
+			i0 := s * gemmMR
+			rows := min(gemmMR, m-i0)
+			for p := 0; p < kb; p++ {
+				base := (k0 + p) * cs
+				for r := 0; r < rows; r++ {
+					pa.buf[off] = a[(i0+r)*rs+base]
+					off++
+				}
+				for r := rows; r < gemmMR; r++ {
+					pa.buf[off] = 0
+					off++
+				}
+			}
+		}
+	}
+	return pa
+}
+
+func (pa *packedA) release() { pool.Put(pa.buf) }
+
+// bPanelSrc describes where B panels are packed from. A plain struct (not a
+// closure) so per-image conv packs do not allocate.
+type bPanelSrc struct {
+	kind int
+	data []float32 // matrix for row/col-major kinds, the source image for im2col kinds
+	ld   int       // leading dimension: n (row-major) or k (col-major)
+	dims *ConvDims // im2col geometry for the conv kinds
+}
+
+const (
+	bRowMajor = iota // B(kk,j) = data[kk·ld + j]       (MatMul, conv-backward dX)
+	bColMajor        // B(kk,j) = data[j·ld + kk]       (MatMulABT)
+	bIm2Col          // B(kk,j) = im2col(data)[kk][j]   (conv forward; kk over CI·KH·KW, j over OH·OW)
+	bIm2ColT         // B(kk,j) = im2col(data)[j][kk]   (conv-backward dW; kk over OH·OW, j over CI·KH·KW)
+)
+
+// pack fills bp with the (k0..k0+kb) × (j0..j0+jw) block of B in nr-wide
+// column strips, kk-major within a strip, zero-padded past jw. Pure data
+// movement: the layout change is invisible to numerics.
+func (s *bPanelSrc) pack(bp []float32, k0, kb, j0, jw int) {
+	switch s.kind {
+	case bRowMajor:
+		packBRowMajor(bp, s.data, s.ld, k0, kb, j0, jw)
+	case bColMajor:
+		packBColMajor(bp, s.data, s.ld, k0, kb, j0, jw)
+	case bIm2Col:
+		packBIm2Col(bp, s.data, s.dims, k0, kb, j0, jw)
+	case bIm2ColT:
+		packBIm2ColT(bp, s.data, s.dims, k0, kb, j0, jw)
+	}
+}
+
+func packBRowMajor(bp, b []float32, n, k0, kb, j0, jw int) {
+	off := 0
+	for t0 := 0; t0 < jw; t0 += gemmNR {
+		tw := min(gemmNR, jw-t0)
+		for p := 0; p < kb; p++ {
+			row := b[(k0+p)*n+j0+t0:]
+			for c := 0; c < tw; c++ {
+				bp[off] = row[c]
+				off++
+			}
+			for c := tw; c < gemmNR; c++ {
+				bp[off] = 0
+				off++
+			}
+		}
+	}
+}
+
+func packBColMajor(bp, b []float32, ldb, k0, kb, j0, jw int) {
+	for t0 := 0; t0 < jw; t0 += gemmNR {
+		tw := min(gemmNR, jw-t0)
+		tOff := t0 * kb
+		for c := 0; c < tw; c++ {
+			col := b[(j0+t0+c)*ldb+k0:]
+			for p := 0; p < kb; p++ {
+				bp[tOff+p*gemmNR+c] = col[p]
+			}
+		}
+		for c := tw; c < gemmNR; c++ {
+			for p := 0; p < kb; p++ {
+				bp[tOff+p*gemmNR+c] = 0
+			}
+		}
+	}
+}
+
+// packBIm2Col packs the forward-conv B operand straight from the image: the
+// im2col matrix row kk = (ci,kh,kw) at column j = (y,x) is src[ci, y·sh+kh-ph,
+// x·sw+kw-pw] (zero outside the image). Fusing the expansion into the pack
+// step removes the materialized cols buffer and its extra memory round trip.
+func packBIm2Col(bp, src []float32, d *ConvDims, k0, kb, j0, jw int) {
+	ow := d.OutW()
+	off := 0
+	for t0 := 0; t0 < jw; t0 += gemmNR {
+		tw := min(gemmNR, jw-t0)
+		y0 := (j0 + t0) / ow
+		x0 := (j0 + t0) % ow
+		ci := k0 / (d.KH * d.KW)
+		rem := k0 % (d.KH * d.KW)
+		kh := rem / d.KW
+		kw := rem % d.KW
+		for p := 0; p < kb; p++ {
+			y, x := y0, x0
+			for c := 0; c < tw; c++ {
+				hi := y*d.StrideH + kh - d.PadH
+				wi := x*d.StrideW + kw - d.PadW
+				var v float32
+				if hi >= 0 && hi < d.H && wi >= 0 && wi < d.W {
+					v = src[(ci*d.H+hi)*d.W+wi]
+				}
+				bp[off] = v
+				off++
+				x++
+				if x == ow {
+					x = 0
+					y++
+				}
+			}
+			for c := tw; c < gemmNR; c++ {
+				bp[off] = 0
+				off++
+			}
+			kw++
+			if kw == d.KW {
+				kw = 0
+				kh++
+				if kh == d.KH {
+					kh = 0
+					ci++
+				}
+			}
+		}
+	}
+}
+
+// packBIm2ColT packs the transposed im2col matrix (reduction over spatial
+// positions, columns over CI·KH·KW), the B operand of the weight-gradient
+// GEMM dW = dY·colsᵀ — again straight from the image, no cols buffer.
+func packBIm2ColT(bp, src []float32, d *ConvDims, k0, kb, j0, jw int) {
+	ow := d.OutW()
+	for t0 := 0; t0 < jw; t0 += gemmNR {
+		tw := min(gemmNR, jw-t0)
+		tOff := t0 * kb
+		for c := 0; c < tw; c++ {
+			kr := j0 + t0 + c
+			ci := kr / (d.KH * d.KW)
+			rem := kr % (d.KH * d.KW)
+			kh := rem / d.KW
+			kw := rem % d.KW
+			y := k0 / ow
+			x := k0 % ow
+			for p := 0; p < kb; p++ {
+				hi := y*d.StrideH + kh - d.PadH
+				wi := x*d.StrideW + kw - d.PadW
+				var v float32
+				if hi >= 0 && hi < d.H && wi >= 0 && wi < d.W {
+					v = src[(ci*d.H+hi)*d.W+wi]
+				}
+				bp[tOff+p*gemmNR+c] = v
+				x++
+				if x == ow {
+					x = 0
+					y++
+				}
+			}
+		}
+		for c := tw; c < gemmNR; c++ {
+			for p := 0; p < kb; p++ {
+				bp[tOff+p*gemmNR+c] = 0
+			}
+		}
+	}
+}
+
+// gemmRange computes the output sub-rectangle rows [s0·mr, min(m, s1·mr)) ×
+// cols [j0, j1) of C = A·B from packed A and a B-panel source. Per output
+// element the kc blocks are visited in ascending order and accumulated
+// exactly as the reference loops do, so any rectangle decomposition (the
+// parallel dispatch unit) is bitwise invisible. dst is fully overwritten in
+// the covered rectangle.
+func gemmRange(dst []float32, n int, pa *packedA, bsrc *bPanelSrc, s0, s1, j0, j1 int) {
+	m, k, kc := pa.m, pa.k, pa.kc
+	if j1 > j0 && k == 0 {
+		// no k-partials: the reference zeroes the output
+		iEnd := min(m, s1*gemmMR)
+		for i := s0 * gemmMR; i < iEnd; i++ {
+			zeroFill(dst[i*n+j0 : i*n+j1])
+		}
+		return
+	}
+	if j1 <= j0 || s1 <= s0 {
+		return
+	}
+	bp := pool.GetUninit(((min(gemmNC, j1-j0) + gemmNR - 1) / gemmNR) * gemmNR * min(kc, k))
+	var tile [gemmMR * gemmNR]float32
+	for jc := j0; jc < j1; jc += gemmNC {
+		jcw := min(gemmNC, j1-jc)
+		for k0 := 0; k0 < k; k0 += kc {
+			kb := min(kc, k-k0)
+			bsrc.pack(bp, k0, kb, jc, jcw)
+			add := k0 > 0
+			aBlock := k0 * pa.mtiles * gemmMR
+			for sc := s0; sc < s1; sc += gemmMCStrips {
+				scEnd := min(s1, sc+gemmMCStrips)
+				for t := 0; t*gemmNR < jcw; t++ {
+					bpOff := t * kb * gemmNR
+					jt := jc + t*gemmNR
+					cols := min(gemmNR, jcw-t*gemmNR)
+					for s := sc; s < scEnd; s++ {
+						apOff := aBlock + s*kb*gemmMR
+						i0 := s * gemmMR
+						if i0+gemmMR <= m && cols == gemmNR {
+							microKernel4x4(dst, i0*n+jt, n, pa.buf[apOff:], bp[bpOff:], kb, add)
+							continue
+						}
+						// edge tile: compute the full register tile into
+						// scratch, then store/add only the valid region —
+						// padded lanes (zero-filled operands) never reach dst
+						microKernel4x4(tile[:], 0, gemmNR, pa.buf[apOff:], bp[bpOff:], kb, false)
+						rows := min(gemmMR, m-i0)
+						if add {
+							for r := 0; r < rows; r++ {
+								row := dst[(i0+r)*n+jt:]
+								for c := 0; c < cols; c++ {
+									row[c] += tile[r*gemmNR+c]
+								}
+							}
+						} else {
+							for r := 0; r < rows; r++ {
+								row := dst[(i0+r)*n+jt:]
+								for c := 0; c < cols; c++ {
+									row[c] = tile[r*gemmNR+c]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	pool.Put(bp)
+}
+
+// gemmParallel dispatches whole cache blocks of the output rectangle to the
+// worker pool: contiguous runs of row strips when the matrix is tall,
+// contiguous runs of column strips when it is wide. Each unit runs its own
+// ascending kc loop and packs its own B panels, so units are disjoint in
+// their outputs and bitwise independent of the worker count.
+func gemmParallel(dst []float32, n int, pa *packedA, bsrc *bPanelSrc) {
+	workers := maxWorkers()
+	if pa.m >= n {
+		chunk, nchunks := chunksFor(pa.mtiles, workers)
+		parallelChunks(pa.mtiles, chunk, nchunks, func(_, lo, hi int) {
+			gemmRange(dst, n, pa, bsrc, lo, hi, 0, n)
+		})
+		return
+	}
+	ntiles := (n + gemmNR - 1) / gemmNR
+	chunk, nchunks := chunksFor(ntiles, workers)
+	parallelChunks(ntiles, chunk, nchunks, func(_, lo, hi int) {
+		gemmRange(dst, n, pa, bsrc, 0, pa.mtiles, lo*gemmNR, min(n, hi*gemmNR))
+	})
+}
+
+// normKC normalizes the accumulation block: kc <= 0 or kc > k means a single
+// block over all of k — the same rule every reference kernel applies.
+func normKC(kc, k int) int {
+	if kc <= 0 || kc > k {
+		return k
+	}
+	return kc
+}
+
+// matMulTiled is the blocked C = A·B, bitwise identical to matMulRef.
+func matMulTiled(dst, a, b []float32, m, k, n, kc int) {
+	kc = normKC(kc, k)
+	pa := packA(a, m, k, kc, k, 1)
+	bsrc := bPanelSrc{kind: bRowMajor, data: b, ld: n}
+	gemmRange(dst, n, &pa, &bsrc, 0, pa.mtiles, 0, n)
+	pa.release()
+}
+
+// matMulATBTiled is the blocked C = Aᵀ·B, bitwise identical to matMulATBRef.
+func matMulATBTiled(dst, a, b []float32, m, k, n, kc int) {
+	kc = normKC(kc, k)
+	pa := packA(a, m, k, kc, 1, m)
+	bsrc := bPanelSrc{kind: bRowMajor, data: b, ld: n}
+	gemmRange(dst, n, &pa, &bsrc, 0, pa.mtiles, 0, n)
+	pa.release()
+}
+
+// matMulABTTiled is the blocked C = A·Bᵀ, bitwise identical to matMulABTRef.
+func matMulABTTiled(dst, a, b []float32, m, k, n, kc int) {
+	kc = normKC(kc, k)
+	pa := packA(a, m, k, kc, k, 1)
+	bsrc := bPanelSrc{kind: bColMajor, data: b, ld: k}
+	gemmRange(dst, n, &pa, &bsrc, 0, pa.mtiles, 0, n)
+	pa.release()
+}

@@ -1,0 +1,83 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func mk4x4(dst *float32, ldc int, ap, bp *float32, kb int, add bool)
+//
+// One 4x4 register tile of the blocked GEMM: acc[r][0..3] += ap[kk*4+r] *
+// bp[kk*4 .. kk*4+3] for kk in [0,kb), then stored to (add=false) or added
+// into (add=true) the four dst rows ldc apart.
+//
+// The four column accumulators of each row live in one XMM register. MULPS
+// and ADDPS are element-wise IEEE-754 binary32 ops with the same
+// round-to-nearest-even and MXCSR state as the scalar MULSS/ADDSS the Go
+// compiler emits, and no FMA contraction, so each lane computes bit-for-bit
+// what the reference kernel's scalar `part += a*b` computes. Operand order
+// matches the Go expressions (accumulator/dst first, product second) so NaN
+// payload propagation is identical too.
+TEXT ·mk4x4(SB), NOSPLIT, $0-41
+	MOVQ dst+0(FP), DI
+	MOVQ ldc+8(FP), DX
+	MOVQ ap+16(FP), SI
+	MOVQ bp+24(FP), BX
+	MOVQ kb+32(FP), CX
+	SHLQ $2, DX  // ldc in bytes
+	XORPS X0, X0 // row 0 accumulators
+	XORPS X1, X1 // row 1
+	XORPS X2, X2 // row 2
+	XORPS X3, X3 // row 3
+
+loop:
+	MOVUPS (BX), X5     // b[0..3]
+	MOVSS  (SI), X4
+	SHUFPS $0x00, X4, X4
+	MULPS  X5, X4       // a0 * b  (a first, matching Go's a*b)
+	ADDPS  X4, X0       // c0 += a0*b (accumulator first)
+	MOVSS  4(SI), X4
+	SHUFPS $0x00, X4, X4
+	MULPS  X5, X4
+	ADDPS  X4, X1
+	MOVSS  8(SI), X4
+	SHUFPS $0x00, X4, X4
+	MULPS  X5, X4
+	ADDPS  X4, X2
+	MOVSS  12(SI), X4
+	SHUFPS $0x00, X4, X4
+	MULPS  X5, X4
+	ADDPS  X4, X3
+	ADDQ   $16, SI
+	ADDQ   $16, BX
+	DECQ   CX
+	JNZ    loop
+
+	MOVBLZX add+40(FP), AX
+	TESTB   AL, AL
+	JZ      store
+
+	// dst[r][c] += acc[r][c], dst value first — the order Go's `x += y` uses.
+	MOVUPS (DI), X5
+	ADDPS  X0, X5
+	MOVUPS X5, (DI)
+	ADDQ   DX, DI
+	MOVUPS (DI), X5
+	ADDPS  X1, X5
+	MOVUPS X5, (DI)
+	ADDQ   DX, DI
+	MOVUPS (DI), X5
+	ADDPS  X2, X5
+	MOVUPS X5, (DI)
+	ADDQ   DX, DI
+	MOVUPS (DI), X5
+	ADDPS  X3, X5
+	MOVUPS X5, (DI)
+	RET
+
+store:
+	MOVUPS X0, (DI)
+	ADDQ   DX, DI
+	MOVUPS X1, (DI)
+	ADDQ   DX, DI
+	MOVUPS X2, (DI)
+	ADDQ   DX, DI
+	MOVUPS X3, (DI)
+	RET

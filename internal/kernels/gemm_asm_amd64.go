@@ -1,0 +1,20 @@
+//go:build amd64
+
+package kernels
+
+// mk4x4 is the SSE2 micro-kernel (gemm_amd64.s). SSE2 is part of the amd64
+// baseline, so no feature detection is needed. Packed MULPS/ADDPS round each
+// lane exactly like the scalar ops Go emits (same IEEE-754 binary32
+// arithmetic, same MXCSR, no FMA), so the vector tile is bitwise identical
+// to the scalar reference — asserted by the differential tests and fuzzers.
+//
+//go:noescape
+func mk4x4(dst *float32, ldc int, ap, bp *float32, kb int, add bool)
+
+// microKernel4x4 computes one gemmMR×gemmNR tile over kb k-steps from packed
+// panels: for each kk ascending, acc[r][c] += ap[kk·mr+r] · bp[kk·nr+c]. The
+// block partial is stored (add=false, first kc block) or added (later
+// blocks) exactly like the reference's `row[j] += part[j]`.
+func microKernel4x4(dst []float32, o, ldc int, ap, bp []float32, kb int, add bool) {
+	mk4x4(&dst[o], ldc, &ap[0], &bp[0], kb, add)
+}

@@ -1,0 +1,83 @@
+//go:build !amd64
+
+package kernels
+
+// microKernel4x4 computes one gemmMR×gemmNR tile over kb k-steps from packed
+// panels: for each kk ascending, acc[r][c] += ap[kk·mr+r] · bp[kk·nr+c]. The
+// 16 accumulators live in registers, so each k-step costs 8 loads for 16
+// multiply-adds — the register reuse the naive loops lack. Per element the
+// operation sequence is exactly the reference kernel's, so the tile is
+// bitwise identical to the naive computation of the same kc block. The block
+// partial is stored (add=false, first block) or added (later blocks) exactly
+// like the reference's `row[j] += part[j]`.
+func microKernel4x4(dst []float32, o, ldc int, ap, bp []float32, kb int, add bool) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	ap = ap[: 4*kb : 4*kb]
+	bp = bp[: 4*kb : 4*kb]
+	for len(ap) >= 4 {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		ap = ap[4:]
+		bp = bp[4:]
+	}
+	if add {
+		dst[o+0] += c00
+		dst[o+1] += c01
+		dst[o+2] += c02
+		dst[o+3] += c03
+		o += ldc
+		dst[o+0] += c10
+		dst[o+1] += c11
+		dst[o+2] += c12
+		dst[o+3] += c13
+		o += ldc
+		dst[o+0] += c20
+		dst[o+1] += c21
+		dst[o+2] += c22
+		dst[o+3] += c23
+		o += ldc
+		dst[o+0] += c30
+		dst[o+1] += c31
+		dst[o+2] += c32
+		dst[o+3] += c33
+		return
+	}
+	dst[o+0] = c00
+	dst[o+1] = c01
+	dst[o+2] = c02
+	dst[o+3] = c03
+	o += ldc
+	dst[o+0] = c10
+	dst[o+1] = c11
+	dst[o+2] = c12
+	dst[o+3] = c13
+	o += ldc
+	dst[o+0] = c20
+	dst[o+1] = c21
+	dst[o+2] = c22
+	dst[o+3] = c23
+	o += ldc
+	dst[o+0] = c30
+	dst[o+1] = c31
+	dst[o+2] = c32
+	dst[o+3] = c33
+}

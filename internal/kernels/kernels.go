@@ -18,6 +18,12 @@
 //
 // Higher layers (internal/device) choose variants and block sizes according
 // to the configured determinism level.
+//
+// The GEMM entry points dispatch to cache-blocked, register-tiled
+// implementations (gemm.go) that are bitwise identical to the naive loops
+// kept here as unexported reference implementations (matMulRef and friends);
+// the differential tests and fuzzers assert the equivalence over shapes,
+// strides, and non-finite inputs.
 package kernels
 
 import (
@@ -26,6 +32,15 @@ import (
 
 	"repro/internal/pool"
 )
+
+// zeroFill clears s. The loop shape is recognized by the compiler and lowered
+// to a memclr; every kernel that zero-initializes pooled scratch goes through
+// this single helper.
+func zeroFill(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
 
 // SumSequential adds xs left to right.
 func SumSequential(xs []float32) float32 {
@@ -137,69 +152,59 @@ func checkGemm(dst, a, b []float32, m, k, n int, aLen, bLen int, op string) {
 // MatMul computes C = A·B for row-major A[m×k], B[k×n] into dst[m×n],
 // accumulating over k in blocks of kc (kc <= 0 means a single block, i.e.
 // fully sequential over k). dst is overwritten.
+//
+// Inputs need not be finite: products are formed for every k index (there is
+// no skip of zero operands), so NaN and ±Inf propagate exactly per IEEE 754,
+// identically in the reference and tiled paths.
 func MatMul(dst, a, b []float32, m, k, n, kc int) {
 	checkGemm(dst, a, b, m, k, n, m*k, k*n, "MatMul")
-	if kc <= 0 || kc > k {
-		kc = k
+	if m*k*n < tiledMinWork {
+		matMulRef(dst, a, b, m, k, n, kc)
+		return
 	}
-	part := pool.GetUninit(n)
-	for i := 0; i < m; i++ {
-		row := dst[i*n : (i+1)*n]
-		for j := range row {
-			row[j] = 0
-		}
-		for k0 := 0; k0 < k; k0 += kc {
-			k1 := k0 + kc
-			if k1 > k {
-				k1 = k
-			}
-			for j := range part[:n] {
-				part[j] = 0
-			}
-			for kk := k0; kk < k1; kk++ {
-				aik := a[i*k+kk]
-				if aik == 0 {
-					continue
-				}
-				brow := b[kk*n : (kk+1)*n]
-				for j, bv := range brow {
-					part[j] += aik * bv
-				}
-			}
-			for j := range row {
-				row[j] += part[j]
-			}
-		}
-	}
-	pool.Put(part)
+	matMulTiled(dst, a, b, m, k, n, kc)
 }
 
 // MatMulATB computes C = Aᵀ·B for row-major A[k×m], B[k×n] into dst[m×n],
 // blocked over k with block kc. Used for weight gradients (dW = Xᵀ·dY).
 func MatMulATB(dst, a, b []float32, m, k, n, kc int) {
 	checkGemm(dst, a, b, m, k, n, k*m, k*n, "MatMulATB")
-	if kc <= 0 || kc > k {
-		kc = k
+	if m*k*n < tiledMinWork {
+		matMulATBRef(dst, a, b, m, k, n, kc)
+		return
 	}
+	matMulATBTiled(dst, a, b, m, k, n, kc)
+}
+
+// MatMulABT computes C = A·Bᵀ for row-major A[m×k], B[n×k] into dst[m×n],
+// blocked over k with block kc. Used for input gradients (dX = dY·Wᵀ).
+func MatMulABT(dst, a, b []float32, m, k, n, kc int) {
+	checkGemm(dst, a, b, m, k, n, m*k, n*k, "MatMulABT")
+	if m*k*n < tiledMinWork {
+		matMulABTRef(dst, a, b, m, k, n, kc)
+		return
+	}
+	matMulABTTiled(dst, a, b, m, k, n, kc)
+}
+
+// matMulRef is the naive triple loop the tiled kernels are proven against:
+// per output row, each kc block accumulates a partial row (products in
+// ascending kk order) that is then added to the row — the accumulation order
+// the whole determinism story pins.
+func matMulRef(dst, a, b []float32, m, k, n, kc int) {
+	kc = normKC(kc, k)
 	part := pool.GetUninit(n)
 	for i := 0; i < m; i++ {
 		row := dst[i*n : (i+1)*n]
-		for j := range row {
-			row[j] = 0
-		}
+		zeroFill(row)
 		for k0 := 0; k0 < k; k0 += kc {
 			k1 := k0 + kc
 			if k1 > k {
 				k1 = k
 			}
-			for j := range part[:n] {
-				part[j] = 0
-			}
+			zeroFill(part[:n])
 			for kk := k0; kk < k1; kk++ {
-				aik := a[kk*m+i]
-				if aik == 0 {
-					continue
-				}
+				aik := a[i*k+kk]
 				brow := b[kk*n : (kk+1)*n]
 				for j, bv := range brow {
 					part[j] += aik * bv
@@ -213,13 +218,37 @@ func MatMulATB(dst, a, b []float32, m, k, n, kc int) {
 	pool.Put(part)
 }
 
-// MatMulABT computes C = A·Bᵀ for row-major A[m×k], B[n×k] into dst[m×n],
-// blocked over k with block kc. Used for input gradients (dX = dY·Wᵀ).
-func MatMulABT(dst, a, b []float32, m, k, n, kc int) {
-	checkGemm(dst, a, b, m, k, n, m*k, n*k, "MatMulABT")
-	if kc <= 0 || kc > k {
-		kc = k
+// matMulATBRef is the reference C = Aᵀ·B loop.
+func matMulATBRef(dst, a, b []float32, m, k, n, kc int) {
+	kc = normKC(kc, k)
+	part := pool.GetUninit(n)
+	for i := 0; i < m; i++ {
+		row := dst[i*n : (i+1)*n]
+		zeroFill(row)
+		for k0 := 0; k0 < k; k0 += kc {
+			k1 := k0 + kc
+			if k1 > k {
+				k1 = k
+			}
+			zeroFill(part[:n])
+			for kk := k0; kk < k1; kk++ {
+				aik := a[kk*m+i]
+				brow := b[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					part[j] += aik * bv
+				}
+			}
+			for j := range row {
+				row[j] += part[j]
+			}
+		}
 	}
+	pool.Put(part)
+}
+
+// matMulABTRef is the reference C = A·Bᵀ loop.
+func matMulABTRef(dst, a, b []float32, m, k, n, kc int) {
+	kc = normKC(kc, k)
 	for i := 0; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
 		for j := 0; j < n; j++ {
@@ -270,9 +299,6 @@ func MatMulAtomicSplitK(dst, a, b []float32, m, k, n, splits int) {
 				prow := part[i*n : (i+1)*n]
 				for kk := k0; kk < k1; kk++ {
 					aik := a[i*k+kk]
-					if aik == 0 {
-						continue
-					}
 					brow := b[kk*n : (kk+1)*n]
 					for j, bv := range brow {
 						prow[j] += aik * bv
@@ -283,9 +309,7 @@ func MatMulAtomicSplitK(dst, a, b []float32, m, k, n, splits int) {
 		}(c, k0, k1)
 	}
 	wg.Wait()
-	for i := range dst {
-		dst[i] = 0
-	}
+	zeroFill(dst)
 	for _, c := range nondetPerm(nchunks) {
 		for i, v := range parts[c] {
 			dst[i] += v
@@ -305,18 +329,14 @@ func ColSumBlocked(dst, src []float32, rows, cols, block int) {
 	if block <= 0 || block > rows {
 		block = rows
 	}
-	for j := range dst {
-		dst[j] = 0
-	}
+	zeroFill(dst)
 	part := pool.GetUninit(cols)
 	for r0 := 0; r0 < rows; r0 += block {
 		r1 := r0 + block
 		if r1 > rows {
 			r1 = rows
 		}
-		for j := range part {
-			part[j] = 0
-		}
+		zeroFill(part)
 		for r := r0; r < r1; r++ {
 			row := src[r*cols : (r+1)*cols]
 			for j, v := range row {
@@ -364,9 +384,7 @@ func ColSumAtomic(dst, src []float32, rows, cols, workers int) {
 		}(c, r0, r1)
 	}
 	wg.Wait()
-	for j := range dst {
-		dst[j] = 0
-	}
+	zeroFill(dst)
 	for _, c := range nondetPerm(nchunks) {
 		for j, v := range parts[c] {
 			dst[j] += v

@@ -12,12 +12,17 @@ import (
 
 // Host-side parallel execution of the deterministic kernels. Parallelism
 // here never touches numerics: work is split along dimensions whose outputs
-// are disjoint (GEMM rows, conv batch images), each unit computed with
-// exactly the sequential kernel's accumulation order, and any cross-unit
-// accumulation is combined in the fixed sequential order afterwards. The
-// results are bitwise identical to the sequential kernels — asserted by
-// tests — so the simulation runs on all cores without perturbing the
-// determinism story.
+// are disjoint (GEMM cache blocks, conv batch images), each unit computed
+// with exactly the sequential kernel's accumulation order, and any
+// cross-unit accumulation is combined in the fixed sequential order
+// afterwards. The results are bitwise identical to the sequential kernels —
+// asserted by tests — so the simulation runs on all cores without perturbing
+// the determinism story.
+//
+// The parallel GEMMs dispatch whole cache blocks of the tiled implementation
+// (gemm.go): operand A is packed once by the caller, then contiguous runs of
+// row or column strips of the output go to the worker pool, each unit
+// running its own ascending-kc loop over the shared read-only packed panel.
 //
 // Dispatch runs on a persistent worker pool: helper goroutines are started
 // once and fed closures through a channel, so a kernel call costs a few
@@ -198,134 +203,51 @@ func parallelRanges(n int, fn func(lo, hi int)) {
 }
 
 // MatMulParallel computes C = A·B exactly as MatMul (same kc blocking, same
-// per-element accumulation order) with rows computed concurrently.
+// per-element accumulation order) with whole cache blocks dispatched to the
+// worker pool.
 func MatMulParallel(dst, a, b []float32, m, k, n, kc int) {
 	checkGemm(dst, a, b, m, k, n, m*k, k*n, "MatMulParallel")
-	if 2*m*k*n < ParallelThreshold() || m < 2 {
+	if 2*m*k*n < ParallelThreshold() {
 		MatMul(dst, a, b, m, k, n, kc)
 		return
 	}
-	kcEff := kc
-	if kcEff <= 0 || kcEff > k {
-		kcEff = k
-	}
-	parallelRanges(m, func(lo, hi int) {
-		part := pool.GetUninit(n)
-		for i := lo; i < hi; i++ {
-			row := dst[i*n : (i+1)*n]
-			for j := range row {
-				row[j] = 0
-			}
-			for k0 := 0; k0 < k; k0 += kcEff {
-				k1 := k0 + kcEff
-				if k1 > k {
-					k1 = k
-				}
-				for j := range part[:n] {
-					part[j] = 0
-				}
-				for kk := k0; kk < k1; kk++ {
-					aik := a[i*k+kk]
-					if aik == 0 {
-						continue
-					}
-					brow := b[kk*n : (kk+1)*n]
-					for j, bv := range brow {
-						part[j] += aik * bv
-					}
-				}
-				for j := range row {
-					row[j] += part[j]
-				}
-			}
-		}
-		pool.Put(part)
-	})
+	pa := packA(a, m, k, normKC(kc, k), k, 1)
+	bsrc := bPanelSrc{kind: bRowMajor, data: b, ld: n}
+	gemmParallel(dst, n, &pa, &bsrc)
+	pa.release()
 }
 
-// MatMulABTParallel computes C = A·Bᵀ exactly as MatMulABT with rows
-// computed concurrently.
-func MatMulABTParallel(dst, a, b []float32, m, k, n, kc int) {
-	checkGemm(dst, a, b, m, k, n, m*k, n*k, "MatMulABTParallel")
-	if 2*m*k*n < ParallelThreshold() || m < 2 {
-		MatMulABT(dst, a, b, m, k, n, kc)
-		return
-	}
-	kcEff := kc
-	if kcEff <= 0 || kcEff > k {
-		kcEff = k
-	}
-	parallelRanges(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : (i+1)*k]
-			for j := 0; j < n; j++ {
-				brow := b[j*k : (j+1)*k]
-				var total float32
-				for k0 := 0; k0 < k; k0 += kcEff {
-					k1 := k0 + kcEff
-					if k1 > k {
-						k1 = k
-					}
-					var part float32
-					for kk := k0; kk < k1; kk++ {
-						part += arow[kk] * brow[kk]
-					}
-					total += part
-				}
-				dst[i*n+j] = total
-			}
-		}
-	})
-}
-
-// MatMulATBParallel computes C = Aᵀ·B exactly as MatMulATB with output rows
-// computed concurrently.
+// MatMulATBParallel computes C = Aᵀ·B exactly as MatMulATB with whole cache
+// blocks dispatched to the worker pool.
 func MatMulATBParallel(dst, a, b []float32, m, k, n, kc int) {
 	checkGemm(dst, a, b, m, k, n, k*m, k*n, "MatMulATBParallel")
-	if 2*m*k*n < ParallelThreshold() || m < 2 {
+	if 2*m*k*n < ParallelThreshold() {
 		MatMulATB(dst, a, b, m, k, n, kc)
 		return
 	}
-	kcEff := kc
-	if kcEff <= 0 || kcEff > k {
-		kcEff = k
+	pa := packA(a, m, k, normKC(kc, k), 1, m)
+	bsrc := bPanelSrc{kind: bRowMajor, data: b, ld: n}
+	gemmParallel(dst, n, &pa, &bsrc)
+	pa.release()
+}
+
+// MatMulABTParallel computes C = A·Bᵀ exactly as MatMulABT with whole cache
+// blocks dispatched to the worker pool.
+func MatMulABTParallel(dst, a, b []float32, m, k, n, kc int) {
+	checkGemm(dst, a, b, m, k, n, m*k, n*k, "MatMulABTParallel")
+	if 2*m*k*n < ParallelThreshold() {
+		MatMulABT(dst, a, b, m, k, n, kc)
+		return
 	}
-	parallelRanges(m, func(lo, hi int) {
-		part := pool.GetUninit(n)
-		for i := lo; i < hi; i++ {
-			row := dst[i*n : (i+1)*n]
-			for j := range row {
-				row[j] = 0
-			}
-			for k0 := 0; k0 < k; k0 += kcEff {
-				k1 := k0 + kcEff
-				if k1 > k {
-					k1 = k
-				}
-				for j := range part[:n] {
-					part[j] = 0
-				}
-				for kk := k0; kk < k1; kk++ {
-					aik := a[kk*m+i]
-					if aik == 0 {
-						continue
-					}
-					brow := b[kk*n : (kk+1)*n]
-					for j, bv := range brow {
-						part[j] += aik * bv
-					}
-				}
-				for j := range row {
-					row[j] += part[j]
-				}
-			}
-		}
-		pool.Put(part)
-	})
+	pa := packA(a, m, k, normKC(kc, k), k, 1)
+	bsrc := bPanelSrc{kind: bColMajor, data: b, ld: k}
+	gemmParallel(dst, n, &pa, &bsrc)
+	pa.release()
 }
 
 // Conv2DParallel computes the forward convolution exactly as Conv2D with the
-// batch images processed concurrently (outputs are disjoint per image).
+// batch images processed concurrently (outputs are disjoint per image). The
+// weight panel is packed once and shared read-only by every worker.
 func Conv2DParallel(dst, src, weight, bias []float32, d ConvDims, kc int) {
 	d.validate()
 	oh, ow := d.OutH(), d.OutW()
@@ -341,31 +263,26 @@ func Conv2DParallel(dst, src, weight, bias []float32, d ConvDims, kc int) {
 	}
 	imgIn := d.CIn * d.H * d.W
 	imgOut := d.COut * oh * ow
+	pa := packA(weight, d.COut, kdim, normKC(kc, kdim), kdim, 1)
 	parallelRanges(d.Batch, func(lo, hi int) {
-		cols := pool.GetUninit(kdim * spatial)
 		for b := lo; b < hi; b++ {
-			Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
 			out := dst[b*imgOut : (b+1)*imgOut]
-			MatMul(out, weight, cols, d.COut, kdim, spatial, kc)
+			bsrc := bPanelSrc{kind: bIm2Col, data: src[b*imgIn : (b+1)*imgIn], dims: &d}
+			gemmRange(out, spatial, &pa, &bsrc, 0, pa.mtiles, 0, spatial)
 			if bias != nil {
-				for co := 0; co < d.COut; co++ {
-					bv := bias[co]
-					row := out[co*spatial : (co+1)*spatial]
-					for j := range row {
-						row[j] += bv
-					}
-				}
+				addBias(out, bias, d.COut, spatial)
 			}
 		}
-		pool.Put(cols)
 	})
+	pa.release()
 }
 
 // Conv2DBackwardParallel computes the convolution gradients exactly as
 // Conv2DBackward: per-image contributions run concurrently with per-worker
 // pooled scratch, then the weight/bias partials are combined strictly in
 // batch order — the sequential accumulation order, so the result is bitwise
-// identical to Conv2DBackward for any worker count.
+// identical to Conv2DBackward for any worker count. The transposed weight
+// panel of the dX GEMM is packed once and shared read-only.
 func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut []float32, d ConvDims, kc int) {
 	d.validate()
 	if d.Batch < 2 || maxWorkers() == 1 {
@@ -390,6 +307,12 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 		panic("kernels: Conv2DBackwardParallel gradSrc size mismatch")
 	}
 
+	var paT packedA
+	if gradSrc != nil {
+		paT = packA(weight, kdim, d.COut, normKC(kc, d.COut), 1, kdim)
+	}
+	kcW := normKC(kc, spatial)
+
 	// Per-chunk buffers hold the per-image partials of that chunk's batch
 	// range; they stay alive until the ordered combine below.
 	chunk, nchunks := chunksFor(d.Batch, maxWorkers())
@@ -402,7 +325,6 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 	}
 
 	parallelChunks(d.Batch, chunk, nchunks, func(ci, lo, hi int) {
-		cols := pool.GetUninit(kdim * spatial)
 		var dcols []float32
 		if gradSrc != nil {
 			dcols = pool.GetUninit(kdim * spatial)
@@ -418,11 +340,11 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 		}
 		for b := lo; b < hi; b++ {
 			dout := gradOut[b*imgOut : (b+1)*imgOut]
-			if gradWeight != nil || gradSrc != nil {
-				Im2Col(cols, src[b*imgIn:(b+1)*imgIn], d)
-			}
 			if gradWeight != nil {
-				MatMulABT(wp[(b-lo)*wsize:(b-lo+1)*wsize], dout, cols, d.COut, spatial, kdim, kc)
+				paD := packA(dout, d.COut, spatial, kcW, spatial, 1)
+				bsrc := bPanelSrc{kind: bIm2ColT, data: src[b*imgIn : (b+1)*imgIn], dims: &d}
+				gemmRange(wp[(b-lo)*wsize:(b-lo+1)*wsize], kdim, &paD, &bsrc, 0, paD.mtiles, 0, kdim)
+				paD.release()
 			}
 			if gradBias != nil {
 				for co := 0; co < d.COut; co++ {
@@ -431,22 +353,23 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 				}
 			}
 			if gradSrc != nil {
-				MatMulATB(dcols, weight, dout, kdim, d.COut, spatial, kc)
+				bsrc := bPanelSrc{kind: bRowMajor, data: dout, ld: spatial}
+				gemmRange(dcols, spatial, &paT, &bsrc, 0, paT.mtiles, 0, spatial)
 				Col2Im(gradSrc[b*imgIn:(b+1)*imgIn], dcols, d)
 			}
 		}
-		pool.Put(cols)
 		if dcols != nil {
 			pool.Put(dcols)
 		}
 	})
+	if gradSrc != nil {
+		paT.release()
+	}
 
 	// Combine partials strictly in batch order — the sequential accumulation
 	// order, independent of how many chunks computed them.
 	if gradWeight != nil {
-		for i := range gradWeight {
-			gradWeight[i] = 0
-		}
+		zeroFill(gradWeight)
 		for b := 0; b < d.Batch; b++ {
 			wp := chunkW[b/chunk][(b%chunk)*wsize : (b%chunk+1)*wsize]
 			for i, v := range wp {
@@ -458,9 +381,7 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 		}
 	}
 	if gradBias != nil {
-		for i := range gradBias {
-			gradBias[i] = 0
-		}
+		zeroFill(gradBias)
 		for b := 0; b < d.Batch; b++ {
 			bp := chunkB[b/chunk][(b%chunk)*d.COut : (b%chunk+1)*d.COut]
 			for i, v := range bp {
