@@ -1,6 +1,8 @@
 # Developer checks for the EasyScale reproduction.
 #
 #   make check   — everything CI would run
+#   make lint    — detlint determinism analyzers (maporder, rawrand, walltime,
+#                  chanorder, floatwiden); fails on unsuppressed diagnostics
 #   make race    — race detector over the concurrency-bearing packages
 #                  (the persistent kernel worker pool must stay race-clean)
 #   make bench   — the training-step benchmarks with allocation reporting
@@ -8,9 +10,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet fmt build test race fuzz bench benchsmoke
+.PHONY: check vet fmt lint build test race fuzz bench benchsmoke
 
-check: vet fmt build test race fuzz benchsmoke
+check: vet fmt lint build test race fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +23,11 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# static determinism contract: exits non-zero on any diagnostic not annotated
+# with //detlint:ignore <analyzer> -- <reason>
+lint:
+	$(GO) run ./cmd/detlint ./...
+
 build:
 	$(GO) build ./...
 
@@ -28,7 +35,7 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/data/... ./internal/dist/... ./internal/faults/...
+	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/data/... ./internal/dist/... ./internal/faults/... ./internal/core/... ./internal/elastic/...
 
 # short fuzz smokes: the wire-frame and checkpoint decoders must never panic
 # on corrupt input, and the tiled GEMM kernels must stay bitwise identical to

@@ -1,0 +1,129 @@
+// Command detlint enforces the repo's bitwise-determinism contract with five
+// static analyzers (maporder, rawrand, walltime, chanorder, floatwiden) built
+// on the standard library alone — see internal/analysis.
+//
+// Usage:
+//
+//	go run ./cmd/detlint ./...          # whole module
+//	go run ./cmd/detlint internal/sched # packages under a directory
+//	go run ./cmd/detlint -only maporder,walltime ./...
+//
+// Diagnostics are suppressible only via
+// //detlint:ignore <analyzer> -- <reason>; any unsuppressed diagnostic (or
+// malformed/dead directive) makes the exit status 1, which is how `make lint`
+// fails CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset to run")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: detlint [-only a,b] [-list] [pattern ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "detlint: unknown analyzer %q\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	pkgs := mod.Packages()
+	if args := flag.Args(); len(args) > 0 && !isEverything(args) {
+		pkgs = filterPackages(pkgs, args, root, cwd)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		rel, err := filepath.Rel(cwd, d.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = d.Pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d unsuppressed diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// isEverything reports whether the patterns cover the whole module anyway.
+func isEverything(args []string) bool {
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// filterPackages keeps packages whose directory sits under one of the
+// argument paths (a trailing /... is accepted and implied).
+func filterPackages(pkgs []*analysis.Package, args []string, root, cwd string) []*analysis.Package {
+	var dirs []string
+	for _, a := range args {
+		a = strings.TrimSuffix(strings.TrimSuffix(a, "..."), "/")
+		if a == "" || a == "." {
+			a = cwd
+		} else if !filepath.IsAbs(a) {
+			a = filepath.Join(cwd, a)
+		}
+		dirs = append(dirs, filepath.Clean(a))
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		for _, d := range dirs {
+			if p.Dir == d || strings.HasPrefix(p.Dir, d+string(filepath.Separator)) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+	os.Exit(2)
+}

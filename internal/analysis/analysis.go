@@ -1,0 +1,209 @@
+// Package analysis is detlint's engine: a stdlib-only static-analysis
+// framework (go/ast + go/parser + go/types, no go/packages) with five
+// determinism analyzers that enforce the repo's bitwise-consistency contract
+// (DESIGN.md, "Static enforcement of the determinism contract"):
+//
+//	maporder   — range over a map in an ordering-sensitive package
+//	rawrand    — math/rand or wall-clock-seeded randomness outside internal/rng
+//	walltime   — time.Now/Since steering decisions outside allow-listed packages
+//	chanorder  — goroutine results drained in completion order
+//	floatwiden — float64 accumulation or math.FMA in float32 kernel hot paths
+//
+// A diagnostic is suppressible only by an adjacent
+//
+//	//detlint:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// directive. The reason is mandatory, so every sanctioned non-determinism
+// injection point is a searchable, audited annotation; a directive with no
+// reason, an unknown analyzer name, or nothing left to suppress is itself a
+// diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one determinism check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Report records a diagnostic at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ImportedSelector resolves sel to (importPath, name) when sel.X names an
+// imported package — the only reliable way to see through aliases and
+// shadowing, and it works even when the import resolved to a stub.
+func (p *Pass) ImportedSelector(sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent || p.Pkg.Info == nil {
+		return "", "", false
+	}
+	if pn, isPkg := p.Pkg.Info.Uses[id].(*types.PkgName); isPkg {
+		return pn.Imported().Path(), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// DefaultAnalyzers returns the full suite with its default package scoping.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{MapOrder(), RawRand(), WallTime(), ChanOrder(), FloatWiden()}
+}
+
+// Run executes the analyzers over the packages, applies ignore directives,
+// and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+		out = append(out, applyDirectives(pkg, diags, known, ran)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// pkgMatchesAny reports whether the package matches any selector. A selector
+// matches on exact path, path suffix ("internal/sched" matches
+// "repro/internal/sched"), package name, or path base.
+func pkgMatchesAny(pkg *Package, sels []string) bool {
+	for _, sel := range sels {
+		if pkg.Path == sel || strings.HasSuffix(pkg.Path, "/"+sel) ||
+			pkg.Name == sel || path.Base(pkg.Path) == sel {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared expression predicates ----------------------------------------
+
+// pureExpr reports whether e is side-effect-free: no calls other than len,
+// cap, and type conversions; no receives; no function literals.
+func pureExpr(pkg *Package, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				break
+			}
+			if pkg.Info != nil {
+				if tv, ok := pkg.Info.Types[v.Fun]; ok && tv.IsType() {
+					break // type conversion, not a call
+				}
+			}
+			pure = false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pure = false
+			}
+		case *ast.FuncLit:
+			pure = false
+		}
+		return pure
+	})
+	return pure
+}
+
+// constResult reports whether e is a constant literal result: a basic
+// literal, true/false/nil, or a unary minus of a literal.
+func constResult(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return v.Name == "true" || v.Name == "false" || v.Name == "nil"
+	case *ast.UnaryExpr:
+		return constResult(v.X)
+	case *ast.ParenExpr:
+		return constResult(v.X)
+	}
+	return false
+}
+
+// isIntegral reports whether t is an integer type (or based on one).
+func isIntegral(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isFloat64 / isFloat32 report the basic float width of t.
+func isFloat64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func isFloat32(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float32
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

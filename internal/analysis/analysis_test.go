@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// want is one `// want "regexp"` expectation parsed from a fixture file.
+// Several expectations may share a line (multiple quoted regexps after one
+// `// want`), each consuming one diagnostic.
+type want struct {
+	file string // base filename
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// parseWants scans every comment in the fixture for `// want` markers. The
+// marker may be a standalone trailing comment or embedded in a directive
+// comment's reason text; either way everything after `// want` is a sequence
+// of quoted regexps.
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[i+len("// want"):])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want expectation %q: %v", pos.Filename, pos.Line, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+						raw:  pat,
+					})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", pkg.Path)
+	}
+	return wants
+}
+
+// checkFixture matches diagnostics against expectations one-to-one by
+// file:line and regexp.
+func checkFixture(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	pkg := loadFixture(t, "maporder")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{MapOrder("maporder")}))
+}
+
+// The default analyzer only polices the ordering-sensitive packages; the
+// fixture package is not one of them.
+func TestMapOrderScopedToSensitivePackages(t *testing.T) {
+	pkg := loadFixture(t, "maporder")
+	if diags := Run([]*Package{pkg}, []*Analyzer{MapOrder()}); len(diags) != 0 {
+		t.Errorf("default maporder scoping should skip fixture package, got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestRawRandFixture(t *testing.T) {
+	pkg := loadFixture(t, "rawrand")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{RawRand()}))
+}
+
+// Allow-listing the fixture package itself silences everything, mirroring how
+// internal/rng is exempt in the real module.
+func TestRawRandAllowlist(t *testing.T) {
+	pkg := loadFixture(t, "rawrand")
+	if diags := Run([]*Package{pkg}, []*Analyzer{RawRand("rawrand")}); len(diags) != 0 {
+		t.Errorf("allow-listed package should produce no diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestWallTimeFixture(t *testing.T) {
+	pkg := loadFixture(t, "walltime")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{WallTime()}))
+}
+
+func TestChanOrderFixture(t *testing.T) {
+	pkg := loadFixture(t, "chanorder")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{ChanOrder()}))
+}
+
+func TestFloatWidenFixture(t *testing.T) {
+	pkg := loadFixture(t, "floatwiden")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{FloatWiden("floatwiden")}))
+}
+
+func TestDirectiveFixture(t *testing.T) {
+	pkg := loadFixture(t, "directive")
+	diags := Run([]*Package{pkg}, DefaultAnalyzers())
+	checkFixture(t, pkg, diags)
+
+	// The spec's focused guarantee: a directive without a reason is itself a
+	// diagnostic, reported under the unsuppressible pseudo-analyzer.
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == DirectiveAnalyzer && strings.Contains(d.Message, "missing its mandatory reason") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reasonless //detlint:ignore did not produce a %q diagnostic; got: %v", DirectiveAnalyzer, diags)
+	}
+}
+
+// TestRunOnThisModule is the lint gate in test form: the repository itself
+// must be clean under the full default suite.
+func TestRunOnThisModule(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Run(mod.Packages(), DefaultAnalyzers())
+	for _, d := range diags {
+		t.Errorf("unsuppressed diagnostic: %s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d unsuppressed diagnostics; annotate with //detlint:ignore <analyzer> -- <reason> or fix", len(diags))
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering detlint prints.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "maporder", Message: "msg"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "x.go", 3, 7
+	if got, want := d.String(), "x.go:3:7: maporder: msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which directive
+// problems (missing reason, unknown analyzer, dead suppression) are reported.
+// Its diagnostics are themselves unsuppressible: the audit trail cannot be
+// silenced by the mechanism it audits.
+const DirectiveAnalyzer = "detlint"
+
+const directivePrefix = "detlint:ignore"
+
+// directive is one parsed //detlint:ignore comment.
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	malformed string // non-empty: why the directive is unusable
+	used      bool
+}
+
+// parseDirectives collects every detlint:ignore directive in the package,
+// validating analyzer names against the known set.
+func parseDirectives(pkg *Package, known map[string]bool) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments are not directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				d := &directive{pos: pkg.Fset.Position(c.Pos())}
+				names, reason, hasReason := strings.Cut(rest, "--")
+				if !hasReason || strings.TrimSpace(reason) == "" {
+					d.malformed = "ignore directive is missing its mandatory reason (//detlint:ignore <analyzer> -- <reason>)"
+				}
+				d.reason = strings.TrimSpace(reason)
+				for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					d.analyzers = append(d.analyzers, n)
+					if d.malformed == "" && !known[n] {
+						d.malformed = "ignore directive names unknown analyzer " + `"` + n + `"`
+					}
+				}
+				if d.malformed == "" && len(d.analyzers) == 0 {
+					d.malformed = "ignore directive names no analyzer"
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives filters diags through the package's ignore directives and
+// appends the directive diagnostics (malformed, dead). A directive covers its
+// own line (trailing comment) and the line below (standalone comment above
+// the offending statement). Malformed directives suppress nothing.
+func applyDirectives(pkg *Package, diags []Diagnostic, known, ran map[string]bool) []Diagnostic {
+	dirs := parseDirectives(pkg, known)
+	var kept []Diagnostic
+	for _, diag := range diags {
+		if suppressed(diag, dirs) {
+			continue
+		}
+		kept = append(kept, diag)
+	}
+	for _, d := range dirs {
+		if d.malformed != "" {
+			kept = append(kept, Diagnostic{Pos: d.pos, Analyzer: DirectiveAnalyzer, Message: d.malformed})
+			continue
+		}
+		if !d.used && anyRan(d.analyzers, ran) {
+			kept = append(kept, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: DirectiveAnalyzer,
+				Message: "ignore directive suppresses no diagnostic (" +
+					strings.Join(d.analyzers, ",") + "); delete it or move it to the offending line",
+			})
+		}
+	}
+	return kept
+}
+
+func suppressed(diag Diagnostic, dirs []*directive) bool {
+	if diag.Analyzer == DirectiveAnalyzer {
+		return false
+	}
+	hit := false
+	for _, d := range dirs {
+		if d.malformed != "" || d.pos.Filename != diag.Pos.Filename {
+			continue
+		}
+		if diag.Pos.Line != d.pos.Line && diag.Pos.Line != d.pos.Line+1 {
+			continue
+		}
+		for _, n := range d.analyzers {
+			if n == diag.Analyzer {
+				d.used = true
+				hit = true // keep scanning: mark every covering directive used
+			}
+		}
+	}
+	return hit
+}
+
+// anyRan reports whether at least one of the named analyzers was part of this
+// run; a directive aimed only at analyzers that did not run is never "dead".
+func anyRan(names []string, ran map[string]bool) bool {
+	for _, n := range names {
+		if ran[n] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatHotPkgs are the float32 hot paths where accumulation width and order
+// are part of the bitwise contract (DESIGN.md, "GEMM blocking and the
+// bitwise contract").
+var floatHotPkgs = []string{"internal/kernels", "internal/nn", "internal/tensor"}
+
+// FloatWiden returns the floatwiden analyzer. In the kernel/nn hot paths it
+// flags float32→float64 *accumulation* — a float64 scalar folded over
+// widened float32 values — and any math.FMA call. Both produce results no
+// float32-accumulating reference can reproduce bitwise, across GOARCHes or
+// against the SSE2 micro-kernel. Pointwise widening (float32(math.Exp(
+// float64(x)))) is exempt: it rounds through the same software path on every
+// host, element by element.
+func FloatWiden(hot ...string) *Analyzer {
+	if len(hot) == 0 {
+		hot = floatHotPkgs
+	}
+	a := &Analyzer{
+		Name: "floatwiden",
+		Doc:  "float32→float64 accumulation or math.FMA in bitwise-contract hot paths",
+	}
+	a.Run = func(pass *Pass) {
+		if !pkgMatchesAny(pass.Pkg, hot) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			// idents bound to widened float32 values (xv := float64(v))
+			wideVars := map[string]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.CallExpr:
+					if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+						if p, name, ok := pass.ImportedSelector(sel); ok && p == "math" && name == "FMA" {
+							pass.Report(s.Pos(), "math.FMA fuses the multiply-add rounding; the bitwise contract requires two separate float32 roundings")
+						}
+					}
+				case *ast.AssignStmt:
+					checkWidenAssign(pass, s, wideVars)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkWidenAssign flags float64 accumulation fed by widened float32 values
+// and records idents defined as widening conversions.
+func checkWidenAssign(pass *Pass, s *ast.AssignStmt, wideVars map[string]bool) {
+	feeds := func(e ast.Expr) bool {
+		return containsWidening(pass, e) || referencesWide(e, wideVars)
+	}
+	switch s.Tok {
+	case token.DEFINE:
+		for i, rhs := range s.Rhs {
+			if i >= len(s.Lhs) {
+				break
+			}
+			if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name != "_" && isWideningConv(pass, rhs) {
+				wideVars[id.Name] = true
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(s.Lhs) == 1 && isFloat64(pass.Pkg.TypeOf(s.Lhs[0])) && feeds(s.Rhs[0]) {
+			pass.Report(s.Pos(), "float32 values accumulated in float64 %s; accumulation width is part of the bitwise contract — accumulate in float32 (or annotate the D2 exception)", types.ExprString(s.Lhs[0]))
+		}
+	case token.ASSIGN:
+		// x = x + float64(v) spelled out
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return
+		}
+		lhs, ok := s.Lhs[0].(*ast.Ident)
+		if !ok || !isFloat64(pass.Pkg.TypeOf(lhs)) {
+			return
+		}
+		bin, ok := s.Rhs[0].(*ast.BinaryExpr)
+		if !ok || !mentionsIdent(bin, lhs.Name) || !feeds(bin) {
+			return
+		}
+		pass.Report(s.Pos(), "float32 values accumulated in float64 %s; accumulation width is part of the bitwise contract — accumulate in float32 (or annotate the D2 exception)", lhs.Name)
+	}
+}
+
+// isWideningConv reports whether e is float64(x) with x a float32 value.
+func isWideningConv(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 || pass.Pkg.Info == nil {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	return isFloat64(tv.Type) && isFloat32(pass.Pkg.TypeOf(call.Args[0]))
+}
+
+func containsWidening(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ex, ok := n.(ast.Expr); ok && isWideningConv(pass, ex) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func referencesWide(e ast.Expr, wideVars map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && wideVars[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func mentionsIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

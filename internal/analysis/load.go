@@ -1,0 +1,377 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The loader walks a Go module by directory — no go/packages, no `go list`
+// subprocess — parses every non-test file that survives the host's build
+// constraints, and type-checks the packages in dependency order. Imports
+// inside the module resolve to the freshly checked packages; everything else
+// (the standard library included) resolves to an empty stub package, so
+// identifiers drawn from stubbed imports type as invalid. The analyzers are
+// written for exactly that contract: decisions that need types (map-ness,
+// integer-ness, float width) use locally inferable types, and decisions about
+// foreign packages (time.Now, math/rand, math.FMA) use the import graph, which
+// survives stubbing intact.
+
+// Package is one loaded, parsed, and (best-effort) type-checked package.
+type Package struct {
+	// Path is the import path ("repro/internal/sched"); standalone
+	// directories loaded outside a module use their base name.
+	Path string
+	// Name is the package clause name.
+	Name string
+	// Dir is the absolute directory.
+	Dir string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Filenames []string
+
+	Info     *types.Info
+	TypesPkg *types.Package
+	// TypeErrors collects every type-checking error. With stubbed imports
+	// many are expected; they are informational, never fatal.
+	TypeErrors []error
+}
+
+// TypeOf returns the checked type of e, or nil when unknown or invalid.
+func (p *Package) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil || t == types.Typ[types.Invalid] {
+		return nil
+	}
+	return t
+}
+
+// Module is a loaded module: every package under the root, keyed by path.
+type Module struct {
+	Root string
+	Path string
+	Fset *token.FileSet
+	pkgs map[string]*Package
+}
+
+// Packages returns the module's packages sorted by import path — the loader
+// itself must be deterministic, for obvious reasons.
+func (m *Module) Packages() []*Package {
+	out := make([]*Package, 0, len(m.pkgs))
+	for _, p := range m.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// LoadModule loads and type-checks every package in the module rooted at root.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, Path: modPath, Fset: token.NewFileSet(), pkgs: map[string]*Package{}}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	parsed := map[string]*Package{} // by import path
+	for _, dir := range dirs {
+		pkg, err := parseDir(m.Fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable Go files
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			pkg.Path = modPath
+		} else {
+			pkg.Path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		parsed[pkg.Path] = pkg
+	}
+
+	// Type-check in dependency order so intra-module imports resolve to real
+	// packages. Cycles are illegal in Go; if one sneaks in, the second visit
+	// sees a not-yet-checked package and falls back to a stub.
+	imp := &moduleImporter{parsed: parsed, stubs: map[string]*types.Package{}}
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string)
+	visit = func(p string) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		deps := importPaths(parsed[p])
+		for _, d := range deps {
+			if _, ok := parsed[d]; ok {
+				visit(d)
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	paths := make([]string, 0, len(parsed))
+	for p := range parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		visit(p)
+	}
+	for _, p := range order {
+		checkPackage(parsed[p], imp)
+		m.pkgs[p] = parsed[p]
+	}
+	return m, nil
+}
+
+// LoadDir loads a single standalone directory (used for test fixtures under
+// testdata). Its import path is the directory's base name and every import
+// resolves to a stub.
+func LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	pkg.Path = filepath.Base(dir)
+	checkPackage(pkg, &moduleImporter{stubs: map[string]*types.Package{}})
+	return pkg, nil
+}
+
+// parseDir parses the buildable non-test Go files of one directory.
+func parseDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir, Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !fileIncluded(name, src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, full)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	return pkg, nil
+}
+
+// importPaths returns the sorted set of import paths of a parsed package.
+func importPaths(pkg *Package) []string {
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, im := range f.Imports {
+			p := strings.Trim(im.Path.Value, `"`)
+			seen[p] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkPackage runs go/types over a parsed package, tolerating every error.
+func checkPackage(pkg *Package, imp types.Importer) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(pkg.Path, pkg.Fset, pkg.Files, info)
+	pkg.Info = info
+	pkg.TypesPkg = tpkg
+}
+
+// moduleImporter resolves intra-module imports to checked packages and
+// everything else to empty stubs.
+type moduleImporter struct {
+	parsed map[string]*Package
+	stubs  map[string]*types.Package
+}
+
+func (i *moduleImporter) Import(p string) (*types.Package, error) {
+	if pkg, ok := i.parsed[p]; ok && pkg.TypesPkg != nil {
+		return pkg.TypesPkg, nil
+	}
+	if s, ok := i.stubs[p]; ok {
+		return s, nil
+	}
+	s := types.NewPackage(p, stubName(p))
+	s.MarkComplete()
+	i.stubs[p] = s
+	return s, nil
+}
+
+// stubName guesses a package name from its import path ("math/rand/v2" is
+// package rand).
+func stubName(p string) string {
+	base := path.Base(p)
+	if len(base) > 1 && base[0] == 'v' && strings.Trim(base[1:], "0123456789") == "" {
+		base = path.Base(path.Dir(p))
+	}
+	return base
+}
+
+// --- build constraints ---------------------------------------------------
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true, "linux": true,
+	"netbsd": true, "openbsd": true, "plan9": true, "solaris": true,
+	"wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mips64": true, "mips64le": true, "mipsle": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true,
+	"wasm": true,
+}
+
+// fileIncluded evaluates filename-suffix and //go:build constraints against
+// the host GOOS/GOARCH so the loader sees the same file set `go build` does.
+func fileIncluded(name string, src []byte) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if n := len(parts); n > 1 {
+		last := parts[n-1]
+		if knownArch[last] {
+			if last != runtime.GOARCH {
+				return false
+			}
+			if n > 2 && knownOS[parts[n-2]] && parts[n-2] != runtime.GOOS {
+				return false
+			}
+		} else if knownOS[last] && last != runtime.GOOS {
+			return false
+		}
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			continue
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+				strings.HasPrefix(tag, "go1.")
+		})
+	}
+	return true
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// randPkgs are the import paths rawrand polices.
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// randGlobalFuncs are math/rand's process-global-state entry points: their
+// results depend on every draw any goroutine has made since process start,
+// the exact opposite of the per-stream seeded discipline in internal/rng.
+var randGlobalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint32": true, "Uint64": true, "UintN": true, "N": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// RawRand returns the rawrand analyzer: any use of math/rand (v1 or v2)
+// outside the allow-listed packages (default internal/rng) is a diagnostic —
+// global-state draws and wall-clock seeding each get a precise message, and
+// the import itself is flagged so even a locally seeded rand.New bypassing
+// internal/rng's replayable streams is caught.
+func RawRand(allowed ...string) *Analyzer {
+	if len(allowed) == 0 {
+		allowed = []string{"internal/rng"}
+	}
+	a := &Analyzer{
+		Name: "rawrand",
+		Doc:  "math/rand global state or wall-clock-seeded randomness outside internal/rng",
+	}
+	a.Run = func(pass *Pass) {
+		if pkgMatchesAny(pass.Pkg, allowed) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, im := range f.Imports {
+				p := importPathOf(im)
+				if randPkgs[p] {
+					pass.Report(im.Pos(), "import of %s outside internal/rng; draw from the seeded, replayable streams in internal/rng instead", p)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				p, name, ok := pass.ImportedSelector(sel)
+				if !ok || !randPkgs[p] {
+					return true
+				}
+				switch {
+				case wallClockSeeded(pass, call):
+					pass.Report(call.Pos(), "%s.%s seeded from the wall clock: every process run draws a different sequence", shortPkg(p), name)
+				case randGlobalFuncs[name]:
+					pass.Report(call.Pos(), "%s.%s uses process-global RNG state shared by every goroutine; use a seeded stream from internal/rng", shortPkg(p), name)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// wallClockSeeded reports whether any argument of call reads the wall clock
+// (the rand.NewSource(time.Now().UnixNano()) idiom).
+func wallClockSeeded(pass *Pass, call *ast.CallExpr) bool {
+	seeded := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if p, name, ok := pass.ImportedSelector(sel); ok && p == "time" && (name == "Now" || name == "Since") {
+				seeded = true
+			}
+			return !seeded
+		})
+	}
+	return seeded
+}
+
+func importPathOf(im *ast.ImportSpec) string {
+	p := im.Path.Value
+	return p[1 : len(p)-1]
+}
+
+func shortPkg(p string) string {
+	if p == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,83 @@
+// Package chanorder is the detlint chanorder fixture: goroutine results
+// drained in completion order differ run to run; the deterministic pattern
+// receives into an indexed slot and combines in index order.
+package chanorder
+
+type result struct {
+	idx int
+	sum float32
+}
+
+func drainAppend(ch chan int, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		r := <-ch
+		out = append(out, r) // want "appended in completion order"
+	}
+	return out
+}
+
+func drainAccumulate(ch chan float32, n int) float32 {
+	var sum float32
+	for i := 0; i < n; i++ {
+		sum += <-ch // want "folded into sum in completion order"
+	}
+	return sum
+}
+
+func drainOverwrite(ch chan error, n int) error {
+	var firstErr error
+	for i := 0; i < n; i++ {
+		err := <-ch
+		if err != nil && firstErr == nil {
+			firstErr = err // want "assigned to firstErr declared outside the loop"
+		}
+	}
+	return firstErr
+}
+
+func drainDirectOverwrite(ch chan int, n int) int {
+	var last int
+	for i := 0; i < n; i++ {
+		last = <-ch // want "overwrites last declared outside the loop"
+	}
+	return last
+}
+
+func rangeDrain(ch chan int) []int {
+	var out []int
+	for v := range ch {
+		out = append(out, v) // want "appended in completion order"
+	}
+	return out
+}
+
+// --- deterministic patterns, not flagged ----------------------------------
+
+func indexedSlots(ch chan result, n int) []result {
+	out := make([]result, n)
+	for i := 0; i < n; i++ {
+		r := <-ch
+		out[r.idx] = r // indexed by task identity: combine order is fixed
+	}
+	return out
+}
+
+func barrier(done chan struct{}, n int) {
+	for i := 0; i < n; i++ {
+		<-done // synchronization only; no value consumed
+	}
+}
+
+func dispatch(tasks chan int, quit chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		case r := <-tasks:
+			handle(r)
+		}
+	}
+}
+
+func handle(int) {}

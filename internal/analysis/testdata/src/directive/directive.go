@@ -1,0 +1,32 @@
+// Package directive exercises the //detlint:ignore machinery: a directive
+// needs a reason and a known analyzer, must actually suppress something, and
+// covers only its own line and the line below.
+package directive
+
+import "time"
+
+// properly annotated: the walltime diagnostic on the next line is suppressed
+// and the directive counts as used.
+func sanctioned() int64 {
+	//detlint:ignore walltime -- fixture: deliberate entropy site, reason cites its mechanism
+	return time.Now().UnixNano()
+}
+
+func missingReason() int64 {
+	//detlint:ignore walltime // want "missing its mandatory reason"
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+func unknownAnalyzer() int64 {
+	//detlint:ignore cosmicrays -- no such analyzer exists // want "unknown analyzer"
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+func tooFarAway() int64 {
+	//detlint:ignore walltime -- fixture: two lines above the call, out of range // want "suppresses no diagnostic"
+
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+//detlint:ignore maporder -- fixture: nothing here ranges over a map // want "suppresses no diagnostic"
+func dead() {}

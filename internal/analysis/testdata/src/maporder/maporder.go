@@ -1,0 +1,109 @@
+// Package maporder is the detlint maporder fixture. The analyzer is run with
+// this package name added to the ordering-sensitive set.
+package maporder
+
+import "sort"
+
+func observe(string, int) {}
+
+// --- flagged: results depend on map iteration order ----------------------
+
+func maxOverMap(m map[string]float64) float64 {
+	mx := 0.0
+	for _, v := range m { // want "no deterministic iteration order"
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "no deterministic iteration order"
+		s += v
+	}
+	return s
+}
+
+func lastWriteWins(m map[string]int) string {
+	var last string
+	for k := range m { // want "no deterministic iteration order"
+		last = k
+	}
+	return last
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var unsorted []string
+	for k := range m { // want "no deterministic iteration order"
+		unsorted = append(unsorted, k)
+	}
+	return unsorted
+}
+
+func callsOut(m map[string]int) {
+	for k, v := range m { // want "no deterministic iteration order"
+		observe(k, v)
+	}
+}
+
+// --- exempt: provably order-insensitive bodies ----------------------------
+
+func intTotal(m map[string]int) int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+func clone(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func fits(m, avail map[string]int) bool {
+	for k, v := range m {
+		if v > avail[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func prune(m map[string]int, drop map[string]bool) {
+	for k := range drop {
+		delete(m, k)
+	}
+}
+
+func countNonZero(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func scale(m map[string]float64, by float64) {
+	for k := range m {
+		m[k] *= by
+	}
+}

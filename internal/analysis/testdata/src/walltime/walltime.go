@@ -1,0 +1,25 @@
+// Package walltime is the detlint walltime fixture: wall-clock reads outside
+// the allow-listed deadline/measurement packages steer decisions.
+package walltime
+
+import "time"
+
+func pickFastest(candidates []func()) int {
+	best, bestTime := 0, time.Duration(1<<62)
+	for i, c := range candidates {
+		start := time.Now() // want `time\.Now`
+		c()
+		if el := time.Since(start); el < bestTime { // want `time\.Since`
+			best, bestTime = i, el
+		}
+	}
+	return best
+}
+
+func deadlineIn(d time.Duration) time.Time {
+	return time.Now().Add(d) // want `time\.Now`
+}
+
+func sleeping() {
+	time.Sleep(time.Millisecond) // ok: produces no value a decision can read
+}

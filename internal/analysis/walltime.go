@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallTimeAllowed are the packages whose wall-clock reads are sanctioned
+// wholesale: I/O deadlines in the distributed runtime and measurement-only
+// code. The device profiler, the kernel entropy source, and the comm ready
+// jitter are NOT allow-listed — they carry per-site //detlint:ignore
+// directives so the D2 story stays a searchable, audited annotation.
+var wallTimeAllowed = []string{"internal/dist", "internal/trace", "internal/metrics"}
+
+// WallTime returns the walltime analyzer: calls to time.Now, time.Since, or
+// time.Until outside the allow-listed packages are diagnostics, because a
+// wall-clock read feeding a numeric or scheduling decision makes two
+// identical runs diverge (profiling-based kernel selection is the paper's
+// canonical example).
+func WallTime(allowed ...string) *Analyzer {
+	if len(allowed) == 0 {
+		allowed = wallTimeAllowed
+	}
+	a := &Analyzer{
+		Name: "walltime",
+		Doc:  "wall-clock read outside the allow-listed deadline/measurement packages",
+	}
+	a.Run = func(pass *Pass) {
+		if pkgMatchesAny(pass.Pkg, allowed) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				p, name, ok := pass.ImportedSelector(sel)
+				if !ok || p != "time" {
+					return true
+				}
+				if name == "Now" || name == "Since" || name == "Until" {
+					pass.Report(call.Pos(), "time.%s can steer numeric or scheduling decisions; identical runs will diverge (allow-listed: %v)", name, wallTimeAllowed)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -12,6 +12,7 @@ import (
 var readyEntropy atomic.Uint64
 
 func init() {
+	//detlint:ignore walltime -- deliberate D1 entropy source: models gradient bucket arrival-order timing noise in DDP's first mini-batch (DESIGN.md); D1 fixes the divergence by checkpointing the bucket mapping
 	readyEntropy.Store(uint64(time.Now().UnixNano()) | 1)
 }
 

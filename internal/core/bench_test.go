@@ -53,6 +53,9 @@ func TestTrainStepAllocRegression(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation regression needs steady-state warmup")
 	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful uninstrumented")
+	}
 	bounds := map[string]float64{
 		"vgg19":    700,
 		"resnet50": 1600,

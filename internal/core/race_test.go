@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build; its
+// write barriers allocate, so allocation-count assertions are meaningless.
+const raceEnabled = true

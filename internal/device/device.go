@@ -258,6 +258,7 @@ func profileBlock(spec Spec) int {
 		buf[i] = float32(i%7) * 0.25
 	}
 	for _, c := range candidates {
+		//detlint:ignore walltime -- deliberate cudnn.benchmark-style profiling (SelectProfiled): timing candidate kernels with the wall clock is the modeled non-determinism D0 disables via SelectHeuristic/SelectFixedAlgo
 		start := time.Now()
 		var sink float32
 		for rep := 0; rep < 3; rep++ {
@@ -276,6 +277,7 @@ func profileBlock(spec Spec) int {
 			sink += part
 		}
 		_ = sink
+		//detlint:ignore walltime -- deliberate cudnn.benchmark-style profiling: machine noise deciding near-ties is the point (DESIGN.md kernel-selection mechanism)
 		if el := time.Since(start); el < bestTime {
 			best, bestTime = c, el
 		}

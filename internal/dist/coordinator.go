@@ -171,6 +171,7 @@ func runPhase(coord *Coordinator, cfg core.Config, workload string, ph Phase, ck
 	var firstErr error
 	for w := 0; w < workers; w++ {
 		if werr := <-errCh; werr != nil && firstErr == nil {
+			//detlint:ignore chanorder -- error triage only, never numeric: any injected-crash error outranks the rest below, and which secondary error surfaces first is diagnostic noise
 			firstErr = werr
 		}
 	}

@@ -13,6 +13,7 @@ import (
 var entropy atomic.Uint64
 
 func init() {
+	//detlint:ignore walltime -- deliberate D0 entropy source: models CUDA atomics combine-order noise (DESIGN.md "Memory model & determinism"); the deterministic kernel variants never consult it
 	entropy.Store(uint64(time.Now().UnixNano()) | 1)
 }
 

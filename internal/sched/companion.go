@@ -131,9 +131,11 @@ func (cp *Companion) assign(gpus Resources) (map[device.Type]int, int) {
 
 // evaluate applies the waste model (Eq. 1a–1d) to a mapping.
 func (cp *Companion) evaluate(gpus Resources, a map[device.Type]int, nEST int) Plan {
+	// fixed type order: the float max over a map range would let Go's
+	// randomized iteration order pick between ±0-style ties run to run
 	f := 0.0
-	for t, ai := range a {
-		if ai > 0 {
+	for _, t := range device.AllTypes() {
+		if ai := a[t]; ai > 0 {
 			if v := float64(ai) / cp.Caps[t]; v > f {
 				f = v
 			}

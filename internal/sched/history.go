@@ -37,8 +37,8 @@ func CapabilityFromHistory(records []HistoryRecord, prior Capability) Capability
 		}
 		var only device.Type = -1
 		types := 0
-		for t, n := range rec.GPUs {
-			if n > 0 {
+		for _, t := range device.AllTypes() {
+			if rec.GPUs[t] > 0 {
 				only = t
 				types++
 			}
@@ -87,7 +87,8 @@ func CapabilityFromHistory(records []HistoryRecord, prior Capability) Capability
 func estimateThroughput(rec HistoryRecord, caps Capability) float64 {
 	f := 0.0
 	nEST := 0
-	for t, a := range rec.ESTsPerGPU {
+	for _, t := range device.AllTypes() {
+		a := rec.ESTsPerGPU[t]
 		if a > 0 && caps[t] > 0 {
 			if v := float64(a) / caps[t]; v > f {
 				f = v

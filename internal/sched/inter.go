@@ -1,6 +1,10 @@
 package sched
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/device"
+)
 
 // Policy decides which proposals to accept given the free pool. The default
 // is the paper's greedy heuristic; the interface is the extension point §3.4
@@ -75,7 +79,8 @@ func (s *InterJob) Release(r Resources) {
 // it clamps at zero and returns what was actually taken.
 func (s *InterJob) Take(r Resources) Resources {
 	got := Resources{}
-	for t, n := range r {
+	for _, t := range device.AllTypes() {
+		n := r[t]
 		if n > s.free[t] {
 			n = s.free[t]
 		}
