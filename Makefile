@@ -6,13 +6,15 @@
 #   make race    — race detector over the concurrency-bearing packages
 #                  (the persistent kernel worker pool must stay race-clean)
 #   make bench   — the training-step benchmarks with allocation reporting
+#   make trace-smoke — end-to-end observability check: run a traced elastic
+#                  job and schema-validate the exported Chrome trace
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet fmt lint build test race fuzz bench benchsmoke
+.PHONY: check vet fmt lint build test race fuzz bench benchsmoke trace-smoke
 
-check: vet fmt lint build test race fuzz benchsmoke
+check: vet fmt lint build test race fuzz benchsmoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,7 +37,7 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/data/... ./internal/dist/... ./internal/faults/... ./internal/core/... ./internal/elastic/...
+	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/data/... ./internal/dist/... ./internal/faults/... ./internal/core/... ./internal/elastic/... ./internal/obs/...
 
 # short fuzz smokes: the wire-frame and checkpoint decoders must never panic
 # on corrupt input, and the tiled GEMM kernels must stay bitwise identical to
@@ -58,3 +60,12 @@ bench:
 # rot (signature drift, panics on the bench path) without the full run
 benchsmoke:
 	$(GO) test ./internal/core/ -run '^$$' -bench 'BenchmarkTrainStep$$' -benchtime 1x -short
+
+# end-to-end observability smoke: a small traced elastic run (scale-in
+# mid-training) must emit a Chrome trace that passes the schema checker
+trace-smoke:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/easyscale -model neumf -ests 2 -batch 2 -steps 5 \
+		-gpus V100:2 -scale-to V100:1 -verify=false \
+		-trace "$$tmp/run.json" >/dev/null && \
+	$(GO) run ./cmd/tracecheck "$$tmp/run.json"

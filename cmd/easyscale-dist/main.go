@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,13 +39,15 @@ func main() {
 		runCoordinator(os.Args[2:])
 	case "worker":
 		runWorker(os.Args[2:])
+	case "elastic":
+		runElastic(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: easyscale-dist {coordinator|worker} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: easyscale-dist {coordinator|worker|elastic} [flags]")
 	os.Exit(2)
 }
 
@@ -177,4 +180,82 @@ func runWorker(args []string) {
 	die(err)
 	die(dist.RunWorker(spec))
 	fmt.Println("worker done")
+}
+
+// parsePhases reads a ';'-separated phase list, each entry PLACEMENT@STEPS
+// (the placement syntax of -gpus), e.g. "V100:2@10;V100:1,P100:1@10".
+func parsePhases(spec string, ests int) ([]dist.Phase, error) {
+	var phases []dist.Phase
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		at := strings.LastIndex(entry, "@")
+		if at < 0 {
+			return nil, fmt.Errorf("phase %q: want PLACEMENT@STEPS", entry)
+		}
+		steps, err := strconv.Atoi(entry[at+1:])
+		if err != nil || steps <= 0 {
+			return nil, fmt.Errorf("phase %q: bad step count", entry)
+		}
+		p, err := parsePlacement(entry[:at], ests)
+		if err != nil {
+			return nil, err
+		}
+		phases = append(phases, dist.Phase{Placement: p, Steps: steps})
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("no phases in %q", spec)
+	}
+	return phases, nil
+}
+
+// runElastic drives a whole elastic run — coordinator plus one in-process
+// networked worker per placement entry per phase — through dist.Run, the
+// single-binary counterpart of the coordinator/worker subcommands.
+func runElastic(args []string) {
+	fs := flag.NewFlagSet("elastic", flag.ExitOnError)
+	model := fs.String("model", "bert", "workload name")
+	ests := fs.Int("ests", 4, "number of logical workers (ESTs)")
+	batch := fs.Int("batch", 4, "per-EST mini-batch size")
+	seed := fs.Uint64("seed", 42, "job master seed")
+	timeout := fs.Duration("timeout", 0, "network operation deadline (0: EASYSCALE_DIST_TIMEOUT or the built-in default)")
+	phasesSpec := fs.String("phases", "V100:2@10;V100:1@10", "';'-separated phases, each PLACEMENT@STEPS")
+	retries := fs.Int("retries", 0, "retries per failed phase (crash recovery)")
+	out := fs.String("out", "", "file to write the final on-demand checkpoint to")
+	traceOut := fs.String("trace", "", "write a Perfetto-loadable Chrome trace of the run to this file")
+	die(fs.Parse(args))
+
+	cfg := core.DefaultConfig(*ests)
+	cfg.BatchPerEST = *batch
+	cfg.Seed = *seed
+	cfg.DistTimeout = *timeout
+
+	phases, err := parsePhases(*phasesSpec, *ests)
+	die(err)
+
+	opts := []dist.Option{dist.WithRetryPolicy(dist.RetryPolicy{MaxRetries: *retries})}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.New()
+		opts = append(opts, dist.WithTracer(tr))
+	}
+	ckpt, err := dist.Run(cfg, *model, phases, opts...)
+	die(err)
+	job, err := core.RestoreJob(cfg, ckpt)
+	die(err)
+	fmt.Printf("elastic run complete: %d phases, %d global steps, epoch %d\n", len(phases), job.GlobalStep(), job.Epoch())
+
+	if *out != "" {
+		die(os.WriteFile(*out, ckpt, 0o644))
+		fmt.Printf("on-demand checkpoint written to %s (%d bytes)\n", *out, len(ckpt))
+	}
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		die(err)
+		die(tr.WriteChromeTrace(f))
+		die(f.Close())
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
 }

@@ -55,6 +55,8 @@ func main() {
 	verify := flag.Bool("verify", true, "compare bitwise against a fixed-DoP reference run")
 	saveCkpt := flag.String("save-ckpt", "", "write the final on-demand checkpoint to this file")
 	loadCkpt := flag.String("load-ckpt", "", "resume from an on-demand checkpoint file")
+	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace of the run to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print a per-span timing summary at the end")
 	flag.Parse()
 
 	cfg := easyscale.DefaultConfig(*ests)
@@ -93,6 +95,16 @@ func main() {
 		job, err = easyscale.NewJob(cfg, *model)
 		die(err)
 	}
+	// tracing attaches after the job exists and survives Scale; it observes
+	// the run without touching its numerics (the -verify comparison below
+	// holds with or without it)
+	var tr *easyscale.Tracer
+	if *traceOut != "" || *traceSummary {
+		tr = easyscale.NewTracer()
+		easyscale.SetDefaultTracer(tr) // kernel-dispatch spans
+		job.SetTracer(tr)
+	}
+
 	die(job.Attach(p0))
 	fmt.Printf("training %s: %d ESTs on %v, level %v D2=%v\n", *model, *ests, p0.Devices, cfg.Level, cfg.D2)
 	die(job.RunSteps(*steps))
@@ -109,6 +121,22 @@ func main() {
 
 	eval := job.Evaluate()
 	fmt.Printf("validation accuracy: %.4f\n", eval.Overall)
+
+	// export the trace before the reference run below, so the kernel spans
+	// of the verification pass don't dilute the job's own timeline
+	if tr != nil {
+		easyscale.SetDefaultTracer(nil)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			die(err)
+			die(tr.WriteChromeTrace(f))
+			die(f.Close())
+			fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", *traceOut)
+		}
+		if *traceSummary {
+			fmt.Print(tr.Summary())
+		}
+	}
 
 	if *saveCkpt != "" {
 		die(os.WriteFile(*saveCkpt, job.Checkpoint(), 0o644))

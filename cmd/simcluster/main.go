@@ -11,7 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/sched"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -35,7 +35,7 @@ func main() {
 	}
 
 	inv := sched.Resources{device.V100: *v100, device.P100: *p100, device.T4: *t4}
-	tr := trace.Generate(*jobs, *gap, *seed)
+	tr := workload.Generate(*jobs, *gap, *seed)
 	run := func(m cluster.Mode) cluster.Result {
 		return cluster.Simulate(cluster.Config{Mode: m, Inventory: inv}, tr)
 	}

@@ -1,0 +1,39 @@
+// Command tracecheck validates that a file is a structurally sound Chrome
+// trace-event JSON export (the format ui.perfetto.dev and chrome://tracing
+// load): parseable, non-empty, every event named and phased, spans with sane
+// timestamps, at least one named track. It is the schema check behind
+// `make trace-smoke`.
+//
+//	easyscale -trace /tmp/run.json ... && tracecheck /tmp/run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if err := obs.CheckChromeTrace(data); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid Chrome trace (%d bytes)\n", path, len(data))
+}

@@ -8,13 +8,13 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
 	const totalGPUs = 3000
-	load := trace.ServingLoad(2*1440, totalGPUs, 42)
-	st := trace.Stats(load)
+	load := workload.ServingLoad(2*1440, totalGPUs, 42)
+	st := workload.Stats(load)
 	fmt.Printf("serving fleet: %d GPUs, diurnal load min %d / max %d (gap %d — Figure 1)\n\n",
 		totalGPUs, st.Min, st.Max, st.Gap)
 

@@ -34,10 +34,9 @@ func main() {
 	}
 	fmt.Println("running 3 worker generations over TCP (4 → 2 → 1 workers),")
 	fmt.Println("with seeded worker crashes recovered from the on-demand checkpoint...")
-	ckpt, err := dist.RunElasticResilient(cfg, "bert", phases, dist.ResilientOptions{
-		Retry:  dist.RetryPolicy{MaxRetries: 3},
-		Faults: plan,
-	})
+	ckpt, err := dist.Run(cfg, "bert", phases,
+		dist.WithRetryPolicy(dist.RetryPolicy{MaxRetries: 3}),
+		dist.WithFaultPlan(plan))
 	if err != nil {
 		log.Fatal(err)
 	}

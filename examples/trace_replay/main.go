@@ -9,12 +9,12 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/sched"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
 	inventory := sched.Resources{device.V100: 32, device.P100: 16, device.T4: 16}
-	jobs := trace.Generate(60, 30, 11)
+	jobs := workload.Generate(60, 30, 11)
 	fmt.Printf("trace: %d jobs over %.0f minutes, %d GPUs\n\n",
 		len(jobs), jobs[len(jobs)-1].ArrivalSec/60, inventory.Total())
 

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/elastic"
 	"repro/internal/metrics"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Result is the output of one experiment regeneration: paper-style table
@@ -40,8 +40,8 @@ func row(format string, args ...any) string { return fmt.Sprintf(format, args...
 // load over two days, whose idle/peak gap motivates opportunistic elastic
 // training.
 func Fig01ServingLoad(totalGPUs int, seed uint64) Result {
-	load := trace.ServingLoad(2*1440, totalGPUs, seed)
-	st := trace.Stats(load)
+	load := workload.ServingLoad(2*1440, totalGPUs, seed)
+	st := workload.Stats(load)
 	res := Result{ID: "fig1", Title: "Online serving GPU cluster load variation (2 days)"}
 	res.Rows = append(res.Rows,
 		row("total GPUs: %d", totalGPUs),

@@ -6,7 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/sched"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // PaperInventory is the §5.2 testbed: 32 V100 + 16 P100 + 16 T4 (64 GPUs).
@@ -25,7 +25,7 @@ func Fig14TraceJCT(jobs int, meanGapSec float64, seeds []uint64) Result {
 	mk := map[cluster.Mode]float64{}
 	allJCTs := map[cluster.Mode][]float64{}
 	for _, seed := range seeds {
-		tr := trace.Generate(jobs, meanGapSec, seed)
+		tr := workload.Generate(jobs, meanGapSec, seed)
 		for _, m := range modes {
 			r := cluster.Simulate(cluster.Config{Mode: m, Inventory: inv}, tr)
 			jct[m] += r.AvgJCT / float64(len(seeds))
@@ -46,11 +46,11 @@ func Fig14TraceJCT(jobs int, meanGapSec float64, seeds []uint64) Result {
 }
 
 // Fig15AllocTimeline regenerates Figure 15: allocated GPUs over time for the
-// two EasyScale configurations on the same trace.
+// two EasyScale configurations on the same workload.
 func Fig15AllocTimeline(jobs int, meanGapSec float64, seed uint64) Result {
 	res := Result{ID: "fig15", Title: "Allocated GPUs over time: EasyScale-homo vs EasyScale-heter"}
 	inv := PaperInventory()
-	tr := trace.Generate(jobs, meanGapSec, seed)
+	tr := workload.Generate(jobs, meanGapSec, seed)
 	homo := cluster.Simulate(cluster.Config{Mode: cluster.EasyScaleHomo, Inventory: inv}, tr)
 	heter := cluster.Simulate(cluster.Config{Mode: cluster.EasyScaleHeter, Inventory: inv}, tr)
 	mkSeries := func(name string, tl []cluster.AllocSample) Series {
@@ -117,7 +117,7 @@ func Fig16Production(totalGPUs int, seed uint64) Result {
 // gang-scheduling revocation failures by requested GPU count.
 func MotivationRevocations(jobs int, seed uint64) Result {
 	res := Result{ID: "motivation", Title: "Gang-scheduling revocation failures by job size (2-day window)"}
-	tr := trace.GenerateProduction(jobs, 30, seed)
+	tr := workload.GenerateProduction(jobs, 30, seed)
 	st := cluster.SimulateRevocations(tr, 48, 0.001, seed)
 	res.Rows = append(res.Rows, row("total failures: %d of %d jobs", st.TotalFailures, jobs))
 	for _, sz := range []int{1, 2, 4, 8, 16, 32, 64} {

@@ -9,7 +9,7 @@ import (
 // code. The device profiler, the kernel entropy source, and the comm ready
 // jitter are NOT allow-listed — they carry per-site //detlint:ignore
 // directives so the D2 story stays a searchable, audited annotation.
-var wallTimeAllowed = []string{"internal/dist", "internal/trace", "internal/metrics"}
+var wallTimeAllowed = []string{"internal/dist", "internal/obs", "internal/metrics"}
 
 // WallTime returns the walltime analyzer: calls to time.Now, time.Since, or
 // time.Until outside the allow-listed packages are diagnostics, because a

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/sched"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // paperInventory is the §5.2 testbed: 32 V100 + 16 P100 + 16 T4.
@@ -13,8 +13,8 @@ func paperInventory() sched.Resources {
 	return sched.Resources{device.V100: 32, device.P100: 16, device.T4: 16}
 }
 
-func testTrace() []trace.JobSpec {
-	return trace.Generate(40, 120, 7)
+func testTrace() []workload.JobSpec {
+	return workload.Generate(40, 120, 7)
 }
 
 func TestCapabilityOrdering(t *testing.T) {
@@ -74,7 +74,7 @@ func TestTraceExperimentShape(t *testing.T) {
 	var yJCT, hJCT, xJCT, yMk, hMk, xMk float64
 	var hAlloc, xAlloc int
 	for seed := uint64(11); seed <= 13; seed++ {
-		jobs := trace.Generate(60, 30, seed)
+		jobs := workload.Generate(60, 30, seed)
 		yarn := Simulate(Config{Mode: YARNCS, Inventory: inv}, jobs)
 		homo := Simulate(Config{Mode: EasyScaleHomo, Inventory: inv}, jobs)
 		heter := Simulate(Config{Mode: EasyScaleHeter, Inventory: inv}, jobs)
@@ -114,7 +114,7 @@ func TestTraceExperimentShape(t *testing.T) {
 }
 
 func TestEasyScaleEliminatesQueueing(t *testing.T) {
-	jobs := trace.Generate(40, 30, 3)
+	jobs := workload.Generate(40, 30, 3)
 	res := Simulate(Config{Mode: EasyScaleHeter, Inventory: paperInventory()}, jobs)
 	yarn := Simulate(Config{Mode: YARNCS, Inventory: paperInventory()}, jobs)
 	// gang scheduling queues for a long time under load; elastic jobs start
@@ -165,7 +165,7 @@ func TestColocationScaleInImmediate(t *testing.T) {
 }
 
 func TestRevocationStatsShape(t *testing.T) {
-	jobs := trace.GenerateProduction(3000, 30, 13)
+	jobs := workload.GenerateProduction(3000, 30, 13)
 	st := SimulateRevocations(jobs, 48, 0.001, 13)
 	if st.TotalFailures == 0 {
 		t.Fatal("expected some failures")

@@ -1,6 +1,6 @@
 package cluster
 
-import "repro/internal/trace"
+import "repro/internal/workload"
 
 // The production co-location experiment (§5.3, Figure 16): inference serving
 // jobs are production priority with guaranteed quota; EasyScale jobs are
@@ -126,7 +126,7 @@ func SimulateColocation(cfg ColocationConfig, serving []int, withEasyScale bool)
 // same diurnal pattern — the Figure 16 layout — and returns both results.
 func TwoDayComparison(totalGPUs int, seed uint64) (day1, day2 ColocationResult) {
 	cfg := DefaultColocationConfig(totalGPUs)
-	load := trace.ServingLoad(2*1440, totalGPUs, seed)
+	load := workload.ServingLoad(2*1440, totalGPUs, seed)
 	day1 = SimulateColocation(cfg, load[:1440], false)
 	day2 = SimulateColocation(cfg, load[1440:], true)
 	return day1, day2

@@ -4,7 +4,7 @@ import (
 	"math"
 
 	"repro/internal/rng"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // §2.1 motivation: on a gang-scheduled cluster, terminating any worker kills
@@ -25,7 +25,7 @@ type RevocationStats struct {
 // SimulateRevocations runs the two-day failure model: every GPU held by a
 // job is revoked independently at ratePerGPUHour by high-priority arrivals;
 // under gang semantics one revocation fails the job.
-func SimulateRevocations(jobs []trace.JobSpec, hoursExposed, ratePerGPUHour float64, seed uint64) RevocationStats {
+func SimulateRevocations(jobs []workload.JobSpec, hoursExposed, ratePerGPUHour float64, seed uint64) RevocationStats {
 	s := rng.NewNamed(seed, "revocation")
 	st := RevocationStats{FailuresBySize: map[int]int{}}
 	for _, j := range jobs {

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/sched"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Mode selects the cluster scheduling policy under simulation.
@@ -85,7 +85,7 @@ type Result struct {
 }
 
 type simJob struct {
-	spec      trace.JobSpec
+	spec      workload.JobSpec
 	remaining float64
 	started   bool
 	startSec  float64
@@ -98,7 +98,7 @@ type simJob struct {
 }
 
 // Simulate runs the trace under the configured policy and returns metrics.
-func Simulate(cfg Config, jobs []trace.JobSpec) Result {
+func Simulate(cfg Config, jobs []workload.JobSpec) Result {
 	cfg.defaults()
 	switch cfg.Mode {
 	case YARNCS:
@@ -110,7 +110,7 @@ func Simulate(cfg Config, jobs []trace.JobSpec) Result {
 
 // simulateYARN: strict FIFO gang scheduling. Only the queue head may start,
 // and it needs MaxP GPUs of a single type simultaneously.
-func simulateYARN(cfg Config, jobs []trace.JobSpec) Result {
+func simulateYARN(cfg Config, jobs []workload.JobSpec) Result {
 	free := cfg.Inventory.Clone()
 	var queue []*simJob
 	pending := make([]*simJob, len(jobs))
@@ -172,7 +172,7 @@ func simulateYARN(cfg Config, jobs []trace.JobSpec) Result {
 
 // simulateEasyScale: elastic jobs (min 0 GPUs) coordinated by the intra-job
 // schedulers and the greedy inter-job scheduler.
-func simulateEasyScale(cfg Config, jobs []trace.JobSpec) Result {
+func simulateEasyScale(cfg Config, jobs []workload.JobSpec) Result {
 	inter := sched.NewInterJob(cfg.Inventory)
 	pending := make([]*simJob, len(jobs))
 	for i := range jobs {
@@ -253,7 +253,7 @@ func simulateEasyScale(cfg Config, jobs []trace.JobSpec) Result {
 	return res
 }
 
-func finalize(res *Result, jobs []trace.JobSpec, now float64) {
+func finalize(res *Result, jobs []workload.JobSpec, now float64) {
 	if res.Finished > 0 {
 		sum := 0.0
 		for _, v := range res.JCTs {

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/tensor"
 )
@@ -26,8 +27,10 @@ func (d *ElasticDDP) BucketLen(b int) int { return d.bucketLen(d.plan.Buckets[b]
 // safe, merely unpooled.
 func (d *ElasticDDP) FlattenBucket(b int, grads []*tensor.Tensor) []float32 {
 	bucket := d.plan.Buckets[b]
+	start := d.tr.Now()
 	buf := pool.GetUninit(d.bucketLen(bucket))
 	d.flatten(buf, grads, bucket)
+	d.tr.Span(obs.RuntimeTrack, obs.CatComm, "comm.flatten", start, int64(len(buf)), int64(b))
 	return buf
 }
 

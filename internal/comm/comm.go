@@ -20,6 +20,7 @@ package comm
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/tensor"
 )
@@ -190,6 +191,11 @@ type ElasticDDP struct {
 	RebuildEnabled bool // D1 disables reconstruction after restore
 
 	contribs [][]float32 // reusable per-participant staging headers
+
+	// tr records flatten/reduce spans when set (nil = tracing off). The
+	// tracer only observes timings — it never touches gradient data, so
+	// reductions are bitwise identical with and without it.
+	tr *obs.Tracer
 }
 
 // NewElasticDDP builds the communicator with the static initial plan.
@@ -201,6 +207,10 @@ func NewElasticDDP(sizes []int, capElems int) *ElasticDDP {
 		RebuildEnabled: true,
 	}
 }
+
+// SetTracer attaches (nil detaches) an execution tracer recording bucket
+// flatten and all-reduce spans on the runtime track.
+func (d *ElasticDDP) SetTracer(tr *obs.Tracer) { d.tr = tr }
 
 // Plan returns the current bucket plan (for checkpointing under D1).
 func (d *ElasticDDP) Plan() Plan { return d.plan.Clone() }
@@ -272,12 +282,16 @@ func (d *ElasticDDP) AllReduce(gradSets [][]*tensor.Tensor, divisor int) {
 		d.contribs = make([][]float32, len(gradSets))
 	}
 	contribs := d.contribs[:len(gradSets)]
+	tAll := d.tr.Now()
 	for _, bucket := range d.plan.Buckets {
 		blen := d.bucketLen(bucket)
+		tFlat := d.tr.Now()
 		for i, gs := range gradSets {
 			contribs[i] = pool.GetUninit(blen)
 			d.flatten(contribs[i], gs, bucket)
 		}
+		d.tr.Span(obs.RuntimeTrack, obs.CatComm, "comm.flatten", tFlat, int64(blen), int64(len(gradSets)))
+		tRed := d.tr.Now()
 		sum := pool.GetUninit(blen)
 		RingReduceInto(sum, contribs)
 		for i := range sum {
@@ -291,5 +305,7 @@ func (d *ElasticDDP) AllReduce(gradSets [][]*tensor.Tensor, divisor int) {
 			pool.Put(contribs[i])
 			contribs[i] = nil
 		}
+		d.tr.Span(obs.RuntimeTrack, obs.CatComm, "comm.reduce-bucket", tRed, int64(blen), int64(len(gradSets)))
 	}
+	d.tr.Span(obs.RuntimeTrack, obs.CatComm, "comm.allreduce", tAll, int64(len(d.plan.Buckets)), int64(divisor))
 }

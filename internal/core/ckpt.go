@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -321,6 +322,11 @@ func RestoreJob(cfg Config, ckpt []byte) (*Job, error) {
 // placement. The job's training semantics are unaffected; whether its
 // numerics are depends on the determinism level.
 func (j *Job) Scale(p Placement) error {
+	// The restart replaces every field of j, so the tracer survives the
+	// reconfiguration explicitly — the trace shows the scale event and the
+	// spans on both sides of it on the same tracks.
+	tr := j.Tracer()
+	t0 := j.obs.now()
 	ck := j.Checkpoint()
 	j.Detach()
 	nj, err := RestoreJob(j.Cfg, ck)
@@ -328,5 +334,11 @@ func (j *Job) Scale(p Placement) error {
 		return err
 	}
 	*j = *nj
-	return j.Attach(p)
+	j.SetTracer(tr)
+	if err := j.Attach(p); err != nil {
+		return err
+	}
+	j.obs.decision("core.scale", placementDetail(p), int64(len(p.Devices)), int64(j.globalStep))
+	j.obs.runSpan(obs.CatPhase, "core.scale", t0, int64(len(p.Devices)), int64(j.globalStep))
+	return nil
 }

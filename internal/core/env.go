@@ -1,0 +1,84 @@
+package core
+
+import (
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/kernels"
+)
+
+// Every EASYSCALE_* environment override, resolved in exactly one place:
+// ConfigFromEnv. Individual packages no longer read the environment
+// themselves (the kernels init and the dist timeout resolution used to),
+// so the full override surface is this file.
+const (
+	// EnvDistTimeout (a time.ParseDuration string) bounds every blocking
+	// network operation of the distributed runtime when
+	// Config.DistTimeout is zero.
+	EnvDistTimeout = "EASYSCALE_DIST_TIMEOUT"
+	// EnvKernelWorkers overrides the kernel worker-pool size
+	// (kernels.SetParallelism). Provably invisible to numerics.
+	EnvKernelWorkers = "EASYSCALE_KERNEL_WORKERS"
+	// EnvParallelThreshold overrides the FLOP count below which kernels
+	// run sequentially (kernels.SetParallelThreshold). Also invisible to
+	// numerics.
+	EnvParallelThreshold = "EASYSCALE_PARALLEL_THRESHOLD"
+)
+
+// init applies the process-wide kernel overrides at startup, preserving the
+// historical behaviour of the env-reading init that lived in
+// internal/kernels: any binary that trains (they all import core) honours
+// EASYSCALE_KERNEL_WORKERS / EASYSCALE_PARALLEL_THRESHOLD without calling
+// ConfigFromEnv explicitly.
+func init() { ConfigFromEnv(Config{}) }
+
+// ConfigFromEnv is the single resolution point for environment overrides:
+// it returns cfg with every field still at its zero value filled from the
+// corresponding EASYSCALE_* variable, and (re)applies the process-wide
+// kernel overrides. Explicit config values always win over the
+// environment; malformed or non-positive environment values are ignored
+// (the documented fallback-to-default behaviour). None of these overrides
+// participate in checkpoint identity — timeouts and kernel dispatch shape
+// never affect numerics.
+func ConfigFromEnv(cfg Config) Config {
+	if cfg.DistTimeout == 0 {
+		if d, ok := envDuration(EnvDistTimeout); ok {
+			cfg.DistTimeout = d
+		}
+	}
+	if n, ok := envInt(EnvKernelWorkers); ok {
+		kernels.SetParallelism(n)
+	}
+	if n, ok := envInt(EnvParallelThreshold); ok {
+		kernels.SetParallelThreshold(n)
+	}
+	return cfg
+}
+
+// envDuration parses a positive time.ParseDuration value from the
+// environment.
+func envDuration(key string) (time.Duration, bool) {
+	v := os.Getenv(key)
+	if v == "" {
+		return 0, false
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// envInt parses a positive integer from the environment.
+func envInt(key string) (int, bool) {
+	v := os.Getenv(key)
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}

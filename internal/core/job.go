@@ -9,6 +9,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/pool"
 	"repro/internal/tensor"
@@ -49,6 +50,10 @@ type Job struct {
 	// pooling is invisible to the consistency hashes.
 	scratch     *pool.Scope
 	stepScratch *pool.Scope
+
+	// obs is the attached execution-tracer state (nil = tracing off; every
+	// instrumentation helper is then a single pointer test). See trace.go.
+	obs *jobObs
 }
 
 // NewJob builds a job for the named workload. The model, data order, and all
@@ -165,6 +170,7 @@ func (j *Job) Attach(p Placement) error {
 		j.allocMB[i] = need
 	}
 	j.attached = true
+	j.obs.decision("core.attach", placementDetail(p), int64(len(p.Devices)), int64(j.Cfg.NumESTs))
 	return nil
 }
 
@@ -206,6 +212,7 @@ func (j *Job) Detach() {
 	if !j.attached {
 		return
 	}
+	j.obs.decision("core.detach", "", int64(len(j.devices)), int64(j.globalStep))
 	for i, d := range j.devices {
 		d.Free(j.allocMB[i])
 	}
@@ -220,25 +227,32 @@ func (j *Job) gradBytes() float64 { return j.Workload.Memory().ParamsMB * 1e6 }
 // localStep executes one EST's mini-batch on its device and swaps the
 // gradients out.
 func (j *Job) localStep(est *ESTContext, dev *device.Device, lastOnWorker bool, soloOnWorker bool) {
+	o := j.obs
 	ctx := &nn.Context{Dev: dev, RNG: est.RNG.Torch, Training: true, Scratch: j.scratch}
 	stepStart := dev.Now()
+	tLocal := o.now()
 
 	// context switch in: implicit model state of this EST's replica
 	modelState := j.Workload.StateTensors()
 	if !j.Cfg.DisableContextSwitch {
+		tSw := o.now()
 		est.switchIn(modelState)
 		dev.ChargeTime(CtxSwitchCost)
+		o.estSpan(est.VirtualRank, obs.CatSwitch, "core.switch-in", tSw, int64(CtxSwitchCost), 0)
+		o.countSwitch()
 	}
 
 	x, labels := j.loader.Batch(j.step, est.VirtualRank)
 
 	j.opt.ZeroGrad()
 	before := dev.Now()
+	tComp := o.now()
 	dev.ChargeTime(KernelLaunchOverhead)
 	out := j.Workload.Net.Forward(ctx, x)
 	loss := j.Workload.Loss.Forward(ctx, out, labels)
 	j.Workload.Net.Backward(ctx, j.Workload.Loss.Backward(ctx))
 	computeDur := dev.Now() - before
+	o.estSpan(est.VirtualRank, obs.CatStep, "core.compute", tComp, int64(computeDur), int64(j.step))
 	j.lastLosses[est.VirtualRank] = loss
 
 	// gradient swap to host: skipped entirely when the EST is alone on its
@@ -262,13 +276,20 @@ func (j *Job) localStep(est *ESTContext, dev *device.Device, lastOnWorker bool, 
 
 	// context switch out
 	if !j.Cfg.DisableContextSwitch {
+		tSw := o.now()
 		est.switchOut(modelState)
+		o.estSpan(est.VirtualRank, obs.CatSwitch, "core.switch-out", tSw, 0, 0)
+		o.countSwitch()
 	}
 	j.estTimes[est.VirtualRank] = dev.Now() - stepStart
 
 	// Every activation and gradient buffer borrowed during this local step is
 	// dead now (gradients were copied to the EST's host buffers above).
 	j.scratch.ReleaseAll()
+	// A0 carries the simulated (device-clock) duration so the trace shows
+	// both wall and simulated time per EST local step (Fig. 11).
+	o.estSpan(est.VirtualRank, obs.CatStep, "core.local-step", tLocal,
+		int64(j.estTimes[est.VirtualRank]), int64(est.VirtualRank))
 }
 
 // layerParamCounts groups parameters by forward layer for the bucket-rebuild
@@ -345,6 +366,7 @@ func (j *Job) maybeRebuild() {
 // and moves the job to the next global step.
 func (j *Job) advance() {
 	j.opt.Step()
+	j.obs.countStep()
 	j.globalStep++
 	j.step++
 	if j.step >= j.sampler.StepsPerEpoch() {
@@ -369,6 +391,9 @@ func (j *Job) FinishStepReduced(buckets [][]float32) error {
 	if len(buckets) != j.ddp.NumBuckets() {
 		return fmt.Errorf("core: %d reduced buckets for %d-bucket plan", len(buckets), j.ddp.NumBuckets())
 	}
+	o := j.obs
+	t0 := o.now()
+	stepIdx := int64(j.globalStep)
 	grads := make([]*tensor.Tensor, len(params))
 	for i, p := range params {
 		grads[i] = p.Grad
@@ -382,6 +407,7 @@ func (j *Job) FinishStepReduced(buckets [][]float32) error {
 	j.chargeSync()
 	j.maybeRebuild()
 	j.advance()
+	o.runSpan(obs.CatStep, "core.finish-step", t0, stepIdx, int64(len(buckets)))
 	return nil
 }
 
@@ -392,6 +418,9 @@ func (j *Job) RunStep() error {
 	if !j.attached {
 		return fmt.Errorf("core: job is not attached to GPUs")
 	}
+	o := j.obs
+	t0 := o.now()
+	stepIdx := int64(j.globalStep)
 	params := j.Workload.Params()
 
 	for wi := range j.placement.Assignment {
@@ -434,6 +463,7 @@ func (j *Job) RunStep() error {
 	}
 	j.stepScratch.ReleaseAll()
 	j.advance()
+	o.runSpan(obs.CatStep, "core.global-step", t0, stepIdx, int64(j.Cfg.NumESTs))
 	return nil
 }
 

@@ -9,7 +9,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/faults"
-	"repro/internal/rng"
+	"repro/internal/obs"
 )
 
 // Coordinator is the rendezvous and elasticity controller (the AIMaster
@@ -151,8 +151,9 @@ type Phase struct {
 
 // runPhase spawns one networked worker per placement entry under a fresh
 // rendezvous epoch and runs one generation. Each worker derives its own
-// deterministic fault injector from the plan (nil for no injection).
-func runPhase(coord *Coordinator, cfg core.Config, workload string, ph Phase, ckpt []byte, plan *faults.Plan) ([]byte, error) {
+// deterministic fault injector from the plan (nil for no injection) and
+// shares the run's tracer (nil for no tracing).
+func runPhase(coord *Coordinator, cfg core.Config, workload string, ph Phase, ckpt []byte, plan *faults.Plan, tr *obs.Tracer) ([]byte, error) {
 	workers := len(ph.Placement.Assignment)
 	epoch := coord.BeginEpoch()
 	errCh := make(chan error, workers)
@@ -164,6 +165,7 @@ func runPhase(coord *Coordinator, cfg core.Config, workload string, ph Phase, ck
 			CoordAddr: coord.Addr(),
 			Epoch:     epoch,
 			Faults:    plan.Injector(epoch, w),
+			Tracer:    tr,
 		}
 		go func() { errCh <- RunWorker(spec) }()
 	}
@@ -187,92 +189,4 @@ func runPhase(coord *Coordinator, cfg core.Config, workload string, ph Phase, ck
 		return nil, firstErr
 	}
 	return next, nil
-}
-
-// RunElastic executes an elastic training job across TCP worker generations:
-// each phase spawns one networked worker per placement entry, trains for the
-// phase's steps, and hands the on-demand checkpoint to the next generation.
-// It returns the final checkpoint.
-func RunElastic(cfg core.Config, workload string, phases []Phase) ([]byte, error) {
-	coord, err := NewCoordinator()
-	if err != nil {
-		return nil, err
-	}
-	defer coord.Close()
-	coord.SetTimeout(resolveTimeout(cfg.DistTimeout))
-
-	var ckpt []byte
-	for pi, ph := range phases {
-		if err := ph.Placement.Validate(cfg.NumESTs); err != nil {
-			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
-		}
-		next, err := runPhase(coord, cfg, workload, ph, ckpt, nil)
-		if err != nil {
-			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
-		}
-		ckpt = next
-	}
-	return ckpt, nil
-}
-
-// RetryPolicy shapes the phase retry loop of RunElasticResilient.
-type RetryPolicy struct {
-	// MaxRetries is how many times a failed phase attempt is retried
-	// (so a phase runs at most MaxRetries+1 times).
-	MaxRetries int
-	// BaseBackoff is the delay before the first retry; each further retry
-	// doubles it. Zero defaults to 50ms.
-	BaseBackoff time.Duration
-	// MaxBackoff caps the exponential growth. Zero defaults to 2s.
-	MaxBackoff time.Duration
-}
-
-// ResilientOptions configures RunElasticResilient.
-type ResilientOptions struct {
-	Retry RetryPolicy
-	// Faults, when non-nil, is the seeded fault campaign injected into
-	// every worker of every attempt. With Faults.Budget ≤ Retry.MaxRetries
-	// the run provably converges: each fired fault dooms at most one
-	// attempt of one phase.
-	Faults *faults.Plan
-}
-
-// RunElasticResilient is RunElastic with crash recovery: a phase whose
-// worker generation dies is retried — after a jittered exponential backoff —
-// from the last on-demand checkpoint. A phase is all-or-nothing, so a
-// retried phase reproduces exactly what the uninterrupted phase would have
-// computed: training never loses consistency, only time. Every retry runs
-// under a fresh rendezvous epoch, so stragglers of the dead attempt are
-// fenced out rather than admitted.
-func RunElasticResilient(cfg core.Config, workload string, phases []Phase, opts ResilientOptions) ([]byte, error) {
-	coord, err := NewCoordinator()
-	if err != nil {
-		return nil, err
-	}
-	defer coord.Close()
-	coord.SetTimeout(resolveTimeout(cfg.DistTimeout))
-	jit := rng.NewNamed(cfg.Seed, "dist-retry")
-
-	var ckpt []byte
-	for pi, ph := range phases {
-		if err := ph.Placement.Validate(cfg.NumESTs); err != nil {
-			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
-		}
-		var next []byte
-		var lastErr error
-		for attempt := 0; attempt <= opts.Retry.MaxRetries; attempt++ {
-			if attempt > 0 {
-				time.Sleep(backoff(attempt-1, opts.Retry.BaseBackoff, opts.Retry.MaxBackoff, jit))
-			}
-			next, lastErr = runPhase(coord, cfg, workload, ph, ckpt, opts.Faults)
-			if lastErr == nil {
-				break
-			}
-		}
-		if lastErr != nil {
-			return nil, fmt.Errorf("dist: phase %d exhausted retries: %w", pi, lastErr)
-		}
-		ckpt = next
-	}
-	return ckpt, nil
 }

@@ -3,9 +3,9 @@ package dist
 import (
 	"fmt"
 	"net"
-	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/rng"
 )
 
@@ -16,16 +16,11 @@ import (
 const DefaultTimeout = 30 * time.Second
 
 // resolveTimeout picks the operation timeout: an explicit config value wins,
-// then EASYSCALE_DIST_TIMEOUT (a time.ParseDuration string), then
-// DefaultTimeout.
+// then EASYSCALE_DIST_TIMEOUT (resolved through core.ConfigFromEnv, the
+// single environment-override point), then DefaultTimeout.
 func resolveTimeout(cfg time.Duration) time.Duration {
-	if cfg > 0 {
-		return cfg
-	}
-	if v := os.Getenv("EASYSCALE_DIST_TIMEOUT"); v != "" {
-		if d, err := time.ParseDuration(v); err == nil && d > 0 {
-			return d
-		}
+	if d := core.ConfigFromEnv(core.Config{DistTimeout: cfg}).DistTimeout; d > 0 {
+		return d
 	}
 	return DefaultTimeout
 }

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// Run is the single entry point of the distributed elastic runtime: it
+// executes an elastic training job across TCP worker generations — each
+// phase spawns one networked worker per placement entry, trains for the
+// phase's steps, and hands the on-demand checkpoint to the next generation —
+// and returns the final checkpoint.
+//
+// The zero-option call is the plain elastic run. Crash recovery, fault
+// injection, and execution tracing are layered on through options:
+//
+//	ckpt, err := dist.Run(cfg, "electra", phases,
+//		dist.WithRetryPolicy(dist.RetryPolicy{MaxRetries: 3}),
+//		dist.WithFaultPlan(plan),
+//		dist.WithTracer(tr))
+//
+// With a retry policy, a phase whose worker generation dies is retried —
+// after a jittered exponential backoff — from the last on-demand checkpoint.
+// A phase is all-or-nothing, so a retried phase reproduces exactly what the
+// uninterrupted phase would have computed: training never loses consistency,
+// only time. Every attempt runs under a fresh rendezvous epoch, fencing out
+// stragglers of the dead attempt.
+func Run(cfg core.Config, workload string, phases []Phase, opts ...Option) ([]byte, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	coord, err := NewCoordinator()
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	coord.SetTimeout(resolveTimeout(cfg.DistTimeout))
+
+	tr := o.tracer
+	driver := tr.Track("driver")
+	if o.faults != nil && tr != nil && o.faults.OnFire == nil {
+		// Surface every fired fault in the trace. The hook only observes —
+		// firing decisions stay a pure function of (plan seed, epoch, worker).
+		o.faults.OnFire = func(s faults.Site, a faults.Action) {
+			tr.Event(driver, obs.CatFault, "fault.fire", string(s)+":"+a.String(), int64(a), 0)
+		}
+	}
+	jit := rng.NewNamed(cfg.Seed, "dist-retry")
+
+	var ckpt []byte
+	for pi, ph := range phases {
+		if err := ph.Placement.Validate(cfg.NumESTs); err != nil {
+			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
+		}
+		tPhase := tr.Now()
+		var next []byte
+		var lastErr error
+		for attempt := 0; attempt <= o.retry.MaxRetries; attempt++ {
+			if attempt > 0 {
+				tr.Event(driver, obs.CatFault, "dist.retry", lastErr.Error(), int64(pi), int64(attempt))
+				time.Sleep(backoff(attempt-1, o.retry.BaseBackoff, o.retry.MaxBackoff, jit))
+			}
+			next, lastErr = runPhase(coord, cfg, workload, ph, ckpt, o.faults, tr)
+			if lastErr == nil {
+				break
+			}
+		}
+		if lastErr != nil {
+			if o.retry.MaxRetries > 0 {
+				return nil, fmt.Errorf("dist: phase %d exhausted retries: %w", pi, lastErr)
+			}
+			return nil, fmt.Errorf("dist: phase %d: %w", pi, lastErr)
+		}
+		ckpt = next
+		tr.Span(driver, obs.CatPhase, "dist.phase", tPhase, int64(pi), int64(ph.Steps))
+	}
+	return ckpt, nil
+}
+
+// runOptions is the resolved option set of one Run call.
+type runOptions struct {
+	retry  RetryPolicy
+	faults *faults.Plan
+	tracer *obs.Tracer
+}
+
+// Option configures Run.
+type Option func(*runOptions)
+
+// WithRetryPolicy enables crash recovery: a failed phase attempt is retried
+// up to p.MaxRetries times from the last on-demand checkpoint.
+func WithRetryPolicy(p RetryPolicy) Option { return func(o *runOptions) { o.retry = p } }
+
+// WithFaultPlan injects the seeded fault campaign into every worker of every
+// attempt. With plan.Budget ≤ the retry policy's MaxRetries the run provably
+// converges: each fired fault dooms at most one attempt of one phase.
+func WithFaultPlan(plan *faults.Plan) Option { return func(o *runOptions) { o.faults = plan } }
+
+// WithTracer records the run's execution trace: phase spans and retry events
+// on the driver track, per-worker network spans (gather, broadcast,
+// checkpoint shipping), and fault-fire events. Tracing never touches the
+// training numerics.
+func WithTracer(tr *obs.Tracer) Option { return func(o *runOptions) { o.tracer = tr } }
+
+// RetryPolicy shapes the phase retry loop of Run.
+type RetryPolicy struct {
+	// MaxRetries is how many times a failed phase attempt is retried
+	// (so a phase runs at most MaxRetries+1 times).
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it. Zero defaults to 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero defaults to 2s.
+	MaxBackoff time.Duration
+}
+
+// ResilientOptions configures RunElasticResilient.
+//
+// Deprecated: pass WithRetryPolicy and WithFaultPlan to Run instead.
+type ResilientOptions struct {
+	Retry RetryPolicy
+	// Faults, when non-nil, is the seeded fault campaign injected into
+	// every worker of every attempt.
+	Faults *faults.Plan
+}
+
+// RunElastic executes an elastic training job across TCP worker generations.
+//
+// Deprecated: RunElastic is Run with no options; call Run directly.
+func RunElastic(cfg core.Config, workload string, phases []Phase) ([]byte, error) {
+	return Run(cfg, workload, phases)
+}
+
+// RunElasticResilient is RunElastic with crash recovery and optional fault
+// injection.
+//
+// Deprecated: call Run with WithRetryPolicy and WithFaultPlan instead.
+func RunElasticResilient(cfg core.Config, workload string, phases []Phase, opts ResilientOptions) ([]byte, error) {
+	return Run(cfg, workload, phases, WithRetryPolicy(opts.Retry), WithFaultPlan(opts.Faults))
+}

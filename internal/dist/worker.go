@@ -9,6 +9,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -28,6 +29,10 @@ type WorkerSpec struct {
 	// Faults, when non-nil, is this worker's deterministic fault injector
 	// (derived from a faults.Plan per epoch and worker index).
 	Faults *faults.Injector
+	// Tracer, when non-nil, records this worker's network spans (gather,
+	// broadcast, checkpoint shipping) on a per-worker track. Tracing is
+	// observation only — it never touches gradient bytes or frame contents.
+	Tracer *obs.Tracer
 }
 
 // injectFault consults the worker's injector at a site. A Crash closes the
@@ -164,12 +169,14 @@ func RunWorker(spec WorkerSpec) error {
 	if err := job.Attach(spec.Placement); err != nil {
 		return err
 	}
+	// one trace track per worker rank; Track is a no-op (-1) on a nil tracer
+	track := spec.Tracer.Track(fmt.Sprintf("worker-%d", rank))
 
 	if rank == 0 {
-		return runLeader(job, spec, ln, coord, steps, timeout)
+		return runLeader(job, spec, ln, coord, steps, timeout, track)
 	}
 	ln.Close()
-	return runFollower(job, spec, rank, leaderAddr, coord, steps, timeout, jitterSeed)
+	return runFollower(job, spec, rank, leaderAddr, coord, steps, timeout, jitterSeed, track)
 }
 
 // myRanks returns the virtual ranks a placement worker hosts.
@@ -347,7 +354,8 @@ func mergeGrads(f follower, byRank map[int][][]float32, sets map[int][][]float32
 
 // runLeader drives rank 0: accept follower connections, then per step gather
 // every EST's buckets, reduce in canonical virtual order, broadcast, finish.
-func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, steps int, timeout time.Duration) error {
+func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, steps int, timeout time.Duration, track int) error {
+	tr := spec.Tracer
 	world := spec.Cfg.NumESTs
 	followers, err := acceptFollowers(ln, spec.Placement, timeout)
 	defer func() {
@@ -377,6 +385,7 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 			return err
 		}
 		// gather: exactly one MsgGrads frame per follower per step
+		tGather := tr.Now()
 		for _, f := range followers {
 			payload, err := Expect(f.conn, MsgGrads)
 			if err != nil {
@@ -401,7 +410,9 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 				return fmt.Errorf("dist: no gradient contribution for virtual rank %d", v)
 			}
 		}
+		tr.Span(track, obs.CatNet, "net.gather", tGather, int64(s), int64(len(followers)))
 		// reduce each bucket over virtual ranks 0..W-1 in canonical order
+		tReduce := tr.Now()
 		reduced := make([][]float32, ddp.NumBuckets())
 		inv := 1 / float32(world)
 		for b := range reduced {
@@ -422,15 +433,18 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 				pool.Put(buf)
 			}
 		}
+		tr.Span(track, obs.CatComm, "net.reduce", tReduce, int64(s), int64(world))
 		if err := injectFault(spec.Faults, faults.Broadcast, allConns()...); err != nil {
 			return err
 		}
+		tBcast := tr.Now()
 		payload := encodeBuckets(reduced)
 		for _, f := range followers {
 			if err := WriteFrame(f.conn, MsgReduced, payload); err != nil {
 				return err
 			}
 		}
+		tr.Span(track, obs.CatNet, "net.broadcast", tBcast, int64(s), int64(len(payload)))
 		if err := job.FinishStepReduced(reduced); err != nil {
 			return err
 		}
@@ -441,6 +455,7 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 	if err := injectFault(spec.Faults, faults.CkptShip, allConns()...); err != nil {
 		return err
 	}
+	tShip := tr.Now()
 	for _, f := range followers {
 		for {
 			t, payload, err := ReadFrame(f.conn)
@@ -462,11 +477,13 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 	if err := WriteFrame(coord, MsgCkpt, job.Checkpoint()); err != nil {
 		return err
 	}
+	tr.Span(track, obs.CatNet, "net.ckpt-ship", tShip, int64(len(followers)), 0)
 	return WriteFrame(coord, MsgDone, nil)
 }
 
 // runFollower drives a non-leader rank.
-func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, coord net.Conn, steps int, timeout time.Duration, jitterSeed uint64) error {
+func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, coord net.Conn, steps int, timeout time.Duration, jitterSeed uint64, track int) error {
+	tr := spec.Tracer
 	if err := injectFault(spec.Faults, faults.Dial, coord); err != nil {
 		return err
 	}
@@ -491,6 +508,7 @@ func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, co
 		if err := injectFault(spec.Faults, faults.Gather, leader, coord); err != nil {
 			return err
 		}
+		tSend := tr.Now()
 		frame := encodeGrads(s, bufs, own)
 		// encodeGrads copied the buckets into the frame; return the
 		// arena-backed flatten buffers before the write
@@ -502,13 +520,16 @@ func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, co
 		if err := WriteFrame(leader, MsgGrads, frame); err != nil {
 			return err
 		}
+		tr.Span(track, obs.CatNet, "net.send-grads", tSend, int64(s), int64(len(frame)))
 		if err := injectFault(spec.Faults, faults.Broadcast, leader, coord); err != nil {
 			return err
 		}
+		tWait := tr.Now()
 		payload, err := Expect(leader, MsgReduced)
 		if err != nil {
 			return err
 		}
+		tr.Span(track, obs.CatNet, "net.wait-reduced", tWait, int64(s), int64(len(payload)))
 		reduced, err := decodeBuckets(payload)
 		if err != nil {
 			return err
@@ -521,11 +542,13 @@ func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, co
 	if err := injectFault(spec.Faults, faults.CkptShip, leader, coord); err != nil {
 		return err
 	}
+	tShip := tr.Now()
 	for _, r := range own {
 		if err := WriteFrame(leader, MsgCkpt, job.ExportESTContext(r)); err != nil {
 			return err
 		}
 	}
+	tr.Span(track, obs.CatNet, "net.ckpt-ship", tShip, int64(len(own)), int64(rank))
 	if err := WriteFrame(leader, MsgDone, nil); err != nil {
 		return err
 	}

@@ -103,6 +103,12 @@ type Plan struct {
 	// zero or negative means unlimited.
 	Budget int
 
+	// OnFire, when set, observes every fired fault (site and action) — the
+	// hook the execution tracer's fault-event log hangs off. It runs on
+	// worker goroutines, so implementations must be concurrency-safe, and it
+	// is observation only: firing decisions never depend on it.
+	OnFire func(Site, Action)
+
 	fired  atomic.Int64
 	bySite [4]atomic.Int64 // indexed by siteIndex
 }
@@ -194,6 +200,9 @@ func (in *Injector) Check(site Site) (Action, time.Duration) {
 	hit := in.draws.Bernoulli(rule.Prob)
 	if !hit || !in.plan.take(site) {
 		return None, 0
+	}
+	if in.plan.OnFire != nil {
+		in.plan.OnFire(site, rule.Action)
 	}
 	return rule.Action, rule.Delay
 }

@@ -1,0 +1,63 @@
+package faults
+
+import "testing"
+
+// TestOnFireObservesEveryFire: the OnFire hook sees exactly the injections
+// that actually fired — site and action — and stops with the budget.
+func TestOnFireObservesEveryFire(t *testing.T) {
+	type fire struct {
+		site Site
+		act  Action
+	}
+	var seen []fire
+	p := &Plan{
+		Seed:   1,
+		Budget: 3,
+		Rules:  map[Site]Rule{Dial: {Prob: 1, Action: Crash}},
+		OnFire: func(s Site, a Action) { seen = append(seen, fire{s, a}) },
+	}
+	in := p.Injector(1, 0)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if act, _ := in.Check(Dial); act == Crash {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3 (budget)", fired)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("OnFire called %d times, want 3", len(seen))
+	}
+	for i, f := range seen {
+		if f.site != Dial || f.act != Crash {
+			t.Fatalf("call %d observed (%v, %v), want (Dial, Crash)", i, f.site, f.act)
+		}
+	}
+}
+
+// TestOnFireDoesNotPerturbSchedule: the injection decision sequence is
+// identical with and without the hook — observation only.
+func TestOnFireDoesNotPerturbSchedule(t *testing.T) {
+	seq := func(hook func(Site, Action)) (out [64]Action) {
+		p := &Plan{
+			Seed:   7,
+			Rules:  map[Site]Rule{Gather: {Prob: 0.5, Action: ConnDrop}},
+			OnFire: hook,
+		}
+		in := p.Injector(2, 1)
+		for i := range out {
+			out[i], _ = in.Check(Gather)
+		}
+		return
+	}
+	calls := 0
+	with := seq(func(Site, Action) { calls++ })
+	without := seq(nil)
+	if with != without {
+		t.Fatal("OnFire hook changed the injection schedule")
+	}
+	if calls == 0 {
+		t.Fatal("hook never called — the comparison proved nothing")
+	}
+}

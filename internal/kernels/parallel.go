@@ -1,12 +1,11 @@
 package kernels
 
 import (
-	"os"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -49,23 +48,11 @@ var (
 	cfgThreshold atomic.Int64
 )
 
-func init() {
-	if v := os.Getenv("EASYSCALE_KERNEL_WORKERS"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			SetParallelism(n)
-		}
-	}
-	if v := os.Getenv("EASYSCALE_PARALLEL_THRESHOLD"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			SetParallelThreshold(n)
-		}
-	}
-}
-
 // SetParallelism overrides the kernel worker count (also settable via the
-// EASYSCALE_KERNEL_WORKERS environment variable). workers <= 0 restores the
-// default min(GOMAXPROCS, 8). The setting never affects numerics: it governs
-// only how many disjoint chunks run concurrently.
+// EASYSCALE_KERNEL_WORKERS environment variable, resolved by
+// core.ConfigFromEnv at process start). workers <= 0 restores the default
+// min(GOMAXPROCS, 8). The setting never affects numerics: it governs only
+// how many disjoint chunks run concurrently.
 func SetParallelism(workers int) {
 	if workers < 0 {
 		workers = 0
@@ -78,9 +65,9 @@ func SetParallelism(workers int) {
 func Parallelism() int { return maxWorkers() }
 
 // SetParallelThreshold overrides the FLOP count below which kernels run
-// sequentially (also settable via EASYSCALE_PARALLEL_THRESHOLD). flops <= 0
-// restores the default. Like the worker count, the threshold is invisible to
-// numerics.
+// sequentially (also settable via EASYSCALE_PARALLEL_THRESHOLD, resolved by
+// core.ConfigFromEnv at process start). flops <= 0 restores the default.
+// Like the worker count, the threshold is invisible to numerics.
 func SetParallelThreshold(flops int) {
 	if flops < 0 {
 		flops = 0
@@ -154,11 +141,19 @@ func chunksFor(n, workers int) (chunk, nchunks int) {
 // goroutines and the caller pull chunk indices from a shared counter until
 // exhausted. Tasks never block inside fn, so the pool cannot deadlock even
 // when every helper is occupied — the caller alone drains the counter.
+//
+// This is the kernel dispatch seam: when a process-default tracer is
+// installed (obs.SetDefault), each multi-chunk dispatch records one span on
+// the runtime track — an atomic ring write in the caller goroutine, so the
+// zero-alloc hot path survives with tracing enabled, and a nil-check when
+// tracing is off.
 func parallelChunks(n, chunk, nchunks int, fn func(ci, lo, hi int)) {
 	if nchunks <= 1 {
 		fn(0, 0, n)
 		return
 	}
+	tr := obs.Default()
+	start := tr.Now()
 	startHelpers()
 	var next atomic.Int64
 	run := func() {
@@ -189,6 +184,7 @@ func parallelChunks(n, chunk, nchunks int, fn func(ci, lo, hi int)) {
 	}
 	run()
 	wg.Wait()
+	tr.Span(obs.RuntimeTrack, obs.CatKernel, "kernels.dispatch", start, int64(n), int64(nchunks))
 }
 
 // parallelRanges invokes fn over [0,n) in contiguous chunks, concurrently.

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Chrome trace-event JSON (the format Perfetto and chrome://tracing load):
+// a "traceEvents" array of metadata ("M"), complete-span ("X"), instant
+// ("i"), and counter ("C") events. Timestamps and durations are in
+// microseconds. One thread (tid) per tracer track, so Perfetto renders one
+// row per EST virtual rank / worker / runtime lane.
+
+// chromeEvent is one trace event. Field order is fixed by the struct, and
+// args maps marshal with sorted keys, so the export is byte-deterministic
+// for a deterministic recording sequence.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const tracePID = 1
+
+// WriteChromeTrace serializes the tracer's spans and counters as Chrome
+// trace-event JSON. Call at quiescence (after the traced run).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer has nothing to export")
+	}
+	names := t.TrackNames()
+	events := make([]chromeEvent, 0, 64)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]any{"name": "easyscale"},
+	})
+	for tid, name := range names {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	var maxEnd int64
+	for _, track := range t.Spans() {
+		for _, s := range track {
+			ev := chromeEvent{
+				Name: s.Name,
+				Cat:  s.Cat.String(),
+				TS:   float64(s.Start) / 1e3,
+				PID:  tracePID,
+				TID:  int(s.Track),
+			}
+			args := map[string]any{"a0": s.A0, "a1": s.A1}
+			if s.Detail != "" {
+				args["detail"] = s.Detail
+			}
+			ev.Args = args
+			if s.Dur > 0 {
+				ev.Ph = "X"
+				ev.Dur = float64(s.Dur) / 1e3
+			} else {
+				ev.Ph = "i"
+				ev.S = "t"
+			}
+			if end := s.Start + s.Dur; end > maxEnd {
+				maxEnd = end
+			}
+			events = append(events, ev)
+		}
+	}
+	for _, c := range t.Counters() {
+		events = append(events, chromeEvent{
+			Name: c.Name(), Ph: "C", TS: float64(maxEnd) / 1e3, PID: tracePID,
+			Args: map[string]any{"value": c.Value()},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// CheckChromeTrace validates that data is a structurally sound Chrome
+// trace-event export: parseable, non-empty, every event carrying a name and
+// a known phase, spans with non-negative timestamps and durations, and at
+// least one named track. It is the schema check behind `make trace-smoke`.
+func CheckChromeTrace(data []byte) error {
+	var tr struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+	namedTracks, spans := 0, 0
+	for i, ev := range tr.TraceEvents {
+		var name, ph string
+		if err := unmarshalField(ev, "name", &name); err != nil || name == "" {
+			return fmt.Errorf("obs: event %d has no name", i)
+		}
+		if err := unmarshalField(ev, "ph", &ph); err != nil {
+			return fmt.Errorf("obs: event %d (%s) has no phase", i, name)
+		}
+		switch ph {
+		case "M":
+			if name == "thread_name" {
+				namedTracks++
+			}
+		case "X":
+			var ts, dur float64
+			if err := unmarshalField(ev, "ts", &ts); err != nil || ts < 0 {
+				return fmt.Errorf("obs: span %d (%s) has a bad ts", i, name)
+			}
+			if err := unmarshalField(ev, "dur", &dur); err != nil || dur < 0 {
+				return fmt.Errorf("obs: span %d (%s) has a bad dur", i, name)
+			}
+			spans++
+		case "i", "C":
+			// instants and counters need only name+ph, already checked
+		default:
+			return fmt.Errorf("obs: event %d (%s) has unknown phase %q", i, name, ph)
+		}
+	}
+	if namedTracks == 0 {
+		return fmt.Errorf("obs: trace names no tracks")
+	}
+	if spans == 0 {
+		return fmt.Errorf("obs: trace contains no spans")
+	}
+	return nil
+}
+
+func unmarshalField(ev map[string]json.RawMessage, key string, out any) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %q", key)
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Summary renders a per-phase text breakdown: spans grouped by (category,
+// name) with count and duration statistics (metrics.Summarize), followed by
+// the counters — the Fig. 11/13-style "where did the time go" table.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "obs: tracing disabled\n"
+	}
+	type group struct {
+		cat  Cat
+		name string
+		durs []float64
+	}
+	byKey := map[string]*group{}
+	var keys []string
+	for _, track := range t.Spans() {
+		for _, s := range track {
+			key := s.Cat.String() + "\x00" + s.Name
+			g, ok := byKey[key]
+			if !ok {
+				g = &group{cat: s.Cat, name: s.Name}
+				byKey[key] = g
+				keys = append(keys, key)
+			}
+			g.durs = append(g.durs, float64(s.Dur))
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-24s %8s %12s %10s %10s %10s\n",
+		"cat", "span", "count", "total(ms)", "mean(µs)", "p50(µs)", "p99(µs)")
+	for _, key := range keys {
+		g := byKey[key]
+		s := metrics.Summarize(g.durs)
+		var total float64
+		for _, d := range g.durs {
+			total += d
+		}
+		fmt.Fprintf(&b, "%-8s %-24s %8d %12.3f %10.1f %10.1f %10.1f\n",
+			g.cat.String(), g.name, s.Count, total/1e6, s.Mean/1e3, s.P50/1e3, s.P99/1e3)
+	}
+	for _, c := range t.Counters() {
+		fmt.Fprintf(&b, "counter  %-24s %8d\n", c.Name(), c.Value())
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "dropped  %-24s %8d\n", "(ring overflow)", d)
+	}
+	return b.String()
+}

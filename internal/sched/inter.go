@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // Policy decides which proposals to accept given the free pool. The default
@@ -53,7 +55,10 @@ func (GreedyPolicy) Decide(free Resources, proposals []Proposal) []Proposal {
 // from the jobs' intra-job schedulers, and grants them by policy.
 type InterJob struct {
 	Policy Policy
-	free   Resources
+	// Trace, when non-nil, receives the structured decision log (see
+	// trace.go). Decisions never depend on it.
+	Trace *obs.Tracer
+	free  Resources
 }
 
 // NewInterJob builds the scheduler with the greedy default policy.
@@ -99,6 +104,10 @@ func (s *InterJob) Round(proposals []Proposal) []Proposal {
 	accepted := s.Policy.Decide(s.free, proposals)
 	for _, pr := range accepted {
 		s.free[pr.Type] -= pr.Count
+		logDecision(s.Trace, "sched.accept", proposalDetail(pr), int64(pr.Count), 0)
 	}
+	logDecision(s.Trace, "sched.round",
+		fmt.Sprintf("accepted %d of %d proposals; free=%s", len(accepted), len(proposals), s.free.Key()),
+		int64(len(accepted)), int64(len(proposals)))
 	return accepted
 }

@@ -1,10 +1,12 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // Proposal is a resource request an intra-job scheduler submits to the
@@ -28,6 +30,9 @@ type IntraJob struct {
 	// HomogeneousOnly restricts plans to a single GPU type — the policy for
 	// jobs whose model relies on vendor kernels (D2 unavailable).
 	HomogeneousOnly bool
+	// Trace, when non-nil, receives the structured decision log (see
+	// trace.go). Decisions never depend on it.
+	Trace *obs.Tracer
 
 	cur     Resources
 	curPlan Plan
@@ -74,14 +79,23 @@ func (s *IntraJob) admissible(r Resources) bool {
 // the job cannot run on the given resources (it then holds zero GPUs).
 func (s *IntraJob) Apply(r Resources) (Plan, bool) {
 	if !s.admissible(r) {
+		logDecision(s.Trace, "sched.reject",
+			fmt.Sprintf("job=%s res=%s violates homogeneity policy", s.JobID, r.Key()),
+			int64(r.Total()), 0)
 		return Plan{}, false
 	}
 	p, ok := s.Companion.PlanFor(r)
 	if !ok {
 		s.cur, s.curPlan = Resources{}, Plan{}
+		logDecision(s.Trace, "sched.reject",
+			fmt.Sprintf("job=%s res=%s has no feasible plan", s.JobID, r.Key()),
+			int64(r.Total()), 0)
 		return Plan{}, false
 	}
 	s.cur, s.curPlan = r.Clone(), p
+	logDecision(s.Trace, "sched.apply",
+		fmt.Sprintf("job=%s res=%s est-throughput=%.3f", s.JobID, r.Key(), p.Throughput),
+		int64(r.Total()), int64(p.NEST))
 	return p, true
 }
 
@@ -98,6 +112,9 @@ func (s *IntraJob) TrimUnused() Resources {
 	if len(released) == 0 {
 		return nil
 	}
+	logDecision(s.Trace, "sched.trim",
+		fmt.Sprintf("job=%s releasing unused %s", s.JobID, released.Key()),
+		int64(released.Total()), 0)
 	next := s.cur.Clone()
 	for t := range released {
 		delete(next, t)
@@ -169,6 +186,7 @@ func (s *IntraJob) Grant(pr Proposal) (Plan, bool) {
 	p, ok := s.Apply(next)
 	if ok {
 		s.scaledOut = true
+		logDecision(s.Trace, "sched.grant", proposalDetail(pr), int64(pr.Count), 1)
 	}
 	return p, ok
 }
@@ -191,6 +209,10 @@ func (s *IntraJob) ObserveThroughput(measured float64) (release Resources, fellB
 		}
 	}
 	if s.scaledOut && s.curPlan.Throughput > 0 && measured < s.curPlan.Throughput*s.FallbackTol {
+		logDecision(s.Trace, "sched.fallback",
+			fmt.Sprintf("job=%s measured=%.3f below %.0f%% of estimate %.3f: reverting to %s",
+				s.JobID, measured, s.FallbackTol*100, s.curPlan.Throughput, s.prev.Key()),
+			int64(s.cur.Total()), int64(s.prev.Total()))
 		release = Resources{}
 		for t, n := range s.cur {
 			release[t] = n - s.prev[t]

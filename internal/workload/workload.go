@@ -1,8 +1,8 @@
-// Package trace generates the synthetic workload traces behind the paper's
+// Package workload generates the synthetic workload traces behind the paper's
 // cluster experiments: Philly-style job arrivals with a production-like
 // runtime distribution (the 64-GPU trace experiment, §5.2), and the diurnal
 // online-serving GPU load of the production cluster (Figures 1 and 16).
-package trace
+package workload
 
 import (
 	"fmt"
