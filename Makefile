@@ -12,9 +12,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet fmt lint build test race fuzz bench benchsmoke trace-smoke
+.PHONY: check vet fmt lint build test test-isa race fuzz bench benchsmoke trace-smoke
 
-check: vet fmt lint build test race fuzz benchsmoke trace-smoke
+check: vet fmt lint build test test-isa race fuzz benchsmoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,16 @@ build:
 test: build
 	$(GO) test ./...
 
+# forced-ISA lane: the kernel-consuming packages run again with the AVX2
+# dispatch killed (SSE2 4×4 kernels, scalar elementwise loops) and once more
+# on the pure-Go executable spec. The in-process differential suites already
+# sweep every variant; this lane proves the init-time kill switches
+# themselves and the full consumer stack (nn, comm, optim, core) on the
+# fallback paths.
+test-isa:
+	EASYSCALE_FORCE_SSE2=1 $(GO) test -count=1 ./internal/kernels/... ./internal/nn/... ./internal/comm/... ./internal/optim/... ./internal/core/...
+	EASYSCALE_FORCE_GENERIC=1 $(GO) test -count=1 ./internal/kernels/... ./internal/nn/... ./internal/comm/... ./internal/optim/... ./internal/core/...
+
 race:
 	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/data/... ./internal/dist/... ./internal/faults/... ./internal/core/... ./internal/elastic/... ./internal/obs/...
 
@@ -49,6 +59,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzGemmTiledVsReferenceMatMul$$' -fuzztime $(FUZZTIME) ./internal/kernels
 	$(GO) test -run '^$$' -fuzz 'FuzzGemmTiledVsReferenceMatMulATB$$' -fuzztime $(FUZZTIME) ./internal/kernels
 	$(GO) test -run '^$$' -fuzz 'FuzzGemmTiledVsReferenceMatMulABT$$' -fuzztime $(FUZZTIME) ./internal/kernels
+	$(GO) test -run '^$$' -fuzz 'FuzzElemVsScalar$$' -fuzztime $(FUZZTIME) ./internal/kernels
 
 # benchstat-comparable output (fixed iteration count, -benchmem); run before
 # and after a kernels change and record the pair in BENCH_prN.json

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	easyscale "repro"
+	"repro/internal/kernels"
 )
 
 func parsePlacement(spec string, ests int) (easyscale.Placement, error) {
@@ -57,7 +58,17 @@ func main() {
 	loadCkpt := flag.String("load-ckpt", "", "resume from an on-demand checkpoint file")
 	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace of the run to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print a per-span timing summary at the end")
+	version := flag.Bool("version", false, "print build and CPU feature information, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("easyscale: EasyScale reproduction (elastic training with consistent accuracy)")
+		fmt.Printf("cpu: features=%s kernel=%s available=%s\n",
+			strings.Join(kernels.CPUFeatures(), ","),
+			kernels.ActiveISA(),
+			strings.Join(kernels.AvailableISAs(), ","))
+		return
+	}
 
 	cfg := easyscale.DefaultConfig(*ests)
 	cfg.BatchPerEST = *batch

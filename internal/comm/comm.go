@@ -20,6 +20,7 @@ package comm
 import (
 	"fmt"
 
+	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/tensor"
@@ -152,12 +153,18 @@ func RingReduceInto(dst []float32, contribs [][]float32) {
 			hi = l
 		}
 		start := c % p
-		for e := lo; e < hi; e++ {
-			s := contribs[start][e]
-			for k := 1; k < p; k++ {
-				s += contribs[(start+k)%p][e]
-			}
-			dst[e] = s
+		// Accumulate whole-chunk passes in ring order: dst starts as the
+		// chunk-start participant's contribution and adds the others one
+		// participant at a time. Per element this is exactly the scalar
+		// `s = contribs[start][e]; s += contribs[(start+k)%p][e]` sequence —
+		// traversal is wider, the per-element addition order is untouched.
+		// dst must not alias any contribution (callers pass fresh or pooled
+		// scratch), which the element-at-a-time form also required for the
+		// chunks where dst overlapped a later-read contribution.
+		seg := dst[lo:hi]
+		copy(seg, contribs[start][lo:hi])
+		for k := 1; k < p; k++ {
+			kernels.AddF32(seg, contribs[(start+k)%p][lo:hi])
 		}
 	}
 }
@@ -174,9 +181,7 @@ func SequentialReduce(contribs [][]float32) []float32 {
 		if len(c) != len(out) {
 			panic("comm: sequential reduce buffer length mismatch")
 		}
-		for i, v := range c {
-			out[i] += v
-		}
+		kernels.AddF32(out, c)
 	}
 	return out
 }
@@ -294,9 +299,7 @@ func (d *ElasticDDP) AllReduce(gradSets [][]*tensor.Tensor, divisor int) {
 		tRed := d.tr.Now()
 		sum := pool.GetUninit(blen)
 		RingReduceInto(sum, contribs)
-		for i := range sum {
-			sum[i] *= inv
-		}
+		kernels.ScaleF32(sum, inv)
 		for _, gs := range gradSets {
 			d.unflatten(gs, bucket, sum)
 		}

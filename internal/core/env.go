@@ -24,6 +24,18 @@ const (
 	// run sequentially (kernels.SetParallelThreshold). Also invisible to
 	// numerics.
 	EnvParallelThreshold = "EASYSCALE_PARALLEL_THRESHOLD"
+	// EnvForceSSE2 / EnvForceGeneric (any non-empty value) pin the GEMM
+	// micro-kernel and elementwise dispatch to the SSE2 4×4 variant or the
+	// pure-Go executable spec, disabling the AVX2 path — the kill switches
+	// for suspected SIMD miscompiles. They are the one documented exception
+	// to "only ConfigFromEnv reads the environment": the kernels package
+	// resolves them in its own init, because the ISA must be selected before
+	// the first kernel call and kernels cannot import core. All variants are
+	// bitwise identical (the dispatch is provably invisible to numerics);
+	// the switches trade only speed. kernels.SetISA changes the selection at
+	// runtime.
+	EnvForceSSE2    = "EASYSCALE_FORCE_SSE2"
+	EnvForceGeneric = "EASYSCALE_FORCE_GENERIC"
 )
 
 // init applies the process-wide kernel overrides at startup, preserving the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/kernels"
 	"repro/internal/obs"
 )
 
@@ -46,6 +47,14 @@ func (j *Job) SetTracer(tr *obs.Tracer) {
 	}
 	for r := range o.estTracks {
 		o.estTracks[r] = tr.Track(fmt.Sprintf("est-%d", r))
+	}
+	// cpu.avx2 records whether the AVX2 micro-kernels are driving this job
+	// (1) or a narrower variant is (0) — the one hardware-dispatch decision
+	// that affects throughput, pinned into every trace so profiles from
+	// different machines are comparable. Counter value, not ISA string: the
+	// exporter only carries integers.
+	if c := tr.Counter("cpu.avx2"); c.Value() == 0 && kernels.ActiveISA() == kernels.ISAAVX2 {
+		c.Add(1)
 	}
 	j.obs = o
 	j.ddp.SetTracer(tr)

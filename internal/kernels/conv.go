@@ -87,9 +87,34 @@ func Col2Im(dst, cols []float32, d ConvDims) {
 			for kw := 0; kw < d.KW; kw++ {
 				for y := 0; y < oh; y++ {
 					hi := y*d.StrideH + kh - d.PadH
+					if hi < 0 || hi >= d.H {
+						idx += ow
+						continue
+					}
+					if d.StrideW == 1 {
+						// Unit stride: the x-run maps to contiguous image
+						// columns, so after clipping the pad overhang the
+						// row accumulates with one elementwise add. Each
+						// destination element still receives exactly the
+						// adds of the scalar walk, in the same order.
+						x0 := 0
+						if d.PadW > kw {
+							x0 = d.PadW - kw
+						}
+						x1 := d.W - kw + d.PadW
+						if x1 > ow {
+							x1 = ow
+						}
+						if x1 > x0 {
+							base := (c*d.H+hi)*d.W + kw - d.PadW
+							AddF32(dst[base+x0:base+x1], cols[idx+x0:idx+x1])
+						}
+						idx += ow
+						continue
+					}
 					for x := 0; x < ow; x++ {
 						wi := x*d.StrideW + kw - d.PadW
-						if hi >= 0 && hi < d.H && wi >= 0 && wi < d.W {
+						if wi >= 0 && wi < d.W {
 							dst[(c*d.H+hi)*d.W+wi] += cols[idx]
 						}
 						idx++
@@ -134,8 +159,8 @@ func Conv2D(dst, src, weight, bias []float32, d ConvDims, kc int) {
 	pa := packA(weight, d.COut, kdim, normKC(kc, kdim), kdim, 1)
 	for b := 0; b < d.Batch; b++ {
 		out := dst[b*imgOut : (b+1)*imgOut]
-		bsrc := bPanelSrc{kind: bIm2Col, data: src[b*imgIn : (b+1)*imgIn], dims: &d}
-		gemmRange(out, spatial, &pa, &bsrc, 0, pa.mtiles, 0, spatial)
+		bsrc := bPanelSrc{kind: bIm2Col, data: src[b*imgIn : (b+1)*imgIn], dims: d}
+		gemmRange(out, spatial, &pa, &bsrc, 0, pa.mtiles, 0, spatial, nil)
 		if bias != nil {
 			addBias(out, bias, d.COut, spatial)
 		}
@@ -195,12 +220,10 @@ func Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut []float3
 		if gradWeight != nil {
 			// dW += dOut · colsᵀ : [CO, spatial]·[spatial, kdim] = [CO, kdim]
 			paD := packA(dout, d.COut, spatial, kcW, spatial, 1)
-			bsrc := bPanelSrc{kind: bIm2ColT, data: src[b*imgIn : (b+1)*imgIn], dims: &d}
-			gemmRange(wpart, kdim, &paD, &bsrc, 0, paD.mtiles, 0, kdim)
+			bsrc := bPanelSrc{kind: bIm2ColT, data: src[b*imgIn : (b+1)*imgIn], dims: d}
+			gemmRange(wpart, kdim, &paD, &bsrc, 0, paD.mtiles, 0, kdim, nil)
 			paD.release()
-			for i, v := range wpart {
-				gradWeight[i] += v
-			}
+			AddF32(gradWeight, wpart)
 		}
 		if gradBias != nil {
 			for co := 0; co < d.COut; co++ {
@@ -211,7 +234,7 @@ func Conv2DBackward(gradSrc, gradWeight, gradBias, src, weight, gradOut []float3
 		if gradSrc != nil {
 			// dCols = Wᵀ · dOut : [kdim, CO]·[CO, spatial]
 			bsrc := bPanelSrc{kind: bRowMajor, data: dout, ld: spatial}
-			gemmRange(dcols, spatial, &paT, &bsrc, 0, paT.mtiles, 0, spatial)
+			gemmRange(dcols, spatial, &paT, &bsrc, 0, paT.mtiles, 0, spatial, nil)
 			Col2Im(gradSrc[b*imgIn:(b+1)*imgIn], dcols, d)
 		}
 	}

@@ -1,0 +1,29 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+//
+// Raw CPUID leaf query. Stdlib-only feature detection: the Go runtime's
+// internal/cpu is not importable, and pulling golang.org/x/sys in for two
+// instructions is not worth a dependency.
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL  eaxIn+0(FP), AX
+	MOVL  ecxIn+4(FP), CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+//
+// Reads XCR0 — the OS must have enabled XMM and YMM state saving (bits 1 and
+// 2) for AVX2 use to be safe, regardless of what CPUID advertises.
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -20,31 +20,24 @@ import "repro/internal/pool"
 //     can source a plain matrix, a transposed one, or an image via the
 //     im2col index map (the conv path) without touching numerics.
 //   - Each mr×nr output tile is computed by a register-tiled micro-kernel
-//     holding mr·nr scalar accumulators: for each kk ascending, it performs
-//     mr·nr multiply-adds off mr+nr loads. Per element this is exactly the
+//     holding mr·nr accumulators: for each kk ascending, it performs mr·nr
+//     multiply-adds off mr+nr loads. Per element this is exactly the
 //     reference loop's `part += a·b` sequence, so the result is bitwise
 //     identical to the naive kernels for every input, block size, and tile
 //     boundary — asserted by the differential tests and fuzzers.
 //
-// Blocking parameters: gemmMR×gemmNR is the register tile (fixed by the
-// micro-kernel), gemmMC rows × gemmNC columns are the cache blocks. All four
-// are invisible to numerics; only kc (the accumulation block, chosen by the
-// device model) shows up in the bits.
-
-const (
-	// gemmMR×gemmNR is the micro-kernel register tile. 4×4 keeps the 16
-	// accumulators plus the per-step mr+nr operand loads within what the
-	// compiler can hold in registers on amd64/arm64.
-	gemmMR = 4
-	gemmNR = 4
-)
+// The register tile mr×nr is a property of the dispatched micro-kernel
+// (microkernel.go): 4×4 for the SSE2 and generic variants, 8×8 for AVX2.
+// Like the cache blocks, the tile shape only changes which *independent*
+// outputs share registers — it is invisible to numerics; only kc (the
+// accumulation block, chosen by the device model) shows up in the bits.
 
 var (
-	// gemmMC bounds the rows of packed A the micro-kernel loop walks per B
-	// strip (the L2-resident A block), in units of gemmMR strips.
-	gemmMCStrips = 32 // 128 rows
+	// gemmMCStrips bounds the rows of packed A the micro-kernel loop walks
+	// per B strip (the L2-resident A block), in units of mr-row strips.
+	gemmMCStrips = 32
 	// gemmNC bounds the columns packed per B panel (the L1/L2-resident B
-	// block). Must stay a multiple of gemmNR.
+	// block). Must stay a multiple of every variant's nr.
 	gemmNC = 256
 	// tiledMinWork is the m·k·n product below which the dispatchers use the
 	// reference loops: at trivial sizes the pack+tile overhead outweighs the
@@ -54,37 +47,42 @@ var (
 )
 
 // packedA is operand A packed for the tiled GEMM: ceil(m/mr) row strips of
-// width gemmMR (zero-padded past m), kk-major within each kc block, blocks in
+// width mk.mr (zero-padded past m), kk-major within each kc block, blocks in
 // ascending k order. The flat offset of (block k0, strip s) is
 // k0·mtiles·mr + s·kb·mr with kb the block's length, so lookups are closed
-// form. The buffer is drawn from the arena; callers must release().
+// form. The buffer is drawn from the arena; callers must release(). The
+// micro-kernel descriptor is captured at pack time so panel layout and tile
+// function always agree, even across a concurrent SetISA.
 type packedA struct {
 	buf    []float32
 	m, k   int
 	kc     int
 	mtiles int
+	mk     *mkDesc
 }
 
 // packA packs A(i,kk) = a[i·rs + kk·cs] — rs/cs express normal (rs=lda,cs=1)
 // and transposed (rs=1,cs=lda) operands with one packer. kc must already be
 // normalized to [1,k] (or k==0).
 func packA(a []float32, m, k, kc, rs, cs int) packedA {
-	mtiles := (m + gemmMR - 1) / gemmMR
-	pa := packedA{m: m, k: k, kc: kc, mtiles: mtiles}
-	pa.buf = pool.GetUninit(mtiles * gemmMR * k)
+	mk := activeMK()
+	mr := mk.mr
+	mtiles := (m + mr - 1) / mr
+	pa := packedA{m: m, k: k, kc: kc, mtiles: mtiles, mk: mk}
+	pa.buf = pool.GetUninit(mtiles * mr * k)
 	off := 0
 	for k0 := 0; k0 < k; k0 += kc {
 		kb := min(kc, k-k0)
 		for s := 0; s < mtiles; s++ {
-			i0 := s * gemmMR
-			rows := min(gemmMR, m-i0)
+			i0 := s * mr
+			rows := min(mr, m-i0)
 			for p := 0; p < kb; p++ {
 				base := (k0 + p) * cs
 				for r := 0; r < rows; r++ {
 					pa.buf[off] = a[(i0+r)*rs+base]
 					off++
 				}
-				for r := rows; r < gemmMR; r++ {
+				for r := rows; r < mr; r++ {
 					pa.buf[off] = 0
 					off++
 				}
@@ -97,12 +95,15 @@ func packA(a []float32, m, k, kc, rs, cs int) packedA {
 func (pa *packedA) release() { pool.Put(pa.buf) }
 
 // bPanelSrc describes where B panels are packed from. A plain struct (not a
-// closure) so per-image conv packs do not allocate.
+// closure) so per-image conv packs do not allocate; all fields are held by
+// value because pack-overlap jobs copy the source into a heap-resident
+// pipeline slot — a pointer field would force the caller's locals to escape
+// on every GEMM call.
 type bPanelSrc struct {
 	kind int
 	data []float32 // matrix for row/col-major kinds, the source image for im2col kinds
 	ld   int       // leading dimension: n (row-major) or k (col-major)
-	dims *ConvDims // im2col geometry for the conv kinds
+	dims ConvDims  // im2col geometry for the conv kinds
 }
 
 const (
@@ -114,31 +115,39 @@ const (
 
 // pack fills bp with the (k0..k0+kb) × (j0..j0+jw) block of B in nr-wide
 // column strips, kk-major within a strip, zero-padded past jw. Pure data
-// movement: the layout change is invisible to numerics.
-func (s *bPanelSrc) pack(bp []float32, k0, kb, j0, jw int) {
+// movement: the layout change is invisible to numerics, and the panel bits
+// are a function of (source, block coordinates, nr) only — which is what
+// makes the pack/compute overlap handoff deterministic regardless of which
+// goroutine runs the pack.
+func (s *bPanelSrc) pack(bp []float32, k0, kb, j0, jw, nr int) {
 	switch s.kind {
 	case bRowMajor:
-		packBRowMajor(bp, s.data, s.ld, k0, kb, j0, jw)
+		packBRowMajor(bp, s.data, s.ld, k0, kb, j0, jw, nr)
 	case bColMajor:
-		packBColMajor(bp, s.data, s.ld, k0, kb, j0, jw)
+		packBColMajor(bp, s.data, s.ld, k0, kb, j0, jw, nr)
 	case bIm2Col:
-		packBIm2Col(bp, s.data, s.dims, k0, kb, j0, jw)
+		packBIm2Col(bp, s.data, &s.dims, k0, kb, j0, jw, nr)
 	case bIm2ColT:
-		packBIm2ColT(bp, s.data, s.dims, k0, kb, j0, jw)
+		packBIm2ColT(bp, s.data, &s.dims, k0, kb, j0, jw, nr)
 	}
 }
 
-func packBRowMajor(bp, b []float32, n, k0, kb, j0, jw int) {
+func packBRowMajor(bp, b []float32, n, k0, kb, j0, jw, nr int) {
 	off := 0
-	for t0 := 0; t0 < jw; t0 += gemmNR {
-		tw := min(gemmNR, jw-t0)
+	for t0 := 0; t0 < jw; t0 += nr {
+		tw := min(nr, jw-t0)
 		for p := 0; p < kb; p++ {
 			row := b[(k0+p)*n+j0+t0:]
-			for c := 0; c < tw; c++ {
-				bp[off] = row[c]
-				off++
+			if tw == 8 {
+				*(*[8]float32)(bp[off:]) = *(*[8]float32)(row)
+				off += 8
+			} else {
+				for c := 0; c < tw; c++ {
+					bp[off] = row[c]
+					off++
+				}
 			}
-			for c := tw; c < gemmNR; c++ {
+			for c := tw; c < nr; c++ {
 				bp[off] = 0
 				off++
 			}
@@ -146,19 +155,19 @@ func packBRowMajor(bp, b []float32, n, k0, kb, j0, jw int) {
 	}
 }
 
-func packBColMajor(bp, b []float32, ldb, k0, kb, j0, jw int) {
-	for t0 := 0; t0 < jw; t0 += gemmNR {
-		tw := min(gemmNR, jw-t0)
+func packBColMajor(bp, b []float32, ldb, k0, kb, j0, jw, nr int) {
+	for t0 := 0; t0 < jw; t0 += nr {
+		tw := min(nr, jw-t0)
 		tOff := t0 * kb
 		for c := 0; c < tw; c++ {
 			col := b[(j0+t0+c)*ldb+k0:]
 			for p := 0; p < kb; p++ {
-				bp[tOff+p*gemmNR+c] = col[p]
+				bp[tOff+p*nr+c] = col[p]
 			}
 		}
-		for c := tw; c < gemmNR; c++ {
+		for c := tw; c < nr; c++ {
 			for p := 0; p < kb; p++ {
-				bp[tOff+p*gemmNR+c] = 0
+				bp[tOff+p*nr+c] = 0
 			}
 		}
 	}
@@ -168,35 +177,69 @@ func packBColMajor(bp, b []float32, ldb, k0, kb, j0, jw int) {
 // im2col matrix row kk = (ci,kh,kw) at column j = (y,x) is src[ci, y·sh+kh-ph,
 // x·sw+kw-pw] (zero outside the image). Fusing the expansion into the pack
 // step removes the materialized cols buffer and its extra memory round trip.
-func packBIm2Col(bp, src []float32, d *ConvDims, k0, kb, j0, jw int) {
+func packBIm2Col(bp, src []float32, d *ConvDims, k0, kb, j0, jw, nr int) {
 	ow := d.OutW()
 	off := 0
-	for t0 := 0; t0 < jw; t0 += gemmNR {
-		tw := min(gemmNR, jw-t0)
+	for t0 := 0; t0 < jw; t0 += nr {
+		tw := min(nr, jw-t0)
 		y0 := (j0 + t0) / ow
 		x0 := (j0 + t0) % ow
 		ci := k0 / (d.KH * d.KW)
 		rem := k0 % (d.KH * d.KW)
 		kh := rem / d.KW
 		kw := rem % d.KW
+		// When the tile's columns stay on one output row and stride is 1,
+		// the tw source elements are contiguous in the image; packing is a
+		// straight copy unless padding clips the run. Values and layout are
+		// identical to the per-element walk below — only addressing differs.
+		rowFast := d.StrideW == 1 && x0+tw <= ow
 		for p := 0; p < kb; p++ {
-			y, x := y0, x0
-			for c := 0; c < tw; c++ {
-				hi := y*d.StrideH + kh - d.PadH
-				wi := x*d.StrideW + kw - d.PadW
-				var v float32
-				if hi >= 0 && hi < d.H && wi >= 0 && wi < d.W {
-					v = src[(ci*d.H+hi)*d.W+wi]
+			if rowFast {
+				hi := y0*d.StrideH + kh - d.PadH
+				wi := x0 + kw - d.PadW
+				if hi >= 0 && hi < d.H && wi >= 0 && wi+tw <= d.W {
+					if tw == 8 {
+						// Full 8-wide tile: a direct array move beats the
+						// memmove dispatch of copy for 32 bytes.
+						*(*[8]float32)(bp[off:]) = *(*[8]float32)(src[(ci*d.H+hi)*d.W+wi:])
+					} else {
+						copy(bp[off:off+tw], src[(ci*d.H+hi)*d.W+wi:])
+					}
+					off += tw
+				} else if hi < 0 || hi >= d.H || wi+tw <= 0 || wi >= d.W {
+					for c := 0; c < tw; c++ {
+						bp[off] = 0
+						off++
+					}
+				} else {
+					for c := 0; c < tw; c++ {
+						var v float32
+						if wi+c >= 0 && wi+c < d.W {
+							v = src[(ci*d.H+hi)*d.W+wi+c]
+						}
+						bp[off] = v
+						off++
+					}
 				}
-				bp[off] = v
-				off++
-				x++
-				if x == ow {
-					x = 0
-					y++
+			} else {
+				y, x := y0, x0
+				for c := 0; c < tw; c++ {
+					hi := y*d.StrideH + kh - d.PadH
+					wi := x*d.StrideW + kw - d.PadW
+					var v float32
+					if hi >= 0 && hi < d.H && wi >= 0 && wi < d.W {
+						v = src[(ci*d.H+hi)*d.W+wi]
+					}
+					bp[off] = v
+					off++
+					x++
+					if x == ow {
+						x = 0
+						y++
+					}
 				}
 			}
-			for c := tw; c < gemmNR; c++ {
+			for c := tw; c < nr; c++ {
 				bp[off] = 0
 				off++
 			}
@@ -216,10 +259,10 @@ func packBIm2Col(bp, src []float32, d *ConvDims, k0, kb, j0, jw int) {
 // packBIm2ColT packs the transposed im2col matrix (reduction over spatial
 // positions, columns over CI·KH·KW), the B operand of the weight-gradient
 // GEMM dW = dY·colsᵀ — again straight from the image, no cols buffer.
-func packBIm2ColT(bp, src []float32, d *ConvDims, k0, kb, j0, jw int) {
+func packBIm2ColT(bp, src []float32, d *ConvDims, k0, kb, j0, jw, nr int) {
 	ow := d.OutW()
-	for t0 := 0; t0 < jw; t0 += gemmNR {
-		tw := min(gemmNR, jw-t0)
+	for t0 := 0; t0 < jw; t0 += nr {
+		tw := min(nr, jw-t0)
 		tOff := t0 * kb
 		for c := 0; c < tw; c++ {
 			kr := j0 + t0 + c
@@ -229,24 +272,62 @@ func packBIm2ColT(bp, src []float32, d *ConvDims, k0, kb, j0, jw int) {
 			kw := rem % d.KW
 			y := k0 / ow
 			x := k0 % ow
-			for p := 0; p < kb; p++ {
-				hi := y*d.StrideH + kh - d.PadH
-				wi := x*d.StrideW + kw - d.PadW
-				var v float32
-				if hi >= 0 && hi < d.H && wi >= 0 && wi < d.W {
-					v = src[(ci*d.H+hi)*d.W+wi]
-				}
-				bp[tOff+p*gemmNR+c] = v
-				x++
-				if x == ow {
+			if d.StrideW == 1 {
+				// Walk whole output rows at a time: within a row hi is
+				// fixed and the source index advances by one per position,
+				// so the bounds checks and index math hoist out of the
+				// per-element loop. Same values, same bp layout.
+				for p := 0; p < kb; {
+					run := ow - x
+					if run > kb-p {
+						run = kb - p
+					}
+					hi := y*d.StrideH + kh - d.PadH
+					wi := x + kw - d.PadW
+					out := tOff + p*nr + c
+					if hi >= 0 && hi < d.H && wi >= 0 && wi+run <= d.W {
+						row := src[(ci*d.H+hi)*d.W+wi:]
+						for q := 0; q < run; q++ {
+							bp[out+q*nr] = row[q]
+						}
+					} else if hi < 0 || hi >= d.H || wi+run <= 0 || wi >= d.W {
+						for q := 0; q < run; q++ {
+							bp[out+q*nr] = 0
+						}
+					} else {
+						base := (ci*d.H + hi) * d.W
+						for q := 0; q < run; q++ {
+							var v float32
+							if wi+q >= 0 && wi+q < d.W {
+								v = src[base+wi+q]
+							}
+							bp[out+q*nr] = v
+						}
+					}
+					p += run
 					x = 0
 					y++
 				}
+			} else {
+				for p := 0; p < kb; p++ {
+					hi := y*d.StrideH + kh - d.PadH
+					wi := x*d.StrideW + kw - d.PadW
+					var v float32
+					if hi >= 0 && hi < d.H && wi >= 0 && wi < d.W {
+						v = src[(ci*d.H+hi)*d.W+wi]
+					}
+					bp[tOff+p*nr+c] = v
+					x++
+					if x == ow {
+						x = 0
+						y++
+					}
+				}
 			}
 		}
-		for c := tw; c < gemmNR; c++ {
+		for c := tw; c < nr; c++ {
 			for p := 0; p < kb; p++ {
-				bp[tOff+p*gemmNR+c] = 0
+				bp[tOff+p*nr+c] = 0
 			}
 		}
 	}
@@ -258,12 +339,22 @@ func packBIm2ColT(bp, src []float32, d *ConvDims, k0, kb, j0, jw int) {
 // exactly as the reference loops do, so any rectangle decomposition (the
 // parallel dispatch unit) is bitwise invisible. dst is fully overwritten in
 // the covered rectangle.
-func gemmRange(dst []float32, n int, pa *packedA, bsrc *bPanelSrc, s0, s1, j0, j1 int) {
+//
+// B panels are consumed in a fixed sequence — column blocks ascending, kc
+// blocks ascending within each — flattened into one panel index. When ov is
+// non-nil (the parallel path), the next panel in the sequence is packed on a
+// pool worker while the current one feeds the micro-kernel, double-buffered;
+// ov == nil packs each panel inline. Both modes produce identical bits: a
+// panel's contents are a pure function of its coordinates (see
+// bPanelSrc.pack), and the compute loop never observes who packed it.
+func gemmRange(dst []float32, n int, pa *packedA, bsrc *bPanelSrc, s0, s1, j0, j1 int, ov *packAhead) {
 	m, k, kc := pa.m, pa.k, pa.kc
+	mk := pa.mk
+	mr, nr := mk.mr, mk.nr
 	if j1 > j0 && k == 0 {
 		// no k-partials: the reference zeroes the output
-		iEnd := min(m, s1*gemmMR)
-		for i := s0 * gemmMR; i < iEnd; i++ {
+		iEnd := min(m, s1*mr)
+		for i := s0 * mr; i < iEnd; i++ {
 			zeroFill(dst[i*n+j0 : i*n+j1])
 		}
 		return
@@ -271,74 +362,130 @@ func gemmRange(dst []float32, n int, pa *packedA, bsrc *bPanelSrc, s0, s1, j0, j
 	if j1 <= j0 || s1 <= s0 {
 		return
 	}
-	bp := pool.GetUninit(((min(gemmNC, j1-j0) + gemmNR - 1) / gemmNR) * gemmNR * min(kc, k))
-	var tile [gemmMR * gemmNR]float32
-	for jc := j0; jc < j1; jc += gemmNC {
-		jcw := min(gemmNC, j1-jc)
-		for k0 := 0; k0 < k; k0 += kc {
-			kb := min(kc, k-k0)
-			bsrc.pack(bp, k0, kb, jc, jcw)
-			add := k0 > 0
-			aBlock := k0 * pa.mtiles * gemmMR
-			for sc := s0; sc < s1; sc += gemmMCStrips {
-				scEnd := min(s1, sc+gemmMCStrips)
-				for t := 0; t*gemmNR < jcw; t++ {
-					bpOff := t * kb * gemmNR
-					jt := jc + t*gemmNR
-					cols := min(gemmNR, jcw-t*gemmNR)
-					for s := sc; s < scEnd; s++ {
-						apOff := aBlock + s*kb*gemmMR
-						i0 := s * gemmMR
-						if i0+gemmMR <= m && cols == gemmNR {
-							microKernel4x4(dst, i0*n+jt, n, pa.buf[apOff:], bp[bpOff:], kb, add)
-							continue
-						}
-						// edge tile: compute the full register tile into
-						// scratch, then store/add only the valid region —
-						// padded lanes (zero-filled operands) never reach dst
-						microKernel4x4(tile[:], 0, gemmNR, pa.buf[apOff:], bp[bpOff:], kb, false)
-						rows := min(gemmMR, m-i0)
-						if add {
-							for r := 0; r < rows; r++ {
-								row := dst[(i0+r)*n+jt:]
-								for c := 0; c < cols; c++ {
-									row[c] += tile[r*gemmNR+c]
-								}
+	panelElems := ((min(gemmNC, j1-j0) + nr - 1) / nr) * nr * min(kc, k)
+	nk := (k + kc - 1) / kc
+	njc := (j1 - j0 + gemmNC - 1) / gemmNC
+	npanels := njc * nk
+
+	var bufs [2][]float32
+	bufs[0] = pool.GetUninit(panelElems)
+	if ov != nil && npanels > 1 {
+		bufs[1] = pool.GetUninit(panelElems)
+	} else {
+		ov = nil
+	}
+
+	// desc derives panel p's coordinates from the flattened index — the same
+	// (jc outer, k0 inner) order the nested loops used to walk.
+	desc := func(p int) (jc, jcw, k0, kb int) {
+		jc = j0 + (p/nk)*gemmNC
+		jcw = min(gemmNC, j1-jc)
+		k0 = (p % nk) * kc
+		kb = min(kc, k-k0)
+		return
+	}
+	if ov != nil {
+		jc, jcw, k0, kb := desc(0)
+		ov.submit(0, panelJob{dst: bufs[0], src: *bsrc, k0: k0, kb: kb, j0: jc, jw: jcw, nr: nr})
+	}
+
+	// Edge-tile scratch comes from the arena, not the stack: it is passed to
+	// the micro-kernel through a func value, and escape analysis would heap-
+	// allocate a stack array on every call through that indirection.
+	tile := pool.GetUninit(maxMR * maxNR)
+	for p := 0; p < npanels; p++ {
+		jc, jcw, k0, kb := desc(p)
+		slot := 0
+		if ov != nil {
+			slot = p & 1
+		}
+		bp := bufs[slot]
+		if ov != nil {
+			ov.await(slot)
+			if p+1 < npanels {
+				// The other buffer was consumed at panel p-1 (compute below is
+				// synchronous), so packing panel p+1 into it now overlaps with
+				// this panel's micro-kernel loop.
+				njc2, njcw2, nk02, nkb2 := desc(p + 1)
+				ov.submit(slot^1, panelJob{dst: bufs[slot^1], src: *bsrc, k0: nk02, kb: nkb2, j0: njc2, jw: njcw2, nr: nr})
+			}
+		} else {
+			bsrc.pack(bp, k0, kb, jc, jcw, nr)
+		}
+
+		add := k0 > 0
+		aBlock := k0 * pa.mtiles * mr
+		for sc := s0; sc < s1; sc += gemmMCStrips {
+			scEnd := min(s1, sc+gemmMCStrips)
+			for t := 0; t*nr < jcw; t++ {
+				bpOff := t * kb * nr
+				jt := jc + t*nr
+				cols := min(nr, jcw-t*nr)
+				for s := sc; s < scEnd; s++ {
+					apOff := aBlock + s*kb*mr
+					i0 := s * mr
+					if i0+mr <= m && cols == nr {
+						mk.fn(dst, i0*n+jt, n, pa.buf[apOff:], bp[bpOff:], kb, add)
+						continue
+					}
+					// edge tile: compute the full register tile into
+					// scratch, then store/add only the valid region —
+					// padded lanes (zero-filled operands) never reach dst
+					mk.fn(tile, 0, nr, pa.buf[apOff:], bp[bpOff:], kb, false)
+					rows := min(mr, m-i0)
+					if add {
+						for r := 0; r < rows; r++ {
+							row := dst[(i0+r)*n+jt:]
+							for c := 0; c < cols; c++ {
+								row[c] += tile[r*nr+c]
 							}
-						} else {
-							for r := 0; r < rows; r++ {
-								row := dst[(i0+r)*n+jt:]
-								for c := 0; c < cols; c++ {
-									row[c] = tile[r*gemmNR+c]
-								}
+						}
+					} else {
+						for r := 0; r < rows; r++ {
+							row := dst[(i0+r)*n+jt:]
+							for c := 0; c < cols; c++ {
+								row[c] = tile[r*nr+c]
 							}
 						}
 					}
 				}
 			}
 		}
+		if ov != nil {
+			ov.consumed(slot)
+		}
 	}
-	pool.Put(bp)
+	pool.Put(tile)
+	pool.Put(bufs[0])
+	if bufs[1] != nil {
+		pool.Put(bufs[1])
+	}
 }
 
 // gemmParallel dispatches whole cache blocks of the output rectangle to the
 // worker pool: contiguous runs of row strips when the matrix is tall,
 // contiguous runs of column strips when it is wide. Each unit runs its own
-// ascending kc loop and packs its own B panels, so units are disjoint in
-// their outputs and bitwise independent of the worker count.
+// ascending kc loop and packs its own B panels — overlapped with compute via
+// a per-unit packAhead pipeline when helpers are available — so units are
+// disjoint in their outputs and bitwise independent of the worker count.
 func gemmParallel(dst []float32, n int, pa *packedA, bsrc *bPanelSrc) {
 	workers := maxWorkers()
 	if pa.m >= n {
 		chunk, nchunks := chunksFor(pa.mtiles, workers)
 		parallelChunks(pa.mtiles, chunk, nchunks, func(_, lo, hi int) {
-			gemmRange(dst, n, pa, bsrc, lo, hi, 0, n)
+			ov := takePackAhead()
+			gemmRange(dst, n, pa, bsrc, lo, hi, 0, n, ov)
+			putPackAhead(ov)
 		})
 		return
 	}
-	ntiles := (n + gemmNR - 1) / gemmNR
+	nr := pa.mk.nr
+	ntiles := (n + nr - 1) / nr
 	chunk, nchunks := chunksFor(ntiles, workers)
 	parallelChunks(ntiles, chunk, nchunks, func(_, lo, hi int) {
-		gemmRange(dst, n, pa, bsrc, 0, pa.mtiles, lo*gemmNR, min(n, hi*gemmNR))
+		ov := takePackAhead()
+		gemmRange(dst, n, pa, bsrc, 0, pa.mtiles, lo*nr, min(n, hi*nr), ov)
+		putPackAhead(ov)
 	})
 }
 
@@ -356,7 +503,7 @@ func matMulTiled(dst, a, b []float32, m, k, n, kc int) {
 	kc = normKC(kc, k)
 	pa := packA(a, m, k, kc, k, 1)
 	bsrc := bPanelSrc{kind: bRowMajor, data: b, ld: n}
-	gemmRange(dst, n, &pa, &bsrc, 0, pa.mtiles, 0, n)
+	gemmRange(dst, n, &pa, &bsrc, 0, pa.mtiles, 0, n, nil)
 	pa.release()
 }
 
@@ -365,7 +512,7 @@ func matMulATBTiled(dst, a, b []float32, m, k, n, kc int) {
 	kc = normKC(kc, k)
 	pa := packA(a, m, k, kc, 1, m)
 	bsrc := bPanelSrc{kind: bRowMajor, data: b, ld: n}
-	gemmRange(dst, n, &pa, &bsrc, 0, pa.mtiles, 0, n)
+	gemmRange(dst, n, &pa, &bsrc, 0, pa.mtiles, 0, n, nil)
 	pa.release()
 }
 
@@ -374,6 +521,6 @@ func matMulABTTiled(dst, a, b []float32, m, k, n, kc int) {
 	kc = normKC(kc, k)
 	pa := packA(a, m, k, kc, k, 1)
 	bsrc := bPanelSrc{kind: bColMajor, data: b, ld: k}
-	gemmRange(dst, n, &pa, &bsrc, 0, pa.mtiles, 0, n)
+	gemmRange(dst, n, &pa, &bsrc, 0, pa.mtiles, 0, n, nil)
 	pa.release()
 }

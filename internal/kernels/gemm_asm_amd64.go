@@ -11,10 +11,22 @@ package kernels
 //go:noescape
 func mk4x4(dst *float32, ldc int, ap, bp *float32, kb int, add bool)
 
-// microKernel4x4 computes one gemmMR×gemmNR tile over kb k-steps from packed
-// panels: for each kk ascending, acc[r][c] += ap[kk·mr+r] · bp[kk·nr+c]. The
-// block partial is stored (add=false, first kc block) or added (later
-// blocks) exactly like the reference's `row[j] += part[j]`.
-func microKernel4x4(dst []float32, o, ldc int, ap, bp []float32, kb int, add bool) {
+// mk8x8 is the AVX2 micro-kernel (gemm_avx2_amd64.s): the same contract at
+// twice the vector width, dispatched only when CPUID reports AVX2 usable.
+//
+//go:noescape
+func mk8x8(dst *float32, ldc int, ap, bp *float32, kb int, add bool)
+
+// microKernel4x4SSE adapts the SSE2 assembly tile to the microKernelFunc
+// signature: one 4×4 tile over kb k-steps, stored (add=false, first kc
+// block) or added (later blocks) exactly like the reference's
+// `row[j] += part[j]`.
+func microKernel4x4SSE(dst []float32, o, ldc int, ap, bp []float32, kb int, add bool) {
 	mk4x4(&dst[o], ldc, &ap[0], &bp[0], kb, add)
+}
+
+// microKernel8x8AVX2 adapts the AVX2 assembly tile: one 8×8 tile over kb
+// k-steps under the same store-vs-add contract.
+func microKernel8x8AVX2(dst []float32, o, ldc int, ap, bp []float32, kb int, add bool) {
+	mk8x8(&dst[o], ldc, &ap[0], &bp[0], kb, add)
 }

@@ -1,16 +1,19 @@
-//go:build !amd64
-
 package kernels
 
-// microKernel4x4 computes one gemmMR×gemmNR tile over kb k-steps from packed
-// panels: for each kk ascending, acc[r][c] += ap[kk·mr+r] · bp[kk·nr+c]. The
-// 16 accumulators live in registers, so each k-step costs 8 loads for 16
+// microKernel4x4Go computes one 4×4 register tile over kb k-steps from
+// packed panels: for each kk ascending, acc[r][c] += ap[kk·mr+r] · bp[kk·nr+c].
+// The 16 accumulators live in registers, so each k-step costs 8 loads for 16
 // multiply-adds — the register reuse the naive loops lack. Per element the
 // operation sequence is exactly the reference kernel's, so the tile is
 // bitwise identical to the naive computation of the same kc block. The block
 // partial is stored (add=false, first block) or added (later blocks) exactly
 // like the reference's `row[j] += part[j]`.
-func microKernel4x4(dst []float32, o, ldc int, ap, bp []float32, kb int, add bool) {
+//
+// This is the portable executable spec of the micro-kernel contract: the
+// SSE2 and AVX2 assembly variants are differentially fuzzed against it, and
+// it is the variant the "generic" ISA selection (and every non-amd64 build)
+// dispatches.
+func microKernel4x4Go(dst []float32, o, ldc int, ap, bp []float32, kb int, add bool) {
 	var c00, c01, c02, c03 float32
 	var c10, c11, c12, c13 float32
 	var c20, c21, c22, c23 float32

@@ -124,19 +124,21 @@ func TestGemmTiledVsReference(t *testing.T) {
 		{131, 17, 19}, {12, 144, 64}, {72, 8, 64},
 	}
 	kcs := []int{-1, 0, 1, 2, 3, 7, 16, 64, 1000}
-	for _, impl := range gemmImpls {
-		for _, sh := range shapes {
-			m, k, n := sh[0], sh[1], sh[2]
-			a := make([]float32, impl.aLen(m, k, n))
-			b := make([]float32, impl.bLen(m, k, n))
-			fillRand(a, uint64(m*1000003+k*101+n))
-			fillRand(b, uint64(n*999983+k*211+m))
-			for _, kc := range kcs {
-				runDifferential(t, impl, m, k, n, kc, a, b,
-					impl.name+shapeLabel(m, k, n, kc))
+	forEachISA(t, func(t *testing.T) {
+		for _, impl := range gemmImpls {
+			for _, sh := range shapes {
+				m, k, n := sh[0], sh[1], sh[2]
+				a := make([]float32, impl.aLen(m, k, n))
+				b := make([]float32, impl.bLen(m, k, n))
+				fillRand(a, uint64(m*1000003+k*101+n))
+				fillRand(b, uint64(n*999983+k*211+m))
+				for _, kc := range kcs {
+					runDifferential(t, impl, m, k, n, kc, a, b,
+						impl.name+shapeLabel(m, k, n, kc))
+				}
 			}
 		}
-	}
+	})
 }
 
 // TestGemmTiledVsReferenceNonFinite locks in the zero-skip decision: the
@@ -149,21 +151,23 @@ func TestGemmTiledVsReferenceNonFinite(t *testing.T) {
 		{4, 4, 4}, {5, 9, 6}, {8, 27, 16}, {13, 64, 9}, {3, 130, 258},
 	}
 	kcs := []int{0, 1, 3, 16, 64}
-	for _, impl := range gemmImpls {
-		for si, sh := range shapes {
-			m, k, n := sh[0], sh[1], sh[2]
-			a := make([]float32, impl.aLen(m, k, n))
-			b := make([]float32, impl.bLen(m, k, n))
-			fillRand(a, uint64(si*7+1))
-			fillRand(b, uint64(si*13+2))
-			sprinkle(a, uint64(si*31+3))
-			sprinkle(b, uint64(si*37+4))
-			for _, kc := range kcs {
-				runDifferential(t, impl, m, k, n, kc, a, b,
-					impl.name+"/nonfinite"+shapeLabel(m, k, n, kc))
+	forEachISA(t, func(t *testing.T) {
+		for _, impl := range gemmImpls {
+			for si, sh := range shapes {
+				m, k, n := sh[0], sh[1], sh[2]
+				a := make([]float32, impl.aLen(m, k, n))
+				b := make([]float32, impl.bLen(m, k, n))
+				fillRand(a, uint64(si*7+1))
+				fillRand(b, uint64(si*13+2))
+				sprinkle(a, uint64(si*31+3))
+				sprinkle(b, uint64(si*37+4))
+				for _, kc := range kcs {
+					runDifferential(t, impl, m, k, n, kc, a, b,
+						impl.name+"/nonfinite"+shapeLabel(m, k, n, kc))
+				}
 			}
 		}
-	}
+	})
 }
 
 // TestExportedGemmDispatchBitwise drives the exported entry points across the
@@ -172,23 +176,25 @@ func TestGemmTiledVsReferenceNonFinite(t *testing.T) {
 func TestExportedGemmDispatchBitwise(t *testing.T) {
 	exported := []func(dst, a, b []float32, m, k, n, kc int){MatMul, MatMulATB, MatMulABT}
 	shapes := [][3]int{{4, 4, 4}, {8, 27, 64}, {16, 100, 40}} // below and above tiledMinWork
-	for vi, impl := range gemmImpls {
-		for _, sh := range shapes {
-			m, k, n := sh[0], sh[1], sh[2]
-			a := make([]float32, impl.aLen(m, k, n))
-			b := make([]float32, impl.bLen(m, k, n))
-			fillRand(a, uint64(vi+m))
-			fillRand(b, uint64(vi+n))
-			sprinkle(a, uint64(vi*5+1))
-			for _, kc := range []int{0, 4, 32} {
-				want := make([]float32, m*n)
-				got := make([]float32, m*n)
-				impl.ref(want, a, b, m, k, n, kc)
-				exported[vi](got, a, b, m, k, n, kc)
-				diffBits(t, impl.name+"/exported"+shapeLabel(m, k, n, kc), got, want)
+	forEachISA(t, func(t *testing.T) {
+		for vi, impl := range gemmImpls {
+			for _, sh := range shapes {
+				m, k, n := sh[0], sh[1], sh[2]
+				a := make([]float32, impl.aLen(m, k, n))
+				b := make([]float32, impl.bLen(m, k, n))
+				fillRand(a, uint64(vi+m))
+				fillRand(b, uint64(vi+n))
+				sprinkle(a, uint64(vi*5+1))
+				for _, kc := range []int{0, 4, 32} {
+					want := make([]float32, m*n)
+					got := make([]float32, m*n)
+					impl.ref(want, a, b, m, k, n, kc)
+					exported[vi](got, a, b, m, k, n, kc)
+					diffBits(t, impl.name+"/exported"+shapeLabel(m, k, n, kc), got, want)
+				}
 			}
 		}
-	}
+	})
 }
 
 func shapeLabel(m, k, n, kc int) string {
@@ -217,7 +223,9 @@ func digitsOf(x int) string {
 
 // fuzzGemm derives a shape, kc, and operand contents (random values plus
 // sprinkled specials) from the fuzz inputs and asserts bitwise equality of
-// the tiled and reference kernels.
+// the tiled and reference kernels — under every available micro-kernel
+// variant, so one fuzz execution differentially covers AVX2, SSE2, and the
+// generic spec at once.
 func fuzzGemm(f *testing.F, impl gemmImpl) {
 	f.Add(uint8(4), uint8(4), uint8(4), int16(0), uint64(1), false)
 	f.Add(uint8(1), uint8(0), uint8(3), int16(1), uint64(2), true)
@@ -237,11 +245,22 @@ func fuzzGemm(f *testing.F, impl gemmImpl) {
 		want := make([]float32, m*n)
 		got := make([]float32, m*n)
 		impl.ref(want, a, b, m, k, n, kc)
-		impl.tiled(got, a, b, m, k, n, kc)
-		for i := range got {
-			if !sameBits(got[i], want[i]) {
-				t.Fatalf("%s m=%d k=%d n=%d kc=%d: element %d: got bits %#08x, want %#08x",
-					impl.name, m, k, n, kc, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+		prev := ActiveISA()
+		defer func() {
+			if err := SetISA(prev); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		for _, isa := range AvailableISAs() {
+			if err := SetISA(isa); err != nil {
+				t.Fatal(err)
+			}
+			impl.tiled(got, a, b, m, k, n, kc)
+			for i := range got {
+				if !sameBits(got[i], want[i]) {
+					t.Fatalf("%s[%s] m=%d k=%d n=%d kc=%d: element %d: got bits %#08x, want %#08x",
+						impl.name, isa, m, k, n, kc, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+				}
 			}
 		}
 	})

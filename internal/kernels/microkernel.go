@@ -1,0 +1,114 @@
+package kernels
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Runtime ISA dispatch for the GEMM micro-kernel and the elementwise SIMD
+// primitives.
+//
+// Dispatch is bitwise invisible by construction: every micro-kernel variant
+// accumulates each output element's k-partials in exactly the reference
+// order (products in ascending kk within a kc block, block partials in
+// ascending block order), and every elementwise variant performs the same
+// per-lane operation sequence as the scalar reference. Only the *tile shape*
+// and the *register width* differ between variants — both are free
+// parameters under the determinism contract of §3.3, proven free by the
+// differential tests and fuzzers that pin AVX2, SSE2, and generic paths to
+// identical bits.
+//
+// The active variant is chosen once at package init from CPUID (cpu_amd64.go)
+// and can be overridden:
+//
+//   - EASYSCALE_FORCE_GENERIC=1 forces the pure-Go reference micro-kernel.
+//   - EASYSCALE_FORCE_SSE2=1 forces the SSE2 4×4 path on AVX2 hardware.
+//   - SetISA switches at runtime (tests; safe at any point because all
+//     variants are bitwise identical).
+//
+// These two environment variables are read here at package init rather than
+// in core.ConfigFromEnv: the kernels package's own test binary (and the
+// forced-ISA `make check` lane that runs it) must honour them without
+// importing core, which would be an import cycle. core/env.go documents them
+// alongside the other EASYSCALE_* overrides.
+
+// ISA names accepted by SetISA and returned by ActiveISA.
+const (
+	ISAAVX2    = "avx2"
+	ISASSE2    = "sse2"
+	ISAGeneric = "generic"
+)
+
+// microKernelFunc computes one mr×nr register tile over kb k-steps from
+// packed panels, storing (add=false) or accumulating (add=true) into dst
+// rows ldc apart starting at offset o.
+type microKernelFunc func(dst []float32, o, ldc int, ap, bp []float32, kb int, add bool)
+
+// mkDesc describes one micro-kernel variant: its register-tile shape (which
+// fixes the packed-panel layout) and the tile function itself. The packed-A
+// buffer records the descriptor it was packed for, so a racing SetISA can
+// never mismatch panel layout and kernel within one GEMM call.
+type mkDesc struct {
+	name   string
+	mr, nr int
+	fn     microKernelFunc
+	// elemSIMD enables the AVX2 elementwise primitives alongside this
+	// micro-kernel (elem_amd64.go); false means the scalar references run.
+	elemSIMD bool
+}
+
+// maxMR/maxNR bound the register tile across all variants; the edge-tile
+// scratch in gemmRange is sized by them.
+const (
+	maxMR = 8
+	maxNR = 8
+)
+
+// mkGenericDesc is the portable pure-Go variant — the executable spec every
+// other variant is fuzzed against, and the only variant off amd64.
+var mkGenericDesc = &mkDesc{name: ISAGeneric, mr: 4, nr: 4, fn: microKernel4x4Go}
+
+// curMK is the active variant. Atomic so tests may switch ISAs while the
+// race detector watches; a GEMM call snapshots it once (packA) and threads
+// the snapshot through, so a mid-call switch is harmless.
+var curMK atomic.Pointer[mkDesc]
+
+func activeMK() *mkDesc {
+	if mk := curMK.Load(); mk != nil {
+		return mk
+	}
+	return mkGenericDesc
+}
+
+// ActiveISA returns the name of the micro-kernel variant currently
+// dispatched: "avx2", "sse2", or "generic".
+func ActiveISA() string { return activeMK().name }
+
+// AvailableISAs lists the variants runnable on this machine, best first.
+func AvailableISAs() []string {
+	out := make([]string, len(mkVariants))
+	for i, mk := range mkVariants {
+		out[i] = mk.name
+	}
+	return out
+}
+
+// CPUFeatures lists detected ISA capabilities (e.g. "sse2", "avx2") for
+// observability counters and -version provenance. Detection is independent
+// of any forced ISA: a run forced to SSE2 on AVX2 hardware still reports
+// avx2 as a capability.
+func CPUFeatures() []string { return cpuFeatures() }
+
+// SetISA selects a micro-kernel variant by name. All variants are bitwise
+// identical, so switching is safe at any time; calls in flight finish on the
+// variant they started with. Unknown or unavailable names return an error
+// and leave the selection unchanged.
+func SetISA(name string) error {
+	for _, mk := range mkVariants {
+		if mk.name == name {
+			curMK.Store(mk)
+			return nil
+		}
+	}
+	return fmt.Errorf("kernels: ISA %q not available on this machine (have %v)", name, AvailableISAs())
+}

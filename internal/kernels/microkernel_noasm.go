@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package kernels
+
+// Off amd64 the pure-Go micro-kernel is the only variant; the forced-ISA
+// environment switches are accepted but can only name "generic".
+
+var mkVariants = []*mkDesc{mkGenericDesc}
+
+func cpuFeatures() []string { return nil }
+
+func init() { curMK.Store(mkGenericDesc) }

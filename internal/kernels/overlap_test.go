@@ -1,0 +1,77 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestPackOverlapBitwiseIdentical forces the pack/compute overlap machinery
+// on (it is otherwise enabled only when GOMAXPROCS > 1) together with a
+// 4-worker parallel dispatch and a zero threshold, and asserts the parallel
+// kernels remain bitwise identical to the sequential path with overlap forced
+// off. A packed panel's bits are a pure function of its coordinates, so which
+// goroutine packs it — the compute worker stealing the job or the pool helper
+// — must be invisible.
+func TestPackOverlapBitwiseIdentical(t *testing.T) {
+	SetParallelism(4)
+	SetParallelThreshold(1)
+	defer SetParallelism(0)
+	defer SetParallelThreshold(0)
+	defer SetPackOverlap(0)
+
+	forEachISA(t, func(t *testing.T) {
+		s := rng.New(407)
+		m, k, n := 41, 260, 37
+		a := randSlice(s, m*k)
+		b := randSlice(s, k*n)
+		d := ConvDims{Batch: 5, CIn: 3, H: 9, W: 11, COut: 7, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		src := randSlice(s, d.Batch*d.CIn*d.H*d.W)
+		weight := randSlice(s, d.COut*d.ColRows())
+		bias := randSlice(s, d.COut)
+		g := randSlice(s, d.Batch*d.COut*d.OutH()*d.OutW())
+
+		for _, kc := range []int{0, 8, 64} {
+			SetPackOverlap(-1)
+			seq := make([]float32, m*n)
+			MatMulParallel(seq, a, b, m, k, n, kc)
+			convSeq := make([]float32, d.Batch*d.COut*d.OutH()*d.OutW())
+			Conv2D(convSeq, src, weight, bias, d, kc)
+			gsSeq := make([]float32, len(src))
+			gwSeq := make([]float32, len(weight))
+			gbSeq := make([]float32, len(bias))
+			Conv2DBackward(gsSeq, gwSeq, gbSeq, src, weight, g, d, kc)
+
+			SetPackOverlap(1)
+			ov := make([]float32, m*n)
+			MatMulParallel(ov, a, b, m, k, n, kc)
+			bitwiseEqual(t, ov, seq, "MatMulParallel overlap")
+			convOv := make([]float32, len(convSeq))
+			Conv2DParallel(convOv, src, weight, bias, d, kc)
+			bitwiseEqual(t, convOv, convSeq, "Conv2DParallel overlap")
+			gsOv := make([]float32, len(src))
+			gwOv := make([]float32, len(weight))
+			gbOv := make([]float32, len(bias))
+			Conv2DBackwardParallel(gsOv, gwOv, gbOv, src, weight, g, d, kc)
+			bitwiseEqual(t, gsOv, gsSeq, "Conv2DBackwardParallel overlap gradSrc")
+			bitwiseEqual(t, gwOv, gwSeq, "Conv2DBackwardParallel overlap gradWeight")
+			bitwiseEqual(t, gbOv, gbSeq, "Conv2DBackwardParallel overlap gradBias")
+		}
+	})
+}
+
+// TestPackOverlapAccessor pins the tri-state setter contract.
+func TestPackOverlapAccessor(t *testing.T) {
+	defer SetPackOverlap(0)
+	SetPackOverlap(1)
+	if pa := takePackAhead(); pa == nil {
+		t.Fatal("overlap forced on but takePackAhead returned nil")
+	} else {
+		putPackAhead(pa)
+	}
+	SetPackOverlap(-1)
+	if pa := takePackAhead(); pa != nil {
+		putPackAhead(pa)
+		t.Fatal("overlap forced off but takePackAhead returned a state")
+	}
+}

@@ -261,14 +261,16 @@ func Conv2DParallel(dst, src, weight, bias []float32, d ConvDims, kc int) {
 	imgOut := d.COut * oh * ow
 	pa := packA(weight, d.COut, kdim, normKC(kc, kdim), kdim, 1)
 	parallelRanges(d.Batch, func(lo, hi int) {
+		ov := takePackAhead()
 		for b := lo; b < hi; b++ {
 			out := dst[b*imgOut : (b+1)*imgOut]
-			bsrc := bPanelSrc{kind: bIm2Col, data: src[b*imgIn : (b+1)*imgIn], dims: &d}
-			gemmRange(out, spatial, &pa, &bsrc, 0, pa.mtiles, 0, spatial)
+			bsrc := bPanelSrc{kind: bIm2Col, data: src[b*imgIn : (b+1)*imgIn], dims: d}
+			gemmRange(out, spatial, &pa, &bsrc, 0, pa.mtiles, 0, spatial, ov)
 			if bias != nil {
 				addBias(out, bias, d.COut, spatial)
 			}
 		}
+		putPackAhead(ov)
 	})
 	pa.release()
 }
@@ -321,6 +323,7 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 	}
 
 	parallelChunks(d.Batch, chunk, nchunks, func(ci, lo, hi int) {
+		ov := takePackAhead()
 		var dcols []float32
 		if gradSrc != nil {
 			dcols = pool.GetUninit(kdim * spatial)
@@ -338,8 +341,8 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 			dout := gradOut[b*imgOut : (b+1)*imgOut]
 			if gradWeight != nil {
 				paD := packA(dout, d.COut, spatial, kcW, spatial, 1)
-				bsrc := bPanelSrc{kind: bIm2ColT, data: src[b*imgIn : (b+1)*imgIn], dims: &d}
-				gemmRange(wp[(b-lo)*wsize:(b-lo+1)*wsize], kdim, &paD, &bsrc, 0, paD.mtiles, 0, kdim)
+				bsrc := bPanelSrc{kind: bIm2ColT, data: src[b*imgIn : (b+1)*imgIn], dims: d}
+				gemmRange(wp[(b-lo)*wsize:(b-lo+1)*wsize], kdim, &paD, &bsrc, 0, paD.mtiles, 0, kdim, ov)
 				paD.release()
 			}
 			if gradBias != nil {
@@ -350,13 +353,14 @@ func Conv2DBackwardParallel(gradSrc, gradWeight, gradBias, src, weight, gradOut 
 			}
 			if gradSrc != nil {
 				bsrc := bPanelSrc{kind: bRowMajor, data: dout, ld: spatial}
-				gemmRange(dcols, spatial, &paT, &bsrc, 0, paT.mtiles, 0, spatial)
+				gemmRange(dcols, spatial, &paT, &bsrc, 0, paT.mtiles, 0, spatial, ov)
 				Col2Im(gradSrc[b*imgIn:(b+1)*imgIn], dcols, d)
 			}
 		}
 		if dcols != nil {
 			pool.Put(dcols)
 		}
+		putPackAhead(ov)
 	})
 	if gradSrc != nil {
 		paT.release()

@@ -3,45 +3,37 @@ package nn
 import (
 	"math"
 
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
 
-// ReLU is the rectified linear activation.
+// ReLU is the rectified linear activation. Instead of a boolean mask it
+// caches the forward input (the GELU pattern): the backward gate "did the
+// forward pass this element" is exactly x > 0, and keeping it as float data
+// lets both directions run on the vectorized kernels primitives.
 type ReLU struct {
-	mask []bool
+	x *tensor.Tensor
 }
 
 // NewReLU builds a ReLU layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward zeroes negative elements.
+// Forward zeroes negative elements (NaN and -0 map to +0, like the scalar
+// branch `v > 0 ? v : 0`).
 func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	ctx.Dev.ChargeFLOPs(float64(x.Size()), 1)
-	y := ctx.clone(x)
-	if cap(r.mask) < x.Size() {
-		r.mask = make([]bool, x.Size())
-	}
-	r.mask = r.mask[:x.Size()]
-	for i, v := range y.Data {
-		if v > 0 {
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
-			y.Data[i] = 0
-		}
-	}
+	r.x = x
+	y := ctx.newTensorUninit(x.Shape()...)
+	kernels.MaxZeroF32(y.Data, x.Data)
 	return y
 }
 
-// Backward gates the gradient by the cached mask.
+// Backward gates the gradient by the cached forward input.
 func (r *ReLU) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
-	shapeCheck(len(r.mask) == grad.Size(), "ReLU backward without matching forward")
+	shapeCheck(r.x != nil && r.x.Size() == grad.Size(), "ReLU backward without matching forward")
 	g := ctx.clone(grad)
-	for i := range g.Data {
-		if !r.mask[i] {
-			g.Data[i] = 0
-		}
-	}
+	kernels.MaxZeroGradF32(g.Data, r.x.Data)
+	r.x = nil
 	return g
 }
 
@@ -206,9 +198,7 @@ func (d *Dropout) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	}
 	shapeCheck(len(d.mask) == grad.Size(), "Dropout backward without matching forward")
 	g := ctx.clone(grad)
-	for i := range g.Data {
-		g.Data[i] *= d.mask[i]
-	}
+	kernels.MulF32(g.Data, d.mask)
 	return g
 }
 

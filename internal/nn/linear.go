@@ -49,10 +49,7 @@ func (l *Linear) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	gemmABT(ctx, y.Data, x2.Data, l.W.Value.Data, rows, l.In, l.Out)
 	if l.B != nil {
 		for r := 0; r < rows; r++ {
-			row := y.Data[r*l.Out : (r+1)*l.Out]
-			for j, bv := range l.B.Value.Data {
-				row[j] += bv
-			}
+			kernels.AddF32(y.Data[r*l.Out:(r+1)*l.Out], l.B.Value.Data)
 		}
 	}
 	outShape := append(append([]int(nil), orig[:len(orig)-1]...), l.Out)
@@ -69,9 +66,7 @@ func (l *Linear) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 	// dW[out,in] = dyᵀ[out,rows] · x[rows,in]
 	dw := pool.GetUninit(l.Out * l.In)
 	gemmATB(ctx, dw, g2.Data, l.x.Data, l.Out, rows, l.In)
-	for i, v := range dw {
-		l.W.Grad.Data[i] += v
-	}
+	kernels.AddF32(l.W.Grad.Data, dw)
 	pool.Put(dw)
 
 	if l.B != nil {
@@ -81,9 +76,7 @@ func (l *Linear) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 		} else {
 			kernels.ColSumAtomic(db, g2.Data, rows, l.Out, ctx.Dev.AtomicWorkers())
 		}
-		for j, v := range db {
-			l.B.Grad.Data[j] += v
-		}
+		kernels.AddF32(l.B.Grad.Data, db)
 		pool.Put(db)
 	}
 

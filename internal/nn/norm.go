@@ -71,15 +71,20 @@ func (bn *BatchNorm2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 		}
 		inv := float32(1 / math.Sqrt(float64(variance)+float64(bn.Eps)))
 		g, be := bn.Gamma.Value.Data[ci], bn.Beta.Value.Data[ci]
+		if ctx.Training {
+			bn.invStd[ci] = inv
+		}
 		for bi := 0; bi < b; bi++ {
 			off := (bi*c + ci) * hw
-			for j := 0; j < hw; j++ {
-				xh := (x.Data[off+j] - mean) * inv
-				if ctx.Training {
-					bn.xhat.Data[off+j] = xh
-					bn.invStd[ci] = inv
-				}
-				y.Data[off+j] = g*xh + be
+			xrow := x.Data[off : off+hw]
+			yrow := y.Data[off : off+hw]
+			if ctx.Training {
+				xhrow := bn.xhat.Data[off : off+hw]
+				kernels.NormalizeF32(xhrow, xrow, mean, inv)
+				kernels.ScaleShiftF32(yrow, xhrow, g, be)
+			} else {
+				kernels.NormalizeF32(yrow, xrow, mean, inv)
+				kernels.ScaleShiftF32(yrow, yrow, g, be)
 			}
 		}
 	}
@@ -101,9 +106,7 @@ func (bn *BatchNorm2D) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tenso
 		for bi := 0; bi < b; bi++ {
 			off := (bi*c + ci) * hw
 			copy(sdy[bi*hw:(bi+1)*hw], grad.Data[off:off+hw])
-			for j := 0; j < hw; j++ {
-				sdyxh[bi*hw+j] = grad.Data[off+j] * bn.xhat.Data[off+j]
-			}
+			kernels.MulIntoF32(sdyxh[bi*hw:(bi+1)*hw], grad.Data[off:off+hw], bn.xhat.Data[off:off+hw])
 		}
 		sumDy := reduceSum(ctx, sdy)
 		sumDyXh := reduceSum(ctx, sdyxh)
@@ -114,9 +117,8 @@ func (bn *BatchNorm2D) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tenso
 		scale := g * inv / float32(n)
 		for bi := 0; bi < b; bi++ {
 			off := (bi*c + ci) * hw
-			for j := 0; j < hw; j++ {
-				dx.Data[off+j] = scale * (float32(n)*grad.Data[off+j] - sumDy - bn.xhat.Data[off+j]*sumDyXh)
-			}
+			kernels.NormBackwardF32(dx.Data[off:off+hw], grad.Data[off:off+hw], bn.xhat.Data[off:off+hw],
+				float32(n), sumDy, sumDyXh, scale)
 		}
 	}
 	pool.Put(sdy)
@@ -170,11 +172,12 @@ func (ln *LayerNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 		mean, variance := kernels.MeanVar(row, kb)
 		inv := float32(1 / math.Sqrt(float64(variance)+float64(ln.Eps)))
 		ln.invStd[r] = inv
-		for j := 0; j < ln.D; j++ {
-			xh := (row[j] - mean) * inv
-			ln.xhat.Data[r*ln.D+j] = xh
-			y.Data[r*ln.D+j] = ln.Gamma.Value.Data[j]*xh + ln.Beta.Value.Data[j]
-		}
+		xhrow := ln.xhat.Data[r*ln.D : (r+1)*ln.D]
+		yrow := y.Data[r*ln.D : (r+1)*ln.D]
+		kernels.NormalizeF32(xhrow, row, mean, inv)
+		// γ·xh + β with vector γ, β: product then shift, the scalar order.
+		kernels.MulIntoF32(yrow, ln.Gamma.Value.Data, xhrow)
+		kernels.AddF32(yrow, ln.Beta.Value.Data)
 	}
 	return y
 }
@@ -190,19 +193,22 @@ func (ln *LayerNorm) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor 
 	dygxh := pool.GetUninit(ln.D)
 	for r := 0; r < rows; r++ {
 		off := r * ln.D
-		for j := 0; j < ln.D; j++ {
-			g := grad.Data[off+j]
-			ln.Gamma.Grad.Data[j] += g * ln.xhat.Data[off+j]
-			ln.Beta.Grad.Data[j] += g
-			dyg[j] = g * ln.Gamma.Value.Data[j]
-			dygxh[j] = dyg[j] * ln.xhat.Data[off+j]
-		}
+		grow := grad.Data[off : off+ln.D]
+		xhrow := ln.xhat.Data[off : off+ln.D]
+		// Reuse dygxh as the g·xh scratch for the γ gradient before its
+		// final role; each per-element accumulation keeps the scalar order
+		// (rows ascending, product-then-add).
+		kernels.MulIntoF32(dygxh, grow, xhrow)
+		kernels.AddF32(ln.Gamma.Grad.Data, dygxh)
+		kernels.AddF32(ln.Beta.Grad.Data, grow)
+		kernels.MulIntoF32(dyg, grow, ln.Gamma.Value.Data)
+		kernels.MulIntoF32(dygxh, dyg, xhrow)
 		meanDyg := kernels.SumBlocked(dyg, kb) / float32(ln.D)
 		meanDygXh := kernels.SumBlocked(dygxh, kb) / float32(ln.D)
 		inv := ln.invStd[r]
-		for j := 0; j < ln.D; j++ {
-			dx.Data[off+j] = inv * (dyg[j] - meanDyg - ln.xhat.Data[off+j]*meanDygXh)
-		}
+		// inv·(dyg − mean − xh·mean) is the c0=1 case of the shared map;
+		// 1·g is bitwise-exact, so the scalar expression is unchanged.
+		kernels.NormBackwardF32(dx.Data[off:off+ln.D], dyg, xhrow, 1, meanDyg, meanDygXh, inv)
 	}
 	pool.Put(dyg)
 	pool.Put(dygxh)

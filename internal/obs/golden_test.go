@@ -31,6 +31,15 @@ func TestGoldenElasticTrace(t *testing.T) {
 	kernels.SetParallelThreshold(1 << 14)
 	defer kernels.SetParallelism(0)
 	defer kernels.SetParallelThreshold(0)
+	// The dispatch span arguments count micro-tile work items, and the
+	// micro-tile shape differs per ISA (8×8 AVX2 vs 4×4 elsewhere). Pin the
+	// generic kernel — available everywhere — so the golden is
+	// machine-independent.
+	prevISA := kernels.ActiveISA()
+	if err := kernels.SetISA(kernels.ISAGeneric); err != nil {
+		t.Fatal(err)
+	}
+	defer kernels.SetISA(prevISA)
 
 	tr := obs.New(obs.WithClock(&obs.FixedClock{}), obs.WithRingCap(1<<15))
 	obs.SetDefault(tr) // kernel-dispatch spans

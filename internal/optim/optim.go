@@ -11,7 +11,9 @@ package optim
 import (
 	"math"
 
+	"repro/internal/kernels"
 	"repro/internal/nn"
+	"repro/internal/pool"
 	"repro/internal/tensor"
 )
 
@@ -59,23 +61,36 @@ func NewSGD(params []*nn.Parameter, lr, momentum, weightDecay float64) *SGD {
 }
 
 // Step applies v = μv + (g + λw); w -= lr·v (PyTorch SGD).
+//
+// The update runs on the vectorized elementwise primitives in kernels; each
+// per-element operation sequence matches the scalar expression exactly (see
+// sgdStepRef in the tests, the executable spec the primitives are checked
+// against). The weight-decay term is materialized only when λ ≠ 0 — blindly
+// computing g + 0·w would be bitwise wrong for non-finite weights.
 func (s *SGD) Step() {
 	lr := float32(s.lr)
 	mu := float32(s.Momentum)
 	wd := float32(s.WeightDecay)
+	var gw []float32
 	for i, p := range s.Params {
-		for j := range p.Value.Data {
-			g := p.Grad.Data[j]
-			if wd != 0 {
-				g += wd * p.Value.Data[j]
+		g := p.Grad.Data
+		if wd != 0 {
+			if cap(gw) < len(g) {
+				pool.Put(gw)
+				gw = pool.GetUninit(len(g))
 			}
-			if s.velocity != nil {
-				v := mu*s.velocity[i].Data[j] + g
-				s.velocity[i].Data[j] = v
-				g = v
-			}
-			p.Value.Data[j] -= lr * g
+			gw = gw[:len(g)]
+			kernels.AddScaledF32(gw, g, p.Value.Data, wd)
+			g = gw
 		}
+		if s.velocity != nil {
+			kernels.SgdMomentumF32(p.Value.Data, s.velocity[i].Data, g, lr, mu)
+		} else {
+			kernels.SgdPlainF32(p.Value.Data, g, lr)
+		}
+	}
+	if gw != nil {
+		pool.Put(gw)
 	}
 	s.steps++
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/kernels"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -207,3 +208,84 @@ func TestDeterministicUpdates(t *testing.T) {
 		t.Fatal("optimizer updates must be bitwise deterministic")
 	}
 }
+
+// sgdStepRef is the executable spec of one SGD step on a single parameter:
+// the scalar expression sequence the vectorized kernels primitives must
+// reproduce bit-for-bit (see the SGD.Step doc comment).
+func sgdStepRef(w, v, g []float32, lr, mu, wd float32) {
+	for i := range w {
+		gi := g[i]
+		if wd != 0 {
+			gi = g[i] + wd*w[i]
+		}
+		if v != nil {
+			nv := mu*v[i] + gi
+			v[i] = nv
+			w[i] -= lr * nv
+		} else {
+			w[i] -= lr * gi
+		}
+	}
+}
+
+// TestSGDStepBitwiseMatchesScalarRef runs full SGD steps against sgdStepRef
+// across momentum/weight-decay combinations, odd lengths straddling the
+// vector width, and special values (NaN, ±Inf, −0, denormals) in weights,
+// gradients, and velocity — under every available kernel ISA.
+func TestSGDStepBitwiseMatchesScalarRef(t *testing.T) {
+	prevISA := kernels.ActiveISA()
+	defer kernels.SetISA(prevISA)
+	specials := []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		float32(math.Copysign(0, -1)), math.SmallestNonzeroFloat32, math.MaxFloat32,
+	}
+	cfgs := []struct{ lr, mu, wd float64 }{
+		{0.1, 0, 0}, {0.1, 0.9, 0}, {0.1, 0, 5e-4}, {0.01, 0.9, 5e-4},
+	}
+	for _, isa := range kernels.AvailableISAs() {
+		if err := kernels.SetISA(isa); err != nil {
+			t.Fatal(err)
+		}
+		for ci, cfg := range cfgs {
+			for _, n := range []int{1, 7, 8, 9, 17, 33, 100} {
+				p := nn.NewParameter("w", tensor.New(n))
+				for i := range p.Value.Data {
+					p.Value.Data[i] = float32(i%13) * 0.25
+					p.Grad.Data[i] = float32(i%7) * 0.5
+				}
+				p.Value.Data[n/2] = specials[ci%len(specials)]
+				p.Grad.Data[n/3] = specials[(ci+3)%len(specials)]
+				opt := NewSGD([]*nn.Parameter{p}, cfg.lr, cfg.mu, cfg.wd)
+
+				wRef := append([]float32(nil), p.Value.Data...)
+				gRef := append([]float32(nil), p.Grad.Data...)
+				var vRef []float32
+				if cfg.mu != 0 {
+					vRef = make([]float32, n)
+					vRef[n/4] = specials[(ci+1)%len(specials)]
+					copy(opt.velocity[0].Data, vRef)
+				}
+				for step := 0; step < 3; step++ {
+					opt.Step()
+					sgdStepRef(wRef, vRef, gRef, float32(cfg.lr), float32(cfg.mu), float32(cfg.wd))
+				}
+				for i := range wRef {
+					gb, wb := math.Float32bits(p.Value.Data[i]), math.Float32bits(wRef[i])
+					if gb != wb && !(isNaN32(p.Value.Data[i]) && isNaN32(wRef[i])) {
+						t.Fatalf("[%s] cfg=%d n=%d w[%d]: got bits %#08x, want %#08x", isa, ci, n, i, gb, wb)
+					}
+				}
+				if vRef != nil {
+					for i := range vRef {
+						gb, wb := math.Float32bits(opt.velocity[0].Data[i]), math.Float32bits(vRef[i])
+						if gb != wb && !(isNaN32(opt.velocity[0].Data[i]) && isNaN32(vRef[i])) {
+							t.Fatalf("[%s] cfg=%d n=%d v[%d]: got bits %#08x, want %#08x", isa, ci, n, i, gb, wb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func isNaN32(x float32) bool { return x != x }
