@@ -222,6 +222,7 @@ func runElastic(args []string) {
 	seed := fs.Uint64("seed", 42, "job master seed")
 	timeout := fs.Duration("timeout", 0, "network operation deadline (0: EASYSCALE_DIST_TIMEOUT or the built-in default)")
 	phasesSpec := fs.String("phases", "V100:2@10;V100:1@10", "';'-separated phases, each PLACEMENT@STEPS")
+	live := fs.Bool("live", false, "migrate ESTs between phases instead of stop-restart (sharded multi-peer state handoff)")
 	retries := fs.Int("retries", 0, "retries per failed phase (crash recovery)")
 	out := fs.String("out", "", "file to write the final on-demand checkpoint to")
 	traceOut := fs.String("trace", "", "write a Perfetto-loadable Chrome trace of the run to this file")
@@ -236,6 +237,9 @@ func runElastic(args []string) {
 	die(err)
 
 	opts := []dist.Option{dist.WithRetryPolicy(dist.RetryPolicy{MaxRetries: *retries})}
+	if *live {
+		opts = append(opts, dist.WithLiveMigration())
+	}
 	var tr *obs.Tracer
 	if *traceOut != "" {
 		tr = obs.New()
@@ -245,7 +249,11 @@ func runElastic(args []string) {
 	die(err)
 	job, err := core.RestoreJob(cfg, ckpt)
 	die(err)
-	fmt.Printf("elastic run complete: %d phases, %d global steps, epoch %d\n", len(phases), job.GlobalStep(), job.Epoch())
+	mode := "stop-restart"
+	if *live {
+		mode = "live migration"
+	}
+	fmt.Printf("elastic run complete: %d phases (%s), %d global steps, epoch %d\n", len(phases), mode, job.GlobalStep(), job.Epoch())
 
 	if *out != "" {
 		die(os.WriteFile(*out, ckpt, 0o644))

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -63,9 +64,13 @@ func (w *Writer) PutString(s string) {
 	w.buf = append(w.buf, s...)
 }
 
-// PutFloat32s appends a length-prefixed float32 slice by bit pattern.
+// PutFloat32s appends a length-prefixed float32 slice by bit pattern. The
+// buffer is reserved once up front, so encoding a large tensor costs one
+// reallocation instead of O(log n) whole-buffer copies from per-element
+// append growth.
 func (w *Writer) PutFloat32s(vs []float32) {
 	w.PutInt(len(vs))
+	w.buf = slices.Grow(w.buf, 4*len(vs))
 	for _, v := range vs {
 		w.buf = binary.LittleEndian.AppendUint32(w.buf, math.Float32bits(v))
 	}
@@ -74,6 +79,7 @@ func (w *Writer) PutFloat32s(vs []float32) {
 // PutInts appends a length-prefixed int slice.
 func (w *Writer) PutInts(vs []int) {
 	w.PutInt(len(vs))
+	w.buf = slices.Grow(w.buf, 8*len(vs))
 	for _, v := range vs {
 		w.PutInt(v)
 	}
@@ -160,14 +166,36 @@ func (r *Reader) Float32s() ([]float32, error) {
 		return nil, ErrCorrupt
 	}
 	out := make([]float32, n)
-	for i := range out {
-		b, err := r.take(4)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b))
+	if err := r.readFloat32s(out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// Float32sInto reads a length-prefixed float32 slice directly into dst,
+// which must have exactly the encoded length — the restore hot path, free of
+// the transient slice Float32s allocates.
+func (r *Reader) Float32sInto(dst []float32) error {
+	n, err := r.Int()
+	if err != nil || n < 0 || n > r.Remaining()/4 {
+		return ErrCorrupt
+	}
+	if n != len(dst) {
+		return fmt.Errorf("%w: %d encoded floats into buffer of %d", ErrCorrupt, n, len(dst))
+	}
+	return r.readFloat32s(dst)
+}
+
+// readFloat32s bulk-decodes len(dst) floats from the buffer into dst.
+func (r *Reader) readFloat32s(dst []float32) error {
+	b, err := r.take(4 * len(dst))
+	if err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return nil
 }
 
 // Ints reads a length-prefixed int slice.
@@ -186,18 +214,16 @@ func (r *Reader) Ints() ([]int, error) {
 }
 
 // Tensor reads a tensor written by PutTensor. Corrupted shapes (negative or
-// implausibly large dimensions) are rejected, never passed to allocation.
+// implausibly large dimensions, or a numel that cannot fit in the remaining
+// bytes) are rejected before any data decoding or allocation.
 func (r *Reader) Tensor() (*tensor.Tensor, error) {
 	shape, err := r.Ints()
 	if err != nil {
 		return nil, err
 	}
-	numel := 1
-	for _, d := range shape {
-		if d < 0 || (d > 0 && numel > maxFrame/d) {
-			return nil, fmt.Errorf("%w: implausible tensor shape %v", ErrCorrupt, shape)
-		}
-		numel *= d
+	numel, err := r.checkShape(shape)
+	if err != nil {
+		return nil, err
 	}
 	data, err := r.Float32s()
 	if err != nil {
@@ -209,22 +235,59 @@ func (r *Reader) Tensor() (*tensor.Tensor, error) {
 	return tensor.FromData(data, shape...), nil
 }
 
+// checkShape validates a decoded shape and returns its element count. A shape
+// whose numel exceeds what the unread bytes could possibly hold is corrupt by
+// construction — rejecting it here means a truncated or shape-mangled frame
+// fails before the data section is decoded, not after.
+func (r *Reader) checkShape(shape []int) (int, error) {
+	numel := 1
+	for _, d := range shape {
+		if d < 0 || (d > 0 && numel > maxFrame/d) {
+			return 0, fmt.Errorf("%w: implausible tensor shape %v", ErrCorrupt, shape)
+		}
+		numel *= d
+	}
+	if numel > r.Remaining()/4 {
+		return 0, fmt.Errorf("%w: tensor shape %v needs %d floats, %d bytes remain",
+			ErrCorrupt, shape, numel, r.Remaining())
+	}
+	return numel, nil
+}
+
 // maxFrame bounds a single decoded tensor's element count against
 // allocation-bomb corruption.
 const maxFrame = 1 << 31
 
+// maxDims bounds the rank of a decoded tensor shape. Nothing in the model zoo
+// is deeper than 4-D; 8 leaves headroom while keeping TensorInto's
+// stack-allocated shape scratch small.
+const maxDims = 8
+
 // TensorInto reads a tensor into an existing buffer, enforcing equal size —
-// the restore path for parameters whose shapes are defined by the model.
+// the restore path for parameters whose shapes are defined by the model. The
+// shape is staged in a fixed-size stack buffer and the floats are decoded
+// straight into dst.Data, so restoring a full model performs zero transient
+// allocations.
 func (r *Reader) TensorInto(dst *tensor.Tensor) error {
-	t, err := r.Tensor()
+	rank, err := r.Int()
+	if err != nil || rank < 0 || rank > maxDims {
+		return fmt.Errorf("%w: tensor rank %d", ErrCorrupt, rank)
+	}
+	var dims [maxDims]int
+	shape := dims[:rank]
+	for i := range shape {
+		if shape[i], err = r.Int(); err != nil {
+			return err
+		}
+	}
+	numel, err := r.checkShape(shape)
 	if err != nil {
 		return err
 	}
-	if t.Size() != dst.Size() {
-		return fmt.Errorf("%w: restoring %v into %v", ErrCorrupt, t.Shape(), dst.Shape())
+	if numel != dst.Size() {
+		return fmt.Errorf("%w: restoring %v into %v", ErrCorrupt, shape, dst.Shape())
 	}
-	dst.CopyFrom(t)
-	return nil
+	return r.Float32sInto(dst.Data)
 }
 
 // RNGState reads a serialized RNG state.

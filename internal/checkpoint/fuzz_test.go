@@ -30,6 +30,17 @@ func FuzzReader(f *testing.F) {
 	f.Add(fuzzSeedBlob())
 	f.Add([]byte{})
 	f.Add(fuzzSeedBlob()[:11])
+	// shape/data mismatch seeds: tensors whose shape numel disagrees with the
+	// data section's element count, in both directions — Tensor must reject
+	// them via the numel-vs-Remaining cross-check, not crash or misread
+	over := NewWriter()
+	over.PutInts([]int{2, 3})
+	over.PutFloat32s([]float32{1, 2, 3, 4})
+	f.Add(over.Bytes())
+	under := NewWriter()
+	under.PutInts([]int{2})
+	under.PutFloat32s([]float32{1, 2, 3, 4})
+	f.Add(under.Bytes())
 
 	check := func(t *testing.T, err error) {
 		if err != nil && !errors.Is(err, ErrCorrupt) {

@@ -1,0 +1,302 @@
+// Sharded checkpoint layer: content-addressed shards plus a manifest.
+//
+// A checkpoint is no longer one opaque blob. The job's state is cut into
+// named groups (parameters, optimizer moments, EST contexts, a small
+// metadata group), each encoded independently into a shard addressed by the
+// FNV-1a hash of its bytes. A manifest lists the groups in canonical order
+// with their content hashes; the shard bytes travel separately and can be
+// deduplicated, shipped incrementally (only hashes the receiver does not
+// hold), fetched from multiple peers in parallel, and reassembled in any
+// order — the manifest, not arrival order, defines the decoded layout, so
+// transport scheduling cannot affect numerics.
+package checkpoint
+
+import (
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+)
+
+// Container/manifest magics guard against foreign byte streams; the version
+// guards against format drift.
+const (
+	manifestMagic   = 0xEA57_5CA1_E51A_0001
+	containerMagic  = 0xEA57_5CA1_E51A_0002
+	manifestVersion = 1
+
+	// maxShardID bounds a group identifier; maxShards bounds the entry count
+	// of a decoded manifest. Both exist so corrupt counts are rejected before
+	// allocation, like maxFrame for tensors.
+	maxShardID = 256
+	maxShards  = 1 << 20
+)
+
+// HashBytes content-addresses a shard: FNV-1a over its encoded bytes. The
+// same function the tensor package uses for state hashing, so a shard's
+// address is stable across processes and architectures.
+func HashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// ManifestEntry names one state group: its identifier, the content hash of
+// its encoded bytes, and their length.
+type ManifestEntry struct {
+	ID   string
+	Hash uint64
+	Len  int
+}
+
+// Manifest is the ordered table of contents of a sharded checkpoint.
+// Progress carries the global step the snapshot was taken at, so a recovery
+// path can pick the freshest of several manifests without decoding shards.
+type Manifest struct {
+	Progress int64
+	Entries  []ManifestEntry
+}
+
+// TotalLen returns the summed encoded length of all groups.
+func (m Manifest) TotalLen() int {
+	n := 0
+	for _, e := range m.Entries {
+		n += e.Len
+	}
+	return n
+}
+
+// Diff returns the entries of m whose content is absent from prev — the
+// incremental delta. Content-addressed: a group that changed ID but kept
+// bytes (or vice versa) is judged by hash, which is what a receiver holding
+// prev's shards actually needs shipped.
+func (m Manifest) Diff(prev Manifest) []ManifestEntry {
+	have := make(map[uint64]bool, len(prev.Entries))
+	for _, e := range prev.Entries {
+		have[e.Hash] = true
+	}
+	var out []ManifestEntry
+	for _, e := range m.Entries {
+		if !have[e.Hash] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Encode serializes the manifest with magic, version, and CRC trailer.
+func (m Manifest) Encode() []byte {
+	w := NewWriter()
+	w.PutUint64(manifestMagic)
+	w.PutInt(manifestVersion)
+	w.PutUint64(uint64(m.Progress))
+	w.PutInt(len(m.Entries))
+	for _, e := range m.Entries {
+		w.PutString(e.ID)
+		w.PutUint64(e.Hash)
+		w.PutInt(e.Len)
+	}
+	payload := w.Bytes()
+	w.PutUint64(uint64(crc32.ChecksumIEEE(payload)))
+	return w.Bytes()
+}
+
+// DecodeManifest parses a manifest encoded by Encode. Every malformed input
+// — truncation, bad magic or version, corrupt counts, oversized IDs or
+// lengths, trailing garbage — yields an error wrapping ErrCorrupt; no input
+// panics or allocates beyond its own length.
+func DecodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if len(data) < 8 {
+		return m, fmt.Errorf("%w: manifest too short", ErrCorrupt)
+	}
+	payload, trailer := data[:len(data)-8], data[len(data)-8:]
+	sum, err := NewReader(trailer).Uint64()
+	if err != nil || uint32(sum) != crc32.ChecksumIEEE(payload) {
+		return m, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	r := NewReader(payload)
+	if magic, err := r.Uint64(); err != nil || magic != manifestMagic {
+		return m, fmt.Errorf("%w: not a shard manifest", ErrCorrupt)
+	}
+	if v, err := r.Int(); err != nil || v != manifestVersion {
+		return m, fmt.Errorf("%w: unsupported manifest version", ErrCorrupt)
+	}
+	prog, err := r.Uint64()
+	if err != nil {
+		return m, err
+	}
+	m.Progress = int64(prog)
+	n, err := r.Int()
+	// each entry is at least 24 bytes (ID length prefix + hash + len), so a
+	// count the payload cannot hold is rejected before allocation
+	if err != nil || n < 0 || n > maxShards || n > r.Remaining()/24 {
+		return m, fmt.Errorf("%w: manifest entry count %d", ErrCorrupt, n)
+	}
+	m.Entries = make([]ManifestEntry, n)
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		if e.ID, err = r.String(); err != nil {
+			return m, err
+		}
+		if len(e.ID) == 0 || len(e.ID) > maxShardID {
+			return m, fmt.Errorf("%w: manifest entry id length %d", ErrCorrupt, len(e.ID))
+		}
+		if e.Hash, err = r.Uint64(); err != nil {
+			return m, err
+		}
+		if e.Len, err = r.Int(); err != nil {
+			return m, err
+		}
+		if e.Len < 0 || e.Len > maxFrame {
+			return m, fmt.Errorf("%w: manifest entry length %d", ErrCorrupt, e.Len)
+		}
+	}
+	if r.Remaining() != 0 {
+		return m, fmt.Errorf("%w: %d trailing manifest bytes", ErrCorrupt, r.Remaining())
+	}
+	return m, nil
+}
+
+// ShardSet is a content-addressed store of shard bytes, keyed by hash.
+type ShardSet struct {
+	byHash map[uint64][]byte
+}
+
+// NewShardSet returns an empty store.
+func NewShardSet() *ShardSet {
+	return &ShardSet{byHash: make(map[uint64][]byte)}
+}
+
+// Add stores shard bytes under hash after verifying the content address —
+// a shard whose bytes do not hash to its claimed address is corrupt,
+// whichever peer it came from. Idempotent for identical content.
+func (s *ShardSet) Add(hash uint64, data []byte) error {
+	if HashBytes(data) != hash {
+		return fmt.Errorf("%w: shard content does not match address %016x", ErrCorrupt, hash)
+	}
+	s.byHash[hash] = data
+	return nil
+}
+
+// Get returns the shard bytes stored under hash.
+func (s *ShardSet) Get(hash uint64) ([]byte, bool) {
+	b, ok := s.byHash[hash]
+	return b, ok
+}
+
+// Has reports whether the store holds content for hash.
+func (s *ShardSet) Has(hash uint64) bool {
+	_, ok := s.byHash[hash]
+	return ok
+}
+
+// Len returns the number of distinct shards held.
+func (s *ShardSet) Len() int { return len(s.byHash) }
+
+// Missing returns the manifest entries whose content the store lacks, in
+// manifest order with duplicate hashes reported once — the fetch list for a
+// joining worker. Ordered iteration over the manifest, never over the map,
+// keeps the result deterministic.
+func (s *ShardSet) Missing(m Manifest) []ManifestEntry {
+	seen := make(map[uint64]bool, len(m.Entries))
+	var out []ManifestEntry
+	for _, e := range m.Entries {
+		if seen[e.Hash] || s.Has(e.Hash) {
+			continue
+		}
+		seen[e.Hash] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// EncodeContainer packs a manifest and the shards it references into one
+// self-contained byte stream — the at-rest and bootstrap-transport form of a
+// sharded checkpoint. Shards appear once per distinct hash, in first
+// reference order, so groups with identical content (for example zeroed
+// momentum tensors of equal shape) are stored once.
+func EncodeContainer(m Manifest, s *ShardSet) ([]byte, error) {
+	w := NewWriter()
+	w.PutUint64(containerMagic)
+	mb := m.Encode()
+	w.PutString(string(mb))
+	order := make([]uint64, 0, len(m.Entries))
+	seen := make(map[uint64]bool, len(m.Entries))
+	for _, e := range m.Entries {
+		if seen[e.Hash] {
+			continue
+		}
+		seen[e.Hash] = true
+		order = append(order, e.Hash)
+	}
+	w.PutInt(len(order))
+	for _, h := range order {
+		b, ok := s.Get(h)
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: container missing shard %016x", h)
+		}
+		w.PutUint64(h)
+		w.PutString(string(b))
+	}
+	payload := w.Bytes()
+	w.PutUint64(uint64(crc32.ChecksumIEEE(payload)))
+	return w.Bytes(), nil
+}
+
+// DecodeContainer unpacks a container, verifying the outer CRC, the
+// manifest, and every shard's content address, and checking that the store
+// covers the manifest. Errors wrap ErrCorrupt.
+func DecodeContainer(data []byte) (Manifest, *ShardSet, error) {
+	var m Manifest
+	if len(data) < 8 {
+		return m, nil, fmt.Errorf("%w: container too short", ErrCorrupt)
+	}
+	payload, trailer := data[:len(data)-8], data[len(data)-8:]
+	sum, err := NewReader(trailer).Uint64()
+	if err != nil || uint32(sum) != crc32.ChecksumIEEE(payload) {
+		return m, nil, fmt.Errorf("%w: container checksum mismatch", ErrCorrupt)
+	}
+	r := NewReader(payload)
+	if magic, err := r.Uint64(); err != nil || magic != containerMagic {
+		return m, nil, fmt.Errorf("%w: not a shard container", ErrCorrupt)
+	}
+	mb, err := r.String()
+	if err != nil {
+		return m, nil, err
+	}
+	if m, err = DecodeManifest([]byte(mb)); err != nil {
+		return m, nil, err
+	}
+	n, err := r.Int()
+	// hash + length prefix = 16 bytes minimum per shard
+	if err != nil || n < 0 || n > maxShards || n > r.Remaining()/16 {
+		return m, nil, fmt.Errorf("%w: container shard count %d", ErrCorrupt, n)
+	}
+	set := NewShardSet()
+	for i := 0; i < n; i++ {
+		h, err := r.Uint64()
+		if err != nil {
+			return m, nil, err
+		}
+		b, err := r.String()
+		if err != nil {
+			return m, nil, err
+		}
+		if err := set.Add(h, []byte(b)); err != nil {
+			return m, nil, err
+		}
+	}
+	if r.Remaining() != 0 {
+		return m, nil, fmt.Errorf("%w: %d trailing container bytes", ErrCorrupt, r.Remaining())
+	}
+	for _, e := range m.Entries {
+		b, ok := set.Get(e.Hash)
+		if !ok {
+			return m, nil, fmt.Errorf("%w: container lacks shard %q", ErrCorrupt, e.ID)
+		}
+		if len(b) != e.Len {
+			return m, nil, fmt.Errorf("%w: shard %q is %d bytes, manifest says %d", ErrCorrupt, e.ID, len(b), e.Len)
+		}
+	}
+	return m, set, nil
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"hash/crc32"
 
 	"repro/internal/checkpoint"
 	"repro/internal/obs"
@@ -10,18 +9,120 @@ import (
 )
 
 // ckptMagic guards against foreign byte streams; ckptVersion against format
-// drift.
+// drift. Version 3 is the sharded format: the monolithic blob became a
+// container of content-addressed per-group shards plus a manifest.
 const (
 	ckptMagic   = 0xEA57_5CA1E0000000
-	ckptVersion = 2
+	ckptVersion = 3
 )
 
-// Checkpoint captures the job's on-demand checkpoint (§3.2, Figure 6): the
-// contexts of all ESTs, the extra states (training progress, data-loader
-// worker states, gradient-bucket mapping), and the parameters (model,
-// optimizer, LR scheduler). Only one replica of the extra states and
-// parameters is stored — they are shared across ESTs within a global step.
-func (j *Job) Checkpoint() []byte {
+// Shard group identifiers. The manifest lists groups in this canonical
+// order: meta, then parameters, optimizer moments, and EST contexts, each
+// indexed in model/rank order. Restore walks the manifest by ID, so shard
+// *arrival* order (which peer shipped what first) can never affect the
+// decoded state.
+const metaGroup = "meta"
+
+func paramGroup(i int) string  { return fmt.Sprintf("param/%04d", i) }
+func momentGroup(i int) string { return fmt.Sprintf("moment/%04d", i) }
+func estGroup(r int) string    { return fmt.Sprintf("est/%04d", r) }
+
+// MetaShardID is the manifest ID of the extra-states group, exported for the
+// dist runtime's migration routing (the meta shard is served by the leader).
+const MetaShardID = metaGroup
+
+// ESTShardID returns the manifest ID of virtual rank r's context shard.
+func ESTShardID(r int) string { return estGroup(r) }
+
+// ESTShardRank parses an EST shard ID back to its virtual rank; ok is false
+// for any other group ID.
+func ESTShardRank(id string) (r int, ok bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "est/%04d", &n); err != nil || id != estGroup(n) {
+		return 0, false
+	}
+	return n, true
+}
+
+// shardCacheEntry remembers one group's encoding from the previous
+// BuildShards call: a cheap hash of the live state it was encoded from, and
+// the resulting bytes with their content address. When the state hash is
+// unchanged, the bytes are reused instead of re-encoded — the incremental
+// delta write.
+type shardCacheEntry struct {
+	stateHash uint64
+	hash      uint64
+	data      []byte
+}
+
+// fnvMix folds v into h (FNV-1a step), the state-hash accumulator used for
+// delta detection.
+func fnvMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
+// BuildShards cuts the job's full checkpoint state into content-addressed
+// shards and returns the manifest plus a store holding every referenced
+// shard. Groups whose cheap state hash is unchanged since the previous call
+// on this job reuse their cached encoding (and therefore keep their content
+// address), so a steady-state snapshot re-encodes only what training
+// actually touched — for a mid-epoch step that is the parameters and
+// moments, while EST shards go untouched between phase boundaries.
+func (j *Job) BuildShards() (checkpoint.Manifest, *checkpoint.ShardSet) {
+	if j.shardCache == nil {
+		j.shardCache = make(map[string]shardCacheEntry)
+	}
+	set := checkpoint.NewShardSet()
+	m := checkpoint.Manifest{Progress: int64(j.globalStep)}
+	add := func(id string, stateHash uint64, encode func() []byte) {
+		e, ok := j.shardCache[id]
+		if !ok || e.stateHash != stateHash {
+			data := encode()
+			e = shardCacheEntry{stateHash: stateHash, hash: checkpoint.HashBytes(data), data: data}
+			j.shardCache[id] = e
+		}
+		_ = set.Add(e.hash, e.data) // hash just computed from data; cannot mismatch
+		m.Entries = append(m.Entries, checkpoint.ManifestEntry{ID: id, Hash: e.hash, Len: len(e.data)})
+	}
+
+	// meta is tiny and carries the progress counters, so it changes every
+	// step — always re-encode rather than hash-check
+	meta := j.encodeMetaGroup()
+	mh := checkpoint.HashBytes(meta)
+	_ = set.Add(mh, meta)
+	m.Entries = append(m.Entries, checkpoint.ManifestEntry{ID: metaGroup, Hash: mh, Len: len(meta)})
+
+	for i, p := range j.Workload.Params() {
+		add(paramGroup(i), p.Value.Hash64(), func() []byte {
+			w := checkpoint.NewWriter()
+			w.PutTensor(p.Value)
+			return w.Bytes()
+		})
+	}
+	for i, mom := range j.opt.StateTensors() {
+		add(momentGroup(i), mom.Hash64(), func() []byte {
+			w := checkpoint.NewWriter()
+			w.PutTensor(mom)
+			return w.Bytes()
+		})
+	}
+	cursors := j.loader.State().NextStep
+	for r, est := range j.ests {
+		add(estGroup(r), estStateHash(est, cursors[r]), func() []byte {
+			return encodeESTGroup(est, cursors[r])
+		})
+	}
+	return m, set
+}
+
+// encodeMetaGroup serializes the checkpoint's "extra states" (§3.2): job
+// identity, training progress, optimizer scalars, LR scheduler, data-loader
+// worker states, and the gradient-bucket mapping.
+func (j *Job) encodeMetaGroup() []byte {
 	w := checkpoint.NewWriter()
 	w.PutUint64(ckptMagic)
 	w.PutInt(ckptVersion)
@@ -40,23 +141,14 @@ func (j *Job) Checkpoint() []byte {
 	w.PutInt(j.step)
 	w.PutInt(j.globalStep)
 
-	// parameters: model weights + implicit model state live buffers
-	params := j.Workload.Params()
-	w.PutInt(len(params))
-	for _, p := range params {
-		w.PutTensor(p.Value)
-	}
+	// group counts, so restore can cross-check the manifest against the model
+	w.PutInt(len(j.Workload.Params()))
+	w.PutInt(len(j.opt.StateTensors()))
+	w.PutInt(len(j.ests))
 
-	// optimizer
-	momentum := j.opt.StateTensors()
-	w.PutInt(len(momentum))
-	for _, m := range momentum {
-		w.PutTensor(m)
-	}
+	// optimizer scalars + LR scheduler
 	w.PutInt(j.opt.StepCount())
 	w.PutFloat64(j.opt.LR())
-
-	// LR scheduler
 	if j.sched != nil {
 		w.PutInt(j.sched.Epoch())
 	} else {
@@ -83,40 +175,62 @@ func (j *Job) Checkpoint() []byte {
 	for _, b := range plan.Buckets {
 		w.PutInts(b)
 	}
-
-	// EST contexts
-	w.PutInt(len(j.ests))
-	for _, est := range j.ests {
-		w.PutInt(est.VirtualRank)
-		bs := est.RNG.State()
-		w.PutRNGState(bs.Python)
-		w.PutRNGState(bs.NumPy)
-		w.PutRNGState(bs.Torch)
-		w.PutInt(len(est.ModelState))
-		for _, st := range est.ModelState {
-			w.PutTensor(st)
-		}
-	}
-	// integrity: CRC32 over the payload, so storage/transport corruption is
-	// detected before any field-level validation runs
-	payload := w.Bytes()
-	w.PutUint64(uint64(crc32.ChecksumIEEE(payload)))
 	return w.Bytes()
 }
 
-// RestoreJob reconstructs a job from an on-demand checkpoint. The caller
-// supplies the same Config; identity fields are cross-checked against the
-// checkpoint. The restored job is detached — Attach it to its new resources.
+// Checkpoint captures the job's on-demand checkpoint (§3.2, Figure 6) as a
+// self-contained shard container: the contexts of all ESTs, the extra
+// states, and the parameters, cut into content-addressed shards behind a
+// manifest. Only one replica of the extra states and parameters is stored —
+// they are shared across ESTs within a global step.
+func (j *Job) Checkpoint() []byte {
+	m, set := j.BuildShards()
+	b, err := checkpoint.EncodeContainer(m, set)
+	if err != nil {
+		// BuildShards stores every shard it references
+		panic("core: checkpoint container inconsistent: " + err.Error())
+	}
+	return b
+}
+
+// RestoreJob reconstructs a job from an on-demand checkpoint container. The
+// caller supplies the same Config; identity fields are cross-checked against
+// the checkpoint. The restored job is detached — Attach it to its new
+// resources.
 func RestoreJob(cfg Config, ckpt []byte) (*Job, error) {
-	if len(ckpt) < 8 {
-		return nil, fmt.Errorf("core: checkpoint too short")
+	m, set, err := checkpoint.DecodeContainer(ckpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint corrupted: %w", err)
 	}
-	payload, trailer := ckpt[:len(ckpt)-8], ckpt[len(ckpt)-8:]
-	sum, err := checkpoint.NewReader(trailer).Uint64()
-	if err != nil || uint32(sum) != crc32.ChecksumIEEE(payload) {
-		return nil, fmt.Errorf("core: checkpoint checksum mismatch (corrupted)")
+	return RestoreJobShards(cfg, m, set)
+}
+
+// RestoreJobShards reconstructs a job from a manifest and a shard store that
+// covers it — the multi-peer restore path, where the store was assembled
+// from shards fetched off several peers in arbitrary order. Decoding walks
+// the manifest in canonical group order, so the result is independent of how
+// the store was filled.
+func RestoreJobShards(cfg Config, m checkpoint.Manifest, set *checkpoint.ShardSet) (*Job, error) {
+	byID := make(map[string]checkpoint.ManifestEntry, len(m.Entries))
+	for _, e := range m.Entries {
+		byID[e.ID] = e
 	}
-	r := checkpoint.NewReader(payload)
+	group := func(id string) (*checkpoint.Reader, error) {
+		e, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("core: checkpoint manifest lacks group %q", id)
+		}
+		b, ok := set.Get(e.Hash)
+		if !ok || len(b) != e.Len {
+			return nil, fmt.Errorf("core: checkpoint shard %q missing or wrong length", id)
+		}
+		return checkpoint.NewReader(b), nil
+	}
+
+	r, err := group(metaGroup)
+	if err != nil {
+		return nil, err
+	}
 	if magic, err := r.Uint64(); err != nil || magic != ckptMagic {
 		return nil, fmt.Errorf("core: not an EasyScale checkpoint")
 	}
@@ -168,22 +282,16 @@ func RestoreJob(cfg Config, ckpt []byte) (*Job, error) {
 	if err != nil || np != len(params) {
 		return nil, fmt.Errorf("core: checkpoint has %d params, model has %d", np, len(params))
 	}
-	for _, p := range params {
-		if err := r.TensorInto(p.Value); err != nil {
-			return nil, err
-		}
-	}
-
 	momentum := j.opt.StateTensors()
 	nm, err := r.Int()
 	if err != nil || nm != len(momentum) {
 		return nil, fmt.Errorf("core: optimizer state mismatch")
 	}
-	for _, m := range momentum {
-		if err := r.TensorInto(m); err != nil {
-			return nil, err
-		}
+	ne, err := r.Int()
+	if err != nil || ne != len(j.ests) {
+		return nil, fmt.Errorf("core: checkpoint has %d ESTs, job has %d", ne, len(j.ests))
 	}
+
 	steps, _ := r.Int()
 	j.opt.SetStepCount(steps)
 	lr, err := r.Float64()
@@ -260,7 +368,6 @@ func RestoreJob(cfg Config, ckpt []byte) (*Job, error) {
 	if cfg.Level >= D1 && rebuilt {
 		// D1: reinstate the recorded mapping (after validating it really is
 		// a permutation of the parameters) and disable reconstruction
-		params := j.Workload.Params()
 		seen := make([]bool, len(params))
 		covered := 0
 		for _, b := range buckets {
@@ -280,37 +387,41 @@ func RestoreJob(cfg Config, ckpt []byte) (*Job, error) {
 	// below D1 the recorded mapping is ignored: the restarted process will
 	// rebuild from its own first mini-batch — the paper's D0 divergence
 
-	// EST contexts
-	ne, err := r.Int()
-	if err != nil || ne != len(j.ests) {
-		return nil, fmt.Errorf("core: checkpoint has %d ESTs, job has %d", ne, len(j.ests))
+	// parameters and optimizer moments, one shard each
+	for i, p := range params {
+		gr, err := group(paramGroup(i))
+		if err != nil {
+			return nil, err
+		}
+		if err := gr.TensorInto(p.Value); err != nil {
+			return nil, err
+		}
 	}
+	for i, mom := range momentum {
+		gr, err := group(momentGroup(i))
+		if err != nil {
+			return nil, err
+		}
+		if err := gr.TensorInto(mom); err != nil {
+			return nil, err
+		}
+	}
+
+	// EST contexts, one shard per virtual rank
 	for want, est := range j.ests {
-		if est.VirtualRank, err = r.Int(); err != nil {
+		gr, err := group(estGroup(want))
+		if err != nil {
 			return nil, err
 		}
-		if est.VirtualRank != want {
-			return nil, fmt.Errorf("core: checkpoint EST rank %d out of order", est.VirtualRank)
-		}
-		var bs rng.BundleState
-		if bs.Python, err = r.RNGState(); err != nil {
+		rank, cursor, err := decodeESTGroup(gr, est)
+		if err != nil {
 			return nil, err
 		}
-		if bs.NumPy, err = r.RNGState(); err != nil {
-			return nil, err
+		if rank != want {
+			return nil, fmt.Errorf("core: checkpoint EST shard rank %d under id %q", rank, estGroup(want))
 		}
-		if bs.Torch, err = r.RNGState(); err != nil {
-			return nil, err
-		}
-		est.RNG.SetState(bs)
-		ns, err := r.Int()
-		if err != nil || ns != len(est.ModelState) {
-			return nil, fmt.Errorf("core: EST model state mismatch")
-		}
-		for _, st := range est.ModelState {
-			if err := r.TensorInto(st); err != nil {
-				return nil, err
-			}
+		if cursor != ls.NextStep[want] {
+			return nil, fmt.Errorf("core: EST %d cursor %d disagrees with loader state %d", want, cursor, ls.NextStep[want])
 		}
 	}
 	return j, nil
@@ -340,5 +451,24 @@ func (j *Job) Scale(p Placement) error {
 	}
 	j.obs.decision("core.scale", placementDetail(p), int64(len(p.Devices)), int64(j.globalStep))
 	j.obs.runSpan(obs.CatPhase, "core.scale", t0, int64(len(p.Devices)), int64(j.globalStep))
+	return nil
+}
+
+// ScaleLive performs elastic reconfiguration without the stop-restart round
+// trip: the live job keeps all of its state — parameters, moments, EST
+// contexts, loader cursors, gradient-bucket plan — and only the physical
+// attachment changes. At D1 this is bitwise-equivalent to Scale, because
+// restore is the identity on a state that was checkpointed an instant
+// earlier (the equivalence the migrate-vs-restart tests pin); below D1 it is
+// *stronger* than Scale, since the bucket plan survives instead of being
+// rebuilt — live migration never re-introduces the D0 divergence.
+func (j *Job) ScaleLive(p Placement) error {
+	t0 := j.obs.now()
+	j.Detach()
+	if err := j.Attach(p); err != nil {
+		return err
+	}
+	j.obs.decision("core.scale-live", placementDetail(p), int64(len(p.Devices)), int64(j.globalStep))
+	j.obs.runSpan(obs.CatPhase, "core.scale-live", t0, int64(len(p.Devices)), int64(j.globalStep))
 	return nil
 }

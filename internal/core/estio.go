@@ -7,17 +7,18 @@ import (
 	"repro/internal/rng"
 )
 
-// EST context wire format for the distributed runtime: when a scale event
-// demands an on-demand checkpoint, each worker ships the contexts of the
-// ESTs it hosts to the leader, which assembles the full checkpoint — the
-// paper's "checkpoint contains the contexts of all ESTs".
+// EST context wire format for the distributed runtime. An EST shard carries
+// everything that is private to one virtual rank — its framework RNG bundle,
+// its replica-local implicit model state, and its data-loader cursor — which
+// is exactly the state that must move when an EST migrates between workers.
+// The same encoding backs the est/NNNN checkpoint shards, the follower→leader
+// context shipping at phase boundaries, and live worker-to-worker migration:
+// one codec, one bitwise contract.
 
-// ExportESTContext serializes EST rank's context: its framework RNG bundle
-// and its replica-local implicit model state.
-func (j *Job) ExportESTContext(rank int) []byte {
-	est := j.ests[rank]
+// encodeESTGroup serializes one EST's shard payload.
+func encodeESTGroup(est *ESTContext, cursor int) []byte {
 	w := checkpoint.NewWriter()
-	w.PutInt(rank)
+	w.PutInt(est.VirtualRank)
 	bs := est.RNG.State()
 	w.PutRNGState(bs.Python)
 	w.PutRNGState(bs.NumPy)
@@ -26,10 +27,73 @@ func (j *Job) ExportESTContext(rank int) []byte {
 	for _, st := range est.ModelState {
 		w.PutTensor(st)
 	}
+	w.PutInt(cursor)
 	return w.Bytes()
 }
 
-// ImportESTContext installs a context exported by the EST's hosting worker.
+// decodeESTGroup installs an EST shard payload into est, returning the
+// encoded rank and data cursor for the caller to validate and apply.
+func decodeESTGroup(r *checkpoint.Reader, est *ESTContext) (rank, cursor int, err error) {
+	if rank, err = r.Int(); err != nil {
+		return 0, 0, err
+	}
+	var bs rng.BundleState
+	if bs.Python, err = r.RNGState(); err != nil {
+		return 0, 0, err
+	}
+	if bs.NumPy, err = r.RNGState(); err != nil {
+		return 0, 0, err
+	}
+	if bs.Torch, err = r.RNGState(); err != nil {
+		return 0, 0, err
+	}
+	n, err := r.Int()
+	if err != nil || n != len(est.ModelState) {
+		return 0, 0, fmt.Errorf("core: EST context model state mismatch")
+	}
+	// RNG is installed only after the counts check; tensor decodes below
+	// write directly into the context, so a corrupt later tensor can leave
+	// earlier ones applied — callers treat any error as "context unusable"
+	est.RNG.SetState(bs)
+	for _, st := range est.ModelState {
+		if err := r.TensorInto(st); err != nil {
+			return 0, 0, err
+		}
+	}
+	if cursor, err = r.Int(); err != nil {
+		return 0, 0, err
+	}
+	return rank, cursor, nil
+}
+
+// estStateHash cheaply fingerprints the live state behind an EST shard for
+// delta detection: RNG words, model-state tensors, and the data cursor.
+func estStateHash(est *ESTContext, cursor int) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvMix(h, uint64(est.VirtualRank))
+	bs := est.RNG.State()
+	for _, st := range []rng.State{bs.Python, bs.NumPy, bs.Torch} {
+		for _, w := range st.S {
+			h = fnvMix(h, w)
+		}
+	}
+	for _, st := range est.ModelState {
+		h = fnvMix(h, st.Hash64())
+	}
+	return fnvMix(h, uint64(cursor))
+}
+
+// ExportESTContext serializes EST rank's context — the payload of the
+// est/NNNN shard: RNG bundle, implicit model state, and data cursor.
+func (j *Job) ExportESTContext(rank int) []byte {
+	return encodeESTGroup(j.ests[rank], j.loader.State().NextStep[rank])
+}
+
+// ImportESTContext installs a context exported by the EST's hosting worker,
+// advancing this job's data-loader cursor for that rank to the exported
+// position (materialize-and-discard, bitwise what the host consumed). The
+// rank must match the shard's encoded rank, and the cursor may only move
+// forward.
 func (j *Job) ImportESTContext(data []byte) error {
 	r := checkpoint.NewReader(data)
 	rank, err := r.Int()
@@ -39,27 +103,24 @@ func (j *Job) ImportESTContext(data []byte) error {
 	if rank < 0 || rank >= len(j.ests) {
 		return fmt.Errorf("core: EST context for rank %d out of range", rank)
 	}
-	est := j.ests[rank]
-	var bs rng.BundleState
-	if bs.Python, err = r.RNGState(); err != nil {
+	// re-decode from the start so decodeESTGroup owns the full layout
+	r = checkpoint.NewReader(data)
+	_, cursor, err := decodeESTGroup(r, j.ests[rank])
+	if err != nil {
 		return err
 	}
-	if bs.NumPy, err = r.RNGState(); err != nil {
-		return err
+	return j.advanceCursor(rank, cursor)
+}
+
+// advanceCursor validates and applies an imported data-loader cursor.
+func (j *Job) advanceCursor(rank, cursor int) error {
+	if cursor < 0 || cursor > j.sampler.StepsPerEpoch() {
+		return fmt.Errorf("core: EST %d cursor %d out of range", rank, cursor)
 	}
-	if bs.Torch, err = r.RNGState(); err != nil {
-		return err
+	if have := j.loader.State().NextStep[rank]; cursor < have {
+		return fmt.Errorf("core: EST %d cursor %d behind local position %d", rank, cursor, have)
 	}
-	est.RNG.SetState(bs)
-	n, err := r.Int()
-	if err != nil || n != len(est.ModelState) {
-		return fmt.Errorf("core: EST context model state mismatch")
-	}
-	for _, st := range est.ModelState {
-		if err := r.TensorInto(st); err != nil {
-			return err
-		}
-	}
+	j.loader.AdvanceTo(rank, cursor)
 	return nil
 }
 

@@ -54,6 +54,11 @@ type Job struct {
 	// obs is the attached execution-tracer state (nil = tracing off; every
 	// instrumentation helper is then a single pointer test). See trace.go.
 	obs *jobObs
+
+	// shardCache remembers each checkpoint group's previous encoding keyed
+	// by a cheap state hash, so BuildShards re-encodes only groups training
+	// actually touched (see ckpt.go). Never read by the training path.
+	shardCache map[string]shardCacheEntry
 }
 
 // NewJob builds a job for the named workload. The model, data order, and all

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/device"
+)
+
+// TestBuildShardsDeltaReuse pins the incremental-write contract: rebuilding
+// shards from unchanged state reuses every cached encoding (identical
+// manifest, empty delta), and after a training step the delta plus the
+// previous shard set is sufficient to restore — the bytes a worker already
+// holds never need re-shipping.
+func TestBuildShardsDeltaReuse(t *testing.T) {
+	cfg := testCfg(D1, false, 4)
+	j := mustJob(t, cfg, "vgg19", EvenPlacement(4, device.V100, device.V100))
+	if err := j.RunSteps(consistencySteps); err != nil {
+		t.Fatal(err)
+	}
+
+	m1, s1 := j.BuildShards()
+	m2, _ := j.BuildShards()
+	if string(m1.Encode()) != string(m2.Encode()) {
+		t.Fatal("rebuild from unchanged state produced a different manifest")
+	}
+	if d := m2.Diff(m1); len(d) != 0 {
+		t.Fatalf("rebuild from unchanged state has a %d-entry delta, want 0", len(d))
+	}
+
+	if err := j.RunSteps(1); err != nil {
+		t.Fatal(err)
+	}
+	m3, s3 := j.BuildShards()
+	delta := m3.Diff(m1)
+	if len(delta) == 0 {
+		t.Fatal("a training step produced an empty delta (meta alone must change)")
+	}
+
+	// incremental ship: a holder of the previous shards needs only the delta
+	inc := checkpoint.NewShardSet()
+	for _, e := range m3.Entries {
+		if b, ok := s1.Get(e.Hash); ok {
+			if err := inc.Add(e.Hash, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, e := range delta {
+		b, ok := s3.Get(e.Hash)
+		if !ok {
+			t.Fatalf("delta entry %q missing from its own build", e.ID)
+		}
+		if err := inc.Add(e.Hash, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if miss := inc.Missing(m3); len(miss) != 0 {
+		t.Fatalf("previous shards + delta leave %d shards missing", len(miss))
+	}
+
+	r, err := RestoreJobShards(cfg, m3, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ParamsEqual(j, r) || r.GlobalStep() != j.GlobalStep() {
+		t.Fatal("restore from incrementally assembled shards diverged from the live job")
+	}
+}
+
+// TestShardRestoreMatchesBlobRestore: the sharded restore path and the
+// monolithic container path decode to bitwise-identical jobs — the manifest,
+// not the transport, defines the state.
+func TestShardRestoreMatchesBlobRestore(t *testing.T) {
+	cfg := testCfg(D1, false, 4)
+	j := mustJob(t, cfg, "resnet50", EvenPlacement(4, device.V100, device.P100))
+	if err := j.RunSteps(consistencySteps); err != nil {
+		t.Fatal(err)
+	}
+
+	m, set := j.BuildShards()
+	fromShards, err := RestoreJobShards(cfg, m, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBlob, err := RestoreJob(cfg, j.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ParamsEqual(fromShards, fromBlob) {
+		t.Fatal("shard restore and blob restore decode different parameters")
+	}
+	if fromShards.GlobalStep() != fromBlob.GlobalStep() {
+		t.Fatal("shard restore and blob restore disagree on progress")
+	}
+}
+
+// TestShardWriteAtNRestoreAtM: shards written at one elastic phase boundary
+// restore correctly onto a *different* placement at the next — train at N
+// workers, restore at M, repeat — and the whole journey stays bitwise equal
+// to the uninterrupted fixed-placement run (the Figure 9 guarantee, through
+// the sharded path instead of the monolithic blob). The hops cross device
+// types, so the config is D1+D2 — the level that makes heterogeneous
+// placements bitwise-comparable to the fixed V100 reference.
+func TestShardWriteAtNRestoreAtM(t *testing.T) {
+	cfg := testCfg(D1, true, 4)
+	ref := runSteps(t, cfg, "vgg19", EvenPlacement(4, device.V100, device.V100, device.V100, device.V100), 3*consistencySteps)
+
+	j := mustJob(t, cfg, "vgg19", EvenPlacement(4, device.V100, device.V100, device.V100, device.V100))
+	if err := j.RunSteps(consistencySteps); err != nil {
+		t.Fatal(err)
+	}
+	hops := []Placement{
+		EvenPlacement(4, device.V100, device.P100),
+		EvenPlacement(4, device.V100),
+	}
+	for _, p := range hops {
+		m, set := j.BuildShards()
+		r, err := RestoreJobShards(cfg, m, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Attach(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RunSteps(consistencySteps); err != nil {
+			t.Fatal(err)
+		}
+		j = r
+	}
+	if !ParamsEqual(ref, j) {
+		t.Fatal("write-at-N/restore-at-M elastic run (4→2→1 GPUs) diverged from fixed 4-GPU DDP")
+	}
+	if j.GlobalStep() != ref.GlobalStep() {
+		t.Fatal("progress mismatch")
+	}
+}
+
+// TestScaleLiveMatchesScaleBitwise: live migration (keep the job's state,
+// swap only the physical attachment) is bitwise-equivalent at D1 to the
+// stop-restart Scale path across a shrinking and device-heterogeneous
+// schedule — the equivalence that lets the dist runtime migrate ESTs without
+// a global stop.
+func TestScaleLiveMatchesScaleBitwise(t *testing.T) {
+	cfg := testCfg(D1, false, 4)
+	start := EvenPlacement(4, device.V100, device.V100, device.V100, device.V100)
+	schedule := []Placement{
+		EvenPlacement(4, device.V100, device.P100),
+		EvenPlacement(4, device.T4, device.T4),
+		EvenPlacement(4, device.V100),
+	}
+
+	stop := mustJob(t, cfg, "resnet50", start)
+	live := mustJob(t, cfg, "resnet50", start)
+	for _, j := range []*Job{stop, live} {
+		if err := j.RunSteps(consistencySteps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range schedule {
+		if err := stop.Scale(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := live.ScaleLive(p); err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range []*Job{stop, live} {
+			if err := j.RunSteps(consistencySteps); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !ParamsEqual(stop, live) {
+		t.Fatal("ScaleLive diverged from stop-restart Scale at D1")
+	}
+	if stop.ParamsHash() != live.ParamsHash() {
+		t.Fatal("params hash mismatch between Scale and ScaleLive")
+	}
+}

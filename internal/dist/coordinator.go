@@ -67,47 +67,38 @@ func (c *Coordinator) BeginEpoch() uint64 {
 	return c.epoch
 }
 
-// RunGeneration admits `workers` workers whose hellos carry `epoch`, assigns
-// ranks in connection order (rank 0 is the leader), distributes membership
-// with the restore checkpoint (nil for a fresh job) and the step budget,
-// then waits for completion and returns the new on-demand checkpoint
-// produced by the leader. Hellos from any other epoch are answered with
-// MsgReject and do not consume an admission slot.
-func (c *Coordinator) RunGeneration(epoch uint64, workers, steps int, ckpt []byte) ([]byte, error) {
-	if workers <= 0 {
-		return nil, fmt.Errorf("dist: generation needs at least one worker")
-	}
+// admit accepts worker connections until `workers` hellos carrying `epoch`
+// have arrived, returning the connections and listen addresses in admission
+// order. Hellos from any other epoch are answered with MsgReject and do not
+// consume a slot. On error the already-admitted connections are returned for
+// the caller to close.
+func (c *Coordinator) admit(epoch uint64, workers int) ([]net.Conn, []string, error) {
 	conns := make([]net.Conn, 0, workers)
 	addrs := make([]string, 0, workers)
-	defer func() {
-		for _, cn := range conns {
-			cn.Close()
-		}
-	}()
 	deadline := time.Now().Add(c.timeout)
 	for len(conns) < workers {
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("dist: epoch %d: admitted %d of %d workers before rendezvous deadline", epoch, len(conns), workers)
+			return conns, addrs, fmt.Errorf("dist: epoch %d: admitted %d of %d workers before rendezvous deadline", epoch, len(conns), workers)
 		}
 		cn, err := acceptTimeout(c.ln, c.timeout)
 		if err != nil {
-			return nil, fmt.Errorf("dist: epoch %d: admitted %d of %d workers: %w", epoch, len(conns), workers, err)
+			return conns, addrs, fmt.Errorf("dist: epoch %d: admitted %d of %d workers: %w", epoch, len(conns), workers, err)
 		}
 		payload, err := Expect(cn, MsgHello)
 		if err != nil {
 			cn.Close()
-			return nil, err
+			return conns, addrs, err
 		}
 		r := checkpoint.NewReader(payload)
 		helloEpoch, err := r.Uint64()
 		if err != nil {
 			cn.Close()
-			return nil, err
+			return conns, addrs, err
 		}
 		addr, err := r.String()
 		if err != nil {
 			cn.Close()
-			return nil, err
+			return conns, addrs, err
 		}
 		if helloEpoch != epoch {
 			// a straggler from a crashed earlier attempt (or a worker
@@ -118,6 +109,28 @@ func (c *Coordinator) RunGeneration(epoch uint64, workers, steps int, ckpt []byt
 			continue
 		}
 		conns, addrs = append(conns, cn), append(addrs, addr)
+	}
+	return conns, addrs, nil
+}
+
+// RunGeneration admits `workers` workers whose hellos carry `epoch`, assigns
+// ranks in connection order (rank 0 is the leader), distributes membership
+// with the restore checkpoint (nil for a fresh job) and the step budget,
+// then waits for completion and returns the new on-demand checkpoint
+// produced by the leader. Hellos from any other epoch are answered with
+// MsgReject and do not consume an admission slot.
+func (c *Coordinator) RunGeneration(epoch uint64, workers, steps int, ckpt []byte) ([]byte, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("dist: generation needs at least one worker")
+	}
+	conns, addrs, err := c.admit(epoch, workers)
+	defer func() {
+		for _, cn := range conns {
+			cn.Close()
+		}
+	}()
+	if err != nil {
+		return nil, err
 	}
 	for rank, cn := range conns {
 		w := checkpoint.NewWriter()

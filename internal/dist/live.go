@@ -1,0 +1,375 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// The live elastic driver. Unlike the generation runtime — which kills every
+// worker at a phase boundary and restarts the next generation from a
+// monolithic checkpoint — the live driver keeps workers across boundaries
+// and reconfigures them in place. At a scale event:
+//
+//   - staying workers keep their live job and fetch only the EST context
+//     shards newly assigned to them, straight from the workers that hosted
+//     them (core.ScaleLive — no encode/decode/rebuild round trip);
+//   - joining workers assemble the full state by fetching disjoint shard
+//     slices from multiple peers in parallel and reassembling them via the
+//     manifest (core.RestoreJobShards);
+//   - leaving workers serve their shards until every fetch completes, then
+//     depart.
+//
+// The coordinator keeps a shard directory — manifest plus content-addressed
+// store — updated by an incremental ship from the leader at the end of every
+// phase. It exists purely for crash recovery: when any worker of the live
+// set dies, the whole set is torn down and the phase retried by
+// bootstrapping a fresh set from the directory, which always holds exactly
+// the last phase boundary. A retried phase therefore reproduces bitwise what
+// the uninterrupted phase would have computed.
+
+// liveHandle is the driver's view of one live worker slot: its control
+// connection and its shard-serving listen address.
+type liveHandle struct {
+	ctrl net.Conn
+	addr string
+}
+
+// liveDriver is the state of one runLive call.
+type liveDriver struct {
+	coord    *Coordinator
+	cfg      core.Config
+	workload string
+	o        runOptions
+	tr       *obs.Tracer
+	track    int
+
+	// the coordinator shard directory: the canonical state of the last
+	// completed phase boundary
+	dirM   checkpoint.Manifest
+	dirSet *checkpoint.ShardSet
+	dirHas bool
+
+	// the current live set, indexed by slot, and its placement
+	workers   []*liveHandle
+	placement core.Placement
+
+	// one done channel per spawned worker goroutine not yet reaped; each
+	// goroutine sends exactly one value (buffered), so reaping never blocks
+	// on a worker that already exited
+	doneBag []chan error
+}
+
+// runLive executes the phases on the live elastic runtime and returns the
+// final checkpoint container from the coordinator directory.
+func runLive(coord *Coordinator, cfg core.Config, workload string, phases []Phase, o runOptions, jit *rng.Stream) ([]byte, error) {
+	tr := o.tracer
+	d := &liveDriver{
+		coord:    coord,
+		cfg:      cfg,
+		workload: workload,
+		o:        o,
+		tr:       tr,
+		track:    tr.Track("driver"),
+		dirSet:   checkpoint.NewShardSet(),
+	}
+	for pi, ph := range phases {
+		if err := ph.Placement.Validate(cfg.NumESTs); err != nil {
+			d.abort()
+			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
+		}
+		tPhase := tr.Now()
+		tr.Event(d.track, obs.CatPhase, "dist.scale-trigger", "", int64(pi), int64(ph.Steps))
+		var lastErr error
+		for attempt := 0; ; attempt++ {
+			if attempt > o.retry.MaxRetries {
+				d.abort()
+				if o.retry.MaxRetries > 0 {
+					return nil, fmt.Errorf("dist: phase %d exhausted retries: %w", pi, lastErr)
+				}
+				return nil, fmt.Errorf("dist: phase %d: %w", pi, lastErr)
+			}
+			if attempt > 0 {
+				tr.Event(d.track, obs.CatFault, "dist.retry", lastErr.Error(), int64(pi), int64(attempt))
+				time.Sleep(backoff(attempt-1, o.retry.BaseBackoff, o.retry.MaxBackoff, jit))
+			}
+			lastErr = d.runLivePhase(ph)
+			if lastErr == nil {
+				break
+			}
+			// tear the whole set down; the next attempt bootstraps from the
+			// directory, which still holds the last completed boundary. An
+			// injected crash reaped from a worker is the root cause of
+			// whatever secondary error the driver observed — surface it.
+			if inj := d.abort(); inj != nil && !errors.Is(lastErr, faults.ErrInjectedCrash) {
+				lastErr = inj
+			}
+		}
+		tr.Span(d.track, obs.CatPhase, "dist.phase", tPhase, int64(pi), int64(ph.Steps))
+	}
+	if err := d.shutdown(); err != nil {
+		return nil, err
+	}
+	return checkpoint.EncodeContainer(d.dirM, d.dirSet)
+}
+
+// spawn launches one live worker goroutine for the given admission epoch.
+func (d *liveDriver) spawn(epoch uint64) {
+	done := make(chan error, 1)
+	spec := LiveSpec{
+		Cfg:       d.cfg,
+		Workload:  d.workload,
+		CoordAddr: d.coord.Addr(),
+		Epoch:     epoch,
+		Faults:    d.o.faults,
+		Tracer:    d.tr,
+	}
+	go func() { done <- RunLiveWorker(spec) }()
+	d.doneBag = append(d.doneBag, done)
+}
+
+// reap waits for every outstanding worker goroutine and returns the first
+// injected-crash error among them, if any.
+func (d *liveDriver) reap() error {
+	var inj error
+	for _, done := range d.doneBag {
+		if werr := <-done; werr != nil && inj == nil && errors.Is(werr, faults.ErrInjectedCrash) {
+			//detlint:ignore chanorder -- one receive per distinct buffered channel, drained in slice order; "first" means first in bag order, which is deterministic
+			inj = werr
+		}
+	}
+	d.doneBag = nil
+	return inj
+}
+
+// abort tears the live set down hard: close every control connection, wait
+// for every worker goroutine to exit (their per-operation deadlines bound
+// the wait), and report any injected crash found among their errors.
+func (d *liveDriver) abort() error {
+	for _, h := range d.workers {
+		if h != nil {
+			h.ctrl.Close()
+		}
+	}
+	d.workers = nil
+	return d.reap()
+}
+
+// shutdown ends a completed run gracefully: every live worker departs.
+func (d *liveDriver) shutdown() error {
+	for _, h := range d.workers {
+		if err := WriteFrame(h.ctrl, MsgDepart, nil); err != nil {
+			d.abort()
+			return err
+		}
+	}
+	for _, h := range d.workers {
+		h.ctrl.Close()
+	}
+	d.workers = nil
+	var first error
+	for _, done := range d.doneBag {
+		if werr := <-done; werr != nil && first == nil {
+			//detlint:ignore chanorder -- one receive per distinct buffered channel, drained in slice order; "first" means first in bag order, which is deterministic
+			first = werr
+		}
+	}
+	d.doneBag = nil
+	return first
+}
+
+// runLivePhase drives one phase attempt: reconfigure (bootstrap or migrate),
+// release, then collect completions and run the directory ship.
+func (d *liveDriver) runLivePhase(ph Phase) error {
+	epoch := d.coord.BeginEpoch()
+	newN := len(ph.Placement.Assignment)
+	oldN := len(d.workers)
+
+	var next []*liveHandle
+	var leavers []*liveHandle
+	if oldN == 0 {
+		// bootstrap: a fresh set, from nothing or from the directory
+		for i := 0; i < newN; i++ {
+			d.spawn(epoch)
+		}
+		conns, addrs, err := d.coord.admit(epoch, newN)
+		if err != nil {
+			for _, cn := range conns {
+				cn.Close()
+			}
+			return err
+		}
+		next = make([]*liveHandle, newN)
+		for slot := range next {
+			next[slot] = &liveHandle{ctrl: conns[slot], addr: addrs[slot]}
+		}
+		rc := reconfig{Epoch: epoch, Steps: ph.Steps, Kind: kindFresh, LeaderAddr: addrs[0], Placement: ph.Placement, WarmAddrs: addrs}
+		if d.dirHas {
+			rc.Kind = kindContainer
+			container, err := checkpoint.EncodeContainer(d.dirM, d.dirSet)
+			if err != nil {
+				return fmt.Errorf("dist: directory container: %w", err)
+			}
+			rc.Container = container
+		}
+		for slot, h := range next {
+			rc.Slot = slot
+			if err := WriteFrame(h.ctrl, MsgReconfigure, encodeReconfig(rc)); err != nil {
+				return err
+			}
+		}
+	} else {
+		// migrate: stayers keep their slots, joiners are admitted into the
+		// new high slots, leavers keep serving until every fetch is done
+		if !d.dirHas {
+			return fmt.Errorf("dist: migrating with an empty shard directory")
+		}
+		stay := oldN
+		if newN < stay {
+			stay = newN
+		}
+		next = make([]*liveHandle, newN)
+		copy(next, d.workers[:stay])
+		leavers = d.workers[stay:]
+		if newN > oldN {
+			for i := oldN; i < newN; i++ {
+				d.spawn(epoch)
+			}
+			conns, addrs, err := d.coord.admit(epoch, newN-oldN)
+			if err != nil {
+				for _, cn := range conns {
+					cn.Close()
+				}
+				return err
+			}
+			for i, cn := range conns {
+				next[oldN+i] = &liveHandle{ctrl: cn, addr: addrs[i]}
+			}
+		}
+		sources, err := d.sourceTable(oldN)
+		if err != nil {
+			return err
+		}
+		peers := make([]string, oldN)
+		for i, h := range d.workers {
+			peers[i] = h.addr
+		}
+		warm := make([]string, newN)
+		for i, h := range next {
+			warm[i] = h.addr
+		}
+		rc := reconfig{
+			Epoch: epoch, Steps: ph.Steps, Kind: kindMigrate,
+			LeaderAddr: next[0].addr, Placement: ph.Placement,
+			Manifest: d.dirM, PeerAddrs: peers, Sources: sources,
+			WarmAddrs: warm,
+		}
+		for slot, h := range next {
+			rc.Slot = slot
+			if err := WriteFrame(h.ctrl, MsgReconfigure, encodeReconfig(rc)); err != nil {
+				return err
+			}
+		}
+	}
+	// the new set is live from here on: any failure below must close every
+	// control connection, including the leavers', which abort() does
+	d.workers = append(next, leavers...)
+	d.placement = ph.Placement
+
+	// every worker reports ready only after its fetches completed, so once
+	// all are ready nothing references the leavers any more. There is no
+	// go-barrier behind Ready: workers enter the phase on their own, so the
+	// boundary costs one control round trip, not two.
+	for slot, h := range next {
+		if _, err := Expect(h.ctrl, MsgReady); err != nil {
+			return fmt.Errorf("dist: slot %d ready: %w", slot, err)
+		}
+	}
+	for _, h := range leavers {
+		if err := WriteFrame(h.ctrl, MsgDepart, nil); err != nil {
+			return err
+		}
+		h.ctrl.Close()
+	}
+	d.workers = next
+
+	// phase completions: followers finish, sync, and publish quickly; the
+	// leader's completion is gated on the incremental directory ship, so its
+	// dialog is served last and overlaps the followers' boundary work
+	for slot := 1; slot < newN; slot++ {
+		if _, err := Expect(next[slot].ctrl, MsgPhaseDone); err != nil {
+			return fmt.Errorf("dist: slot %d phase: %w", slot, err)
+		}
+	}
+	mRaw, err := Expect(next[0].ctrl, MsgManifest)
+	if err != nil {
+		return fmt.Errorf("dist: leader phase: %w", err)
+	}
+	m, err := checkpoint.DecodeManifest(mRaw)
+	if err != nil {
+		return err
+	}
+	tShip := d.tr.Now()
+	missing := len(d.dirSet.Missing(m))
+	if err := receiveShards(next[0].ctrl, m, d.dirSet); err != nil {
+		return err
+	}
+	d.tr.Span(d.track, obs.CatShard, "dir.shard-receive", tShip, int64(missing), int64(len(m.Entries)))
+	if _, err := Expect(next[0].ctrl, MsgPhaseDone); err != nil {
+		return err
+	}
+
+	// commit the boundary: swap the manifest in and drop shards no longer
+	// referenced, so the directory stays one boundary large
+	pruned := checkpoint.NewShardSet()
+	for _, e := range m.Entries {
+		b, ok := d.dirSet.Get(e.Hash)
+		if !ok {
+			return fmt.Errorf("dist: directory lost shard %q after ship", e.ID)
+		}
+		if err := pruned.Add(e.Hash, b); err != nil {
+			return err
+		}
+	}
+	d.dirM, d.dirSet, d.dirHas = m, pruned, true
+	return nil
+}
+
+// sourceTable routes every directory manifest entry to the old-set slot that
+// serves it during a migration: an EST context shard to the worker that
+// hosted that virtual rank (it holds the shard hot and bitwise-canonical
+// after its end-of-phase publish), the meta shard to the leader, and the
+// parameter/moment shards round-robin across the whole old set — every
+// worker holds identical copies of those, so spreading the load is free.
+func (d *liveDriver) sourceTable(oldN int) ([]int, error) {
+	rankHost := map[int]int{}
+	for slot, ranks := range d.placement.Assignment {
+		for _, r := range ranks {
+			rankHost[r] = slot
+		}
+	}
+	sources := make([]int, len(d.dirM.Entries))
+	rr := 0
+	for i, e := range d.dirM.Entries {
+		if r, ok := core.ESTShardRank(e.ID); ok {
+			slot, hosted := rankHost[r]
+			if !hosted {
+				return nil, fmt.Errorf("dist: no old worker hosted virtual rank %d", r)
+			}
+			sources[i] = slot
+		} else if e.ID == core.MetaShardID {
+			sources[i] = 0
+		} else {
+			sources[i] = rr % oldN
+			rr++
+		}
+	}
+	return sources, nil
+}

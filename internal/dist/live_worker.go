@@ -1,0 +1,659 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// The live-migration runtime keeps workers alive across elastic phases.
+// Instead of stop-dump-restart — serialize the whole job, kill every worker,
+// rendezvous a fresh generation, decode the blob N times — a reconfiguring
+// worker keeps its job object and state in place (core.ScaleLive) and only
+// the EST contexts that actually change hands move, as content-addressed
+// shards fetched directly from the peers that hold them. Joining workers
+// restore in parallel from multiple peers: each fetches the disjoint shard
+// slice its source table names, and reassembles via the manifest. The
+// manifest — not shard arrival order — defines the decoded layout, so peer
+// scheduling cannot affect numerics.
+
+// LiveSpec is what the live driver hands every persistent worker.
+type LiveSpec struct {
+	Cfg       core.Config
+	Workload  string
+	CoordAddr string
+	// Epoch is the admission epoch for the initial rendezvous hello.
+	Epoch uint64
+	// Faults is the run's shared fault campaign; the worker derives a fresh
+	// deterministic injector from it for every (phase epoch, slot) pair.
+	Faults *faults.Plan
+	Tracer *obs.Tracer
+}
+
+// helloConn is an accepted connection whose first frame was a MsgHello —
+// a next-phase follower for the training loop to adopt.
+type helloConn struct {
+	conn    net.Conn
+	payload []byte
+}
+
+// liveWorker is one persistent worker's process state: its listener (owned
+// by the background server goroutine), the published shard snapshot it
+// serves to peers, the hello queue feeding the leader's follower admission,
+// and the data-plane connections kept alive across phases.
+type liveWorker struct {
+	spec    LiveSpec
+	ln      net.Listener
+	timeout time.Duration
+	helloCh chan helloConn
+
+	mu     sync.Mutex
+	pubSet *checkpoint.ShardSet
+
+	// prevRanks is the virtual-rank set this worker hosted in the phase
+	// that just ended — the stay-set of the next migration diff.
+	prevRanks map[int]bool
+
+	// followers (on the leader) and leaderConn/leaderAddr (on a follower)
+	// are the gradient-plane connections of the last phase, kept open so a
+	// scale event between two surviving endpoints costs no dial at all.
+	followers  []follower
+	leaderConn net.Conn
+	leaderAddr string
+
+	// peerConns caches shard-fetch connections by peer address across
+	// boundaries; the peer's shard-server loop keeps its end open, so a
+	// stayer's next migration fetch skips the dial too.
+	peerMu    sync.Mutex
+	peerConns map[string]net.Conn
+}
+
+// peerConn checks a cached shard-fetch connection out of the pool (at most
+// one goroutine uses a peer connection at a time).
+func (w *liveWorker) peerConn(addr string) net.Conn {
+	w.peerMu.Lock()
+	defer w.peerMu.Unlock()
+	c := w.peerConns[addr]
+	delete(w.peerConns, addr)
+	return c
+}
+
+// warmPeers pre-dials the given shard servers into the peer-connection
+// cache. It runs at phase end, off the reconfiguration critical path, so the
+// next boundary's migration fetch starts with zero dials inside the downtime
+// window. Best effort: a failed warm dial just means the fetch path dials
+// fresh, as before.
+func (w *liveWorker) warmPeers(addrs []string) {
+	self := w.ln.Addr().String()
+	for _, a := range addrs {
+		if a == self {
+			continue
+		}
+		w.peerMu.Lock()
+		_, ok := w.peerConns[a]
+		w.peerMu.Unlock()
+		if ok {
+			continue
+		}
+		c, err := net.DialTimeout("tcp", a, w.timeout)
+		if err != nil {
+			continue
+		}
+		w.keepPeerConn(a, withDeadline(c, w.timeout))
+	}
+}
+
+// keepPeerConn returns a healthy shard-fetch connection to the pool.
+func (w *liveWorker) keepPeerConn(addr string, c net.Conn) {
+	w.peerMu.Lock()
+	defer w.peerMu.Unlock()
+	if w.peerConns == nil {
+		w.peerConns = map[string]net.Conn{}
+	}
+	if _, ok := w.peerConns[addr]; ok {
+		c.Close()
+		return
+	}
+	w.peerConns[addr] = c
+}
+
+// publish installs the worker's end-of-phase shard snapshot for peer
+// serving. The previous snapshot stays served until replaced: its byte
+// slices are immutable and content-addressed, so a peer that is still
+// fetching off it by hash can never observe anything but the exact bytes it
+// asked for.
+func (w *liveWorker) publish(set *checkpoint.ShardSet) {
+	w.mu.Lock()
+	w.pubSet = set
+	w.mu.Unlock()
+}
+
+// lookup resolves a content hash against the published snapshot.
+func (w *liveWorker) lookup(hash uint64) ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pubSet == nil {
+		return nil, false
+	}
+	return w.pubSet.Get(hash)
+}
+
+// closeDataPlane shuts every kept gradient-plane and shard-fetch connection,
+// on worker exit.
+func (w *liveWorker) closeDataPlane() {
+	for _, f := range w.followers {
+		f.conn.Close()
+	}
+	w.followers = nil
+	if w.leaderConn != nil {
+		w.leaderConn.Close()
+		w.leaderConn = nil
+	}
+	w.peerMu.Lock()
+	for _, c := range w.peerConns {
+		c.Close()
+	}
+	w.peerConns = nil
+	w.peerMu.Unlock()
+}
+
+// serve owns the worker's listener for the worker's whole lifetime, routing
+// each accepted connection by its first frame: hellos go to the training
+// loop (next-phase followers dialing their leader), shard requests are
+// answered from the published snapshot. It exits when the listener closes.
+func (w *liveWorker) serve() {
+	for {
+		c, err := w.ln.Accept()
+		if err != nil {
+			return
+		}
+		go w.serveConn(withDeadline(c, w.timeout))
+	}
+}
+
+func (w *liveWorker) serveConn(c net.Conn) {
+	for {
+		t, payload, err := ReadFrame(c)
+		if err != nil {
+			c.Close()
+			return
+		}
+		switch t {
+		case MsgHello:
+			select {
+			case w.helloCh <- helloConn{conn: c, payload: payload}:
+				// ownership transferred to the training loop
+			default:
+				c.Close()
+			}
+			return
+		case MsgShardGet:
+			r := checkpoint.NewReader(payload)
+			hash, err := r.Uint64()
+			if err != nil {
+				c.Close()
+				return
+			}
+			b, ok := w.lookup(hash)
+			if !ok {
+				if WriteFrame(c, MsgReject, []byte(fmt.Sprintf("shard %016x not held", hash))) != nil {
+					c.Close()
+					return
+				}
+				continue
+			}
+			if WriteFrame(c, MsgShard, encodeShard(hash, b)) != nil {
+				c.Close()
+				return
+			}
+		default:
+			c.Close()
+			return
+		}
+	}
+}
+
+// adoptFollowers assembles the leader's follower set for the next phase.
+// Connections kept from the previous phase are reused for every slot that
+// survives into the new placement (their workers are the same processes —
+// slots are stable across a scale event); conns to departing slots are
+// closed, and only genuinely new slots are awaited on the hello queue.
+// Expect sets are always recomputed from the new placement. The resulting
+// set is stored on the worker for the next phase; closeDataPlane reaps it
+// on worker exit, so errors here simply propagate.
+func (w *liveWorker) adoptFollowers(p core.Placement, stayed bool) ([]follower, error) {
+	n := len(p.Assignment) - 1
+	// bySlot[slot] receives each connection into its claimed slot, so the
+	// assembled follower order is slot order no matter in which order hellos
+	// arrive (or which connections are reused).
+	bySlot := make([]net.Conn, n+1)
+	have := 0
+	// keep w.followers current while collecting: on an error return the
+	// worker exits and closeDataPlane reaps exactly these connections
+	sync := func() {
+		fs := make([]follower, 0, have)
+		for slot := 1; slot <= n; slot++ {
+			if bySlot[slot] != nil {
+				fs = append(fs, follower{conn: bySlot[slot], worker: slot})
+			}
+		}
+		w.followers = fs
+	}
+	for _, f := range w.followers {
+		if stayed && f.worker >= 1 && f.worker <= n && bySlot[f.worker] == nil {
+			bySlot[f.worker] = f.conn
+			have++
+		} else {
+			f.conn.Close()
+		}
+	}
+	sync()
+	deadline := time.NewTimer(w.timeout)
+	defer deadline.Stop()
+	for have < n {
+		var hc helloConn
+		select {
+		case hc = <-w.helloCh:
+		case <-deadline.C:
+			return nil, fmt.Errorf("dist: leader adopted %d of %d followers before deadline", have, n)
+		}
+		r := checkpoint.NewReader(hc.payload)
+		slot, err := r.Int()
+		if err != nil {
+			hc.conn.Close()
+			return nil, err
+		}
+		if slot < 1 || slot >= len(p.Assignment) {
+			hc.conn.Close()
+			return nil, fmt.Errorf("dist: follower claims worker rank %d outside [1,%d)", slot, len(p.Assignment))
+		}
+		if bySlot[slot] != nil {
+			hc.conn.Close()
+			return nil, fmt.Errorf("dist: duplicate follower for worker rank %d", slot)
+		}
+		bySlot[slot] = hc.conn
+		have++
+		sync()
+	}
+	out := make([]follower, 0, n)
+	for slot := 1; slot <= n; slot++ {
+		expect := make(map[int]bool, len(p.Assignment[slot]))
+		for _, v := range p.Assignment[slot] {
+			expect[v] = true
+		}
+		out = append(out, follower{conn: bySlot[slot], worker: slot, expect: expect})
+	}
+	w.followers = out
+	return out, nil
+}
+
+// fetchShards performs the parallel multi-peer fetch: the wanted manifest
+// entries, grouped by their source peer, are pulled over one connection per
+// peer concurrently, verified against their content addresses, and merged
+// into one store. want filters the manifest (joiners take everything,
+// stayers only their migrating EST shards).
+func (w *liveWorker) fetchShards(m checkpoint.Manifest, sources []int, peers []string, want func(checkpoint.ManifestEntry) bool, timeout time.Duration, jitterSeed uint64) (*checkpoint.ShardSet, error) {
+	perPeer := make([][]uint64, len(peers))
+	seen := map[uint64]bool{}
+	for i, e := range m.Entries {
+		if !want(e) || seen[e.Hash] {
+			continue
+		}
+		seen[e.Hash] = true
+		perPeer[sources[i]] = append(perPeer[sources[i]], e.Hash)
+	}
+
+	type result struct {
+		peer   int
+		shards map[uint64][]byte
+		err    error
+	}
+	var wg sync.WaitGroup
+	results := make([]result, len(peers))
+	for pi, hashes := range perPeer {
+		if len(hashes) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(pi int, hashes []uint64) {
+			defer wg.Done()
+			got, err := w.fetchFromPeer(peers[pi], hashes, timeout, jitterSeed^uint64(pi))
+			results[pi] = result{peer: pi, shards: got, err: err}
+		}(pi, hashes)
+	}
+	wg.Wait()
+
+	set := checkpoint.NewShardSet()
+	for pi, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("dist: fetch from peer %d (%s): %w", pi, peers[pi], res.err)
+		}
+		for h, b := range res.shards {
+			if err := set.Add(h, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return set, nil
+}
+
+// fetchFromPeer pulls a hash list off one peer over a single connection,
+// preferring a cached connection from an earlier boundary. A stale cached
+// connection (idle past the peer's serve deadline, or the peer departed)
+// fails fast and falls back to a fresh dial.
+func (w *liveWorker) fetchFromPeer(addr string, hashes []uint64, timeout time.Duration, jitterSeed uint64) (map[uint64][]byte, error) {
+	if c := w.peerConn(addr); c != nil {
+		out, err := requestShards(c, hashes)
+		if err == nil {
+			w.keepPeerConn(addr, c)
+			return out, nil
+		}
+		c.Close()
+	}
+	c, err := dialRetry(addr, timeout, jitterSeed)
+	if err != nil {
+		return nil, err
+	}
+	out, err := requestShards(c, hashes)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	w.keepPeerConn(addr, c)
+	return out, nil
+}
+
+// requestShards runs the MsgShardGet dialog for a hash list on one
+// connection, verifying every answer against its content address.
+func requestShards(c net.Conn, hashes []uint64) (map[uint64][]byte, error) {
+	out := make(map[uint64][]byte, len(hashes))
+	for _, h := range hashes {
+		req := checkpoint.NewWriter()
+		req.PutUint64(h)
+		if err := WriteFrame(c, MsgShardGet, req.Bytes()); err != nil {
+			return nil, err
+		}
+		t, payload, err := ReadFrame(c)
+		if err != nil {
+			return nil, err
+		}
+		if t == MsgReject {
+			return nil, fmt.Errorf("dist: peer rejected shard %016x: %s", h, payload)
+		}
+		if t != MsgShard {
+			return nil, fmt.Errorf("dist: expected shard frame, got %d", t)
+		}
+		gotHash, b, err := decodeShard(payload)
+		if err != nil {
+			return nil, err
+		}
+		if gotHash != h {
+			return nil, fmt.Errorf("dist: peer answered shard %016x with %016x", h, gotHash)
+		}
+		out[h] = b
+	}
+	return out, nil
+}
+
+// RunLiveWorker executes one persistent live worker: rendezvous once, then
+// loop on control frames — reconfigure (obtain state, attach, train one
+// phase, publish shards) until the driver sends MsgDepart.
+func RunLiveWorker(spec LiveSpec) error {
+	if spec.Cfg.Level < core.D1 {
+		return fmt.Errorf("dist: distributed runtime requires D1 determinism (got %v)", spec.Cfg.Level)
+	}
+	timeout := resolveTimeout(spec.Cfg.DistTimeout)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	w := &liveWorker{
+		spec:    spec,
+		ln:      ln,
+		timeout: timeout,
+		helloCh: make(chan helloConn, 64),
+	}
+	defer w.closeDataPlane()
+	go w.serve()
+
+	jitterSeed := spec.Cfg.Seed ^ spec.Epoch ^ fnvHash(ln.Addr().String())
+	ctrl, err := dialRetry(spec.CoordAddr, timeout, jitterSeed)
+	if err != nil {
+		return fmt.Errorf("dist: dial coordinator: %w", err)
+	}
+	defer ctrl.Close()
+	hello := checkpoint.NewWriter()
+	hello.PutUint64(spec.Epoch)
+	hello.PutString(ln.Addr().String())
+	if err := WriteFrame(ctrl, MsgHello, hello.Bytes()); err != nil {
+		return err
+	}
+
+	var job *core.Job
+	for {
+		t, payload, err := ReadFrame(ctrl)
+		if err != nil {
+			return err
+		}
+		switch t {
+		case MsgReject:
+			return fmt.Errorf("dist: rendezvous rejected: %s", payload)
+		case MsgDepart:
+			return nil
+		case MsgReconfigure:
+			rc, err := decodeReconfig(payload)
+			if err != nil {
+				return err
+			}
+			inj := spec.Faults.Injector(rc.Epoch, rc.Slot)
+			// a stayer keeps its process, its job, and its data-plane
+			// connections across the boundary; decided before reconfigure
+			// mutates the job pointer
+			stayed := rc.Kind == kindMigrate && job != nil
+			tRec := spec.Tracer.Now()
+			if job, err = w.reconfigure(job, rc, inj, ctrl, jitterSeed); err != nil {
+				return err
+			}
+			spec.Tracer.Span(spec.Tracer.Track(fmt.Sprintf("worker-%d", rc.Slot)), obs.CatPhase, "live.reconfigure", tRec, int64(rc.Kind), int64(rc.Slot))
+			if err := WriteFrame(ctrl, MsgReady, nil); err != nil {
+				return err
+			}
+			// no go-barrier: the worker enters the phase straight off Ready.
+			// That is safe because every cross-worker fetch of the boundary
+			// happened inside reconfigure (before Ready), the driver departs
+			// leavers only after collecting every Ready, and published shard
+			// snapshots are immutable content-addressed bytes — a peer still
+			// reading the old snapshot gets exactly the bytes it asked for.
+			if err := w.runPhase(job, rc, inj, ctrl, stayed, jitterSeed); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: unexpected control frame %d", t)
+		}
+	}
+}
+
+// reconfigure brings the worker's job to the next phase's entry state.
+// Stayers keep their live job — only the EST contexts newly assigned to this
+// slot migrate in, fetched from the workers that hosted them — and re-attach
+// via core.ScaleLive, skipping the encode/decode/rebuild round trip
+// entirely. Joiners assemble the full state from their peers.
+func (w *liveWorker) reconfigure(job *core.Job, rc reconfig, inj *faults.Injector, ctrl net.Conn, jitterSeed uint64) (*core.Job, error) {
+	spec := w.spec
+	tr := spec.Tracer
+	track := tr.Track(fmt.Sprintf("worker-%d", rc.Slot))
+	var err error
+	switch rc.Kind {
+	case kindFresh, kindContainer:
+		if job != nil {
+			return nil, fmt.Errorf("dist: bootstrap reconfigure on a live worker")
+		}
+		if rc.Kind == kindFresh {
+			job, err = core.NewJob(spec.Cfg, spec.Workload)
+		} else {
+			job, err = core.RestoreJob(spec.Cfg, rc.Container)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := job.Attach(rc.Placement); err != nil {
+			return nil, err
+		}
+	case kindMigrate:
+		// the mid-migration crash site: fires after the reconfigure frame is
+		// decoded and before any shard moves, so a crashed worker leaves the
+		// boundary half-migrated and the driver must tear down and retry
+		if err := injectFault(inj, faults.Migrate, ctrl); err != nil {
+			return nil, err
+		}
+		if job == nil {
+			// joiner: parallel multi-peer restore of the full manifest
+			tFetch := tr.Now()
+			set, err := w.fetchShards(rc.Manifest, rc.Sources, rc.PeerAddrs, func(checkpoint.ManifestEntry) bool { return true }, w.timeout, jitterSeed)
+			if err != nil {
+				return nil, err
+			}
+			tr.Span(track, obs.CatShard, "net.shard-fetch", tFetch, int64(set.Len()), int64(rc.Manifest.TotalLen()))
+			if job, err = core.RestoreJobShards(spec.Cfg, rc.Manifest, set); err != nil {
+				return nil, err
+			}
+			if err := job.Attach(rc.Placement); err != nil {
+				return nil, err
+			}
+		} else {
+			// stayer: live migration — fetch only the EST shards whose
+			// virtual ranks move onto this slot, straight from their old
+			// hosts, and keep everything else in place
+			need := map[string]bool{}
+			for _, r := range rc.Placement.Assignment[rc.Slot] {
+				if !w.prevRanks[r] {
+					need[core.ESTShardID(r)] = true
+				}
+			}
+			if len(need) > 0 {
+				tFetch := tr.Now()
+				set, err := w.fetchShards(rc.Manifest, rc.Sources, rc.PeerAddrs, func(e checkpoint.ManifestEntry) bool { return need[e.ID] }, w.timeout, jitterSeed)
+				if err != nil {
+					return nil, err
+				}
+				for _, e := range rc.Manifest.Entries {
+					if !need[e.ID] {
+						continue
+					}
+					b, ok := set.Get(e.Hash)
+					if !ok {
+						return nil, fmt.Errorf("dist: migration fetch missed shard %q", e.ID)
+					}
+					if err := job.ImportESTContext(b); err != nil {
+						return nil, err
+					}
+				}
+				tr.Span(track, obs.CatShard, "net.migrate", tFetch, int64(len(need)), int64(rc.Slot))
+			}
+			if err := job.ScaleLive(rc.Placement); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("dist: unknown reconfigure kind %d", rc.Kind)
+	}
+	w.prevRanks = make(map[int]bool, len(rc.Placement.Assignment[rc.Slot]))
+	for _, r := range rc.Placement.Assignment[rc.Slot] {
+		w.prevRanks[r] = true
+	}
+	return job, nil
+}
+
+// runPhase trains one phase on an already-attached job, then publishes the
+// end-of-phase shard snapshot for peer fetching. The leader additionally
+// assembles the canonical state (importing follower EST contexts) and runs
+// the incremental directory ship; followers just sync their data cursors so
+// their published meta/param/moment shards are bitwise the canonical ones.
+func (w *liveWorker) runPhase(job *core.Job, rc reconfig, inj *faults.Injector, ctrl net.Conn, stayed bool, jitterSeed uint64) error {
+	spec := w.spec
+	tr := spec.Tracer
+	track := tr.Track(fmt.Sprintf("worker-%d", rc.Slot))
+	if rc.Slot == 0 {
+		followers, err := w.adoptFollowers(rc.Placement, stayed)
+		if err != nil {
+			return err
+		}
+		if err := leaderSteps(job, tr, inj, rc.Placement, followers, []net.Conn{ctrl}, rc.Steps, track, spec.Cfg.NumESTs); err != nil {
+			return err
+		}
+		conns := []net.Conn{ctrl}
+		for _, f := range followers {
+			conns = append(conns, f.conn)
+		}
+		if err := injectFault(inj, faults.CkptShip, conns...); err != nil {
+			return err
+		}
+		if err := leaderCollectContexts(job, followers); err != nil {
+			return err
+		}
+		m, set := job.BuildShards()
+		w.publish(set)
+		// incremental directory ship: offer the manifest, upload only what
+		// the directory lacks. Runs while peers are already fetching off the
+		// published snapshot — the upload is off the reconfiguration path.
+		if err := injectFault(inj, faults.ShardShip, ctrl); err != nil {
+			return err
+		}
+		tShip := tr.Now()
+		sent, err := shipShards(ctrl, m, set)
+		if err != nil {
+			return err
+		}
+		tr.Span(track, obs.CatShard, "net.shard-ship", tShip, int64(sent), int64(m.TotalLen()))
+	} else {
+		// reuse the kept leader connection when both endpoints survived the
+		// boundary: the previous phase drained it fully (the leader read
+		// through this follower's MsgDone), so the stream is at a frame
+		// boundary and the first MsgGrads of the new phase is unambiguous.
+		// Only a real dial passes the Dial fault site.
+		leader := w.leaderConn
+		if !stayed || leader == nil || rc.LeaderAddr != w.leaderAddr {
+			if w.leaderConn != nil {
+				w.leaderConn.Close()
+				w.leaderConn = nil
+			}
+			if err := injectFault(inj, faults.Dial, ctrl); err != nil {
+				return err
+			}
+			c, err := dialRetry(rc.LeaderAddr, w.timeout, jitterSeed^uint64(rc.Slot))
+			if err != nil {
+				return fmt.Errorf("dist: dial leader: %w", err)
+			}
+			w.leaderConn, w.leaderAddr = c, rc.LeaderAddr
+			hello := checkpoint.NewWriter()
+			hello.PutInt(rc.Slot)
+			if err := WriteFrame(c, MsgHello, hello.Bytes()); err != nil {
+				return err
+			}
+			leader = c
+		}
+		if err := followerSteps(job, tr, inj, rc.Placement, rc.Slot, leader, []net.Conn{ctrl}, rc.Steps, track); err != nil {
+			return err
+		}
+		if err := injectFault(inj, faults.CkptShip, leader, ctrl); err != nil {
+			return err
+		}
+		if err := followerShipContexts(job, leader, myRanks(rc.Placement, rc.Slot)); err != nil {
+			return err
+		}
+		// syncing the cursors makes this worker's meta shard bitwise the
+		// canonical one, so any peer can serve it during the next migration
+		job.SyncDataCursors()
+		_, set := job.BuildShards()
+		w.publish(set)
+	}
+	w.warmPeers(rc.WarmAddrs)
+	return WriteFrame(ctrl, MsgPhaseDone, nil)
+}

@@ -47,6 +47,37 @@ const (
 	// MsgReject refuses a rendezvous hello (payload: reason string); the
 	// coordinator sends it to a worker whose epoch is stale.
 	MsgReject
+
+	// Live-migration control frames (driver ↔ persistent worker, see live.go).
+
+	// MsgReconfigure tells a live worker its slot, steps, and placement for
+	// the next phase, plus how to obtain state: fresh, from a container, or
+	// by migrating shards off its peers.
+	MsgReconfigure
+	// MsgReady reports a live worker reconfigured, attached, and ready to
+	// train. There is deliberately no "go" frame behind it: a ready worker
+	// enters its phase immediately, halving the control round trips on the
+	// reconfiguration path.
+	MsgReady
+	// MsgDepart tells a live worker its slot no longer exists; it serves
+	// shards until this frame, then exits cleanly.
+	MsgDepart
+	// MsgPhaseDone reports a live worker finished its phase (the leader
+	// sends it after the directory ship completes).
+	MsgPhaseDone
+
+	// Shard-directory and multi-peer fetch frames.
+
+	// MsgManifest offers a shard manifest (leader → coordinator directory).
+	MsgManifest
+	// MsgShardNeed lists the content hashes the receiver lacks.
+	MsgShardNeed
+	// MsgShard carries one content-addressed shard: hash + bytes.
+	MsgShard
+	// MsgShipDone closes an incremental shard-ship dialog.
+	MsgShipDone
+	// MsgShardGet requests one shard by content hash from a peer.
+	MsgShardGet
 )
 
 // maxFrame bounds a frame payload (checkpoints of the scaled-down models are

@@ -53,12 +53,20 @@ func Run(cfg core.Config, workload string, phases []Phase, opts ...Option) ([]by
 	}
 	jit := rng.NewNamed(cfg.Seed, "dist-retry")
 
+	if o.live {
+		return runLive(coord, cfg, workload, phases, o, jit)
+	}
+
 	var ckpt []byte
 	for pi, ph := range phases {
 		if err := ph.Placement.Validate(cfg.NumESTs); err != nil {
 			return nil, fmt.Errorf("dist: phase %d: %w", pi, err)
 		}
 		tPhase := tr.Now()
+		// the downtime clock starts here: the elasticity decision is made and
+		// the reconfiguration machinery (restart in generation mode, live
+		// migration in live mode) begins
+		tr.Event(driver, obs.CatPhase, "dist.scale-trigger", "", int64(pi), int64(ph.Steps))
 		var next []byte
 		var lastErr error
 		for attempt := 0; attempt <= o.retry.MaxRetries; attempt++ {
@@ -88,6 +96,7 @@ type runOptions struct {
 	retry  RetryPolicy
 	faults *faults.Plan
 	tracer *obs.Tracer
+	live   bool
 }
 
 // Option configures Run.
@@ -107,6 +116,15 @@ func WithFaultPlan(plan *faults.Plan) Option { return func(o *runOptions) { o.fa
 // checkpoint shipping), and fault-fire events. Tracing never touches the
 // training numerics.
 func WithTracer(tr *obs.Tracer) Option { return func(o *runOptions) { o.tracer = tr } }
+
+// WithLiveMigration switches Run to the live elastic runtime: workers persist
+// across phases, a scale event migrates only the EST contexts that change
+// hands (as content-addressed shards fetched peer-to-peer), joiners restore
+// in parallel from multiple peers, and the coordinator keeps an incrementally
+// shipped shard directory for crash recovery. Numerics are bitwise identical
+// to the generation runtime — the tests pin it — only the reconfiguration
+// mechanics change.
+func WithLiveMigration() Option { return func(o *runOptions) { o.live = true } }
 
 // RetryPolicy shapes the phase retry loop of Run.
 type RetryPolicy struct {

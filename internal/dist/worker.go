@@ -352,23 +352,17 @@ func mergeGrads(f follower, byRank map[int][][]float32, sets map[int][][]float32
 	return nil
 }
 
-// runLeader drives rank 0: accept follower connections, then per step gather
-// every EST's buckets, reduce in canonical virtual order, broadcast, finish.
-func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, steps int, timeout time.Duration, track int) error {
-	tr := spec.Tracer
-	world := spec.Cfg.NumESTs
-	followers, err := acceptFollowers(ln, spec.Placement, timeout)
-	defer func() {
-		for _, f := range followers {
-			f.conn.Close()
-		}
-	}()
-	if err != nil {
-		return err
-	}
-	own := myRanks(spec.Placement, 0)
+// leaderSteps runs the leader's side of a phase's global steps over an
+// admitted follower set: per step gather every EST's buckets, reduce in
+// canonical virtual order, broadcast, finish. extraConns (coordinator or
+// control connections) are closed alongside follower connections when an
+// injected crash fires. Shared verbatim between the generation runtime and
+// the live-migration runtime — the gradient numerics have exactly one
+// implementation.
+func leaderSteps(job *core.Job, tr *obs.Tracer, inj *faults.Injector, p core.Placement, followers []follower, extraConns []net.Conn, steps, track, world int) error {
+	own := myRanks(p, 0)
 	allConns := func() []net.Conn {
-		cs := []net.Conn{coord}
+		cs := append([]net.Conn(nil), extraConns...)
 		for _, f := range followers {
 			cs = append(cs, f.conn)
 		}
@@ -377,11 +371,20 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 
 	ddp := job.DDP()
 	for s := 0; s < steps; s++ {
+		if s == 0 {
+			// the downtime clock stops at the earliest dist.first-step across
+			// all workers: the cluster is no longer idle once any reconfigured
+			// worker begins the first post-scale step (each worker emits this
+			// only after it is restored and attached). Scale-event downtime =
+			// that minus the driver's dist.scale-trigger timestamp; followers
+			// emit the same instant in followerSteps, in both runtimes.
+			tr.Instant(track, obs.CatPhase, "dist.first-step", int64(job.GlobalStep()), 0)
+		}
 		if err := job.RunLocalPhase(0); err != nil {
 			return err
 		}
 		sets := localBuckets(job, own)
-		if err := injectFault(spec.Faults, faults.Gather, allConns()...); err != nil {
+		if err := injectFault(inj, faults.Gather, allConns()...); err != nil {
 			return err
 		}
 		// gather: exactly one MsgGrads frame per follower per step
@@ -434,7 +437,7 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 			}
 		}
 		tr.Span(track, obs.CatComm, "net.reduce", tReduce, int64(s), int64(world))
-		if err := injectFault(spec.Faults, faults.Broadcast, allConns()...); err != nil {
+		if err := injectFault(inj, faults.Broadcast, allConns()...); err != nil {
 			return err
 		}
 		tBcast := tr.Now()
@@ -449,13 +452,14 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 			return err
 		}
 	}
+	return nil
+}
 
-	// assemble the on-demand checkpoint: import every remote EST context,
-	// bring the data loader to the canonical cursor, serialize, ship.
-	if err := injectFault(spec.Faults, faults.CkptShip, allConns()...); err != nil {
-		return err
-	}
-	tShip := tr.Now()
+// leaderCollectContexts imports every follower's hosted EST contexts (one
+// MsgCkpt frame each, closed by MsgDone) and brings the data loader to the
+// canonical cursor — after it, the leader's job state is the full canonical
+// job state of the global step.
+func leaderCollectContexts(job *core.Job, followers []follower) error {
 	for _, f := range followers {
 		for {
 			t, payload, err := ReadFrame(f.conn)
@@ -474,6 +478,40 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 		}
 	}
 	job.SyncDataCursors()
+	return nil
+}
+
+// runLeader drives rank 0 of a generation-mode phase: accept follower
+// connections, run the steps, then assemble and ship the monolithic
+// on-demand checkpoint to the coordinator.
+func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, steps int, timeout time.Duration, track int) error {
+	tr := spec.Tracer
+	followers, err := acceptFollowers(ln, spec.Placement, timeout)
+	defer func() {
+		for _, f := range followers {
+			f.conn.Close()
+		}
+	}()
+	if err != nil {
+		return err
+	}
+	if err := leaderSteps(job, tr, spec.Faults, spec.Placement, followers, []net.Conn{coord}, steps, track, spec.Cfg.NumESTs); err != nil {
+		return err
+	}
+
+	// assemble the on-demand checkpoint: import every remote EST context,
+	// bring the data loader to the canonical cursor, serialize, ship.
+	conns := []net.Conn{coord}
+	for _, f := range followers {
+		conns = append(conns, f.conn)
+	}
+	if err := injectFault(spec.Faults, faults.CkptShip, conns...); err != nil {
+		return err
+	}
+	tShip := tr.Now()
+	if err := leaderCollectContexts(job, followers); err != nil {
+		return err
+	}
 	if err := WriteFrame(coord, MsgCkpt, job.Checkpoint()); err != nil {
 		return err
 	}
@@ -481,31 +519,23 @@ func runLeader(job *core.Job, spec WorkerSpec, ln net.Listener, coord net.Conn, 
 	return WriteFrame(coord, MsgDone, nil)
 }
 
-// runFollower drives a non-leader rank.
-func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, coord net.Conn, steps int, timeout time.Duration, jitterSeed uint64, track int) error {
-	tr := spec.Tracer
-	if err := injectFault(spec.Faults, faults.Dial, coord); err != nil {
-		return err
-	}
-	leader, err := dialRetry(leaderAddr, timeout, jitterSeed^uint64(rank))
-	if err != nil {
-		return fmt.Errorf("dist: dial leader: %w", err)
-	}
-	defer leader.Close()
-	// identify ourselves so the leader can pin our virtual-rank set
-	hello := checkpoint.NewWriter()
-	hello.PutInt(rank)
-	if err := WriteFrame(leader, MsgHello, hello.Bytes()); err != nil {
-		return err
-	}
-	own := myRanks(spec.Placement, rank)
-
+// followerSteps runs a non-leader's side of a phase's global steps against
+// an established leader connection. Shared between the generation and
+// live-migration runtimes.
+func followerSteps(job *core.Job, tr *obs.Tracer, inj *faults.Injector, p core.Placement, rank int, leader net.Conn, extraConns []net.Conn, steps, track int) error {
+	own := myRanks(p, rank)
+	conns := append([]net.Conn{leader}, extraConns...)
 	for s := 0; s < steps; s++ {
+		if s == 0 {
+			// see leaderSteps: the earliest first-step across all workers ends
+			// the scale event's downtime window
+			tr.Instant(track, obs.CatPhase, "dist.first-step", int64(job.GlobalStep()), 0)
+		}
 		if err := job.RunLocalPhase(rank); err != nil {
 			return err
 		}
 		bufs := localBuckets(job, own)
-		if err := injectFault(spec.Faults, faults.Gather, leader, coord); err != nil {
+		if err := injectFault(inj, faults.Gather, conns...); err != nil {
 			return err
 		}
 		tSend := tr.Now()
@@ -521,7 +551,7 @@ func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, co
 			return err
 		}
 		tr.Span(track, obs.CatNet, "net.send-grads", tSend, int64(s), int64(len(frame)))
-		if err := injectFault(spec.Faults, faults.Broadcast, leader, coord); err != nil {
+		if err := injectFault(inj, faults.Broadcast, conns...); err != nil {
 			return err
 		}
 		tWait := tr.Now()
@@ -538,19 +568,49 @@ func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, co
 			return err
 		}
 	}
-	// ship hosted EST contexts for the leader's checkpoint
-	if err := injectFault(spec.Faults, faults.CkptShip, leader, coord); err != nil {
-		return err
-	}
-	tShip := tr.Now()
+	return nil
+}
+
+// followerShipContexts ships the hosted EST contexts to the leader for
+// checkpoint assembly, closing with MsgDone.
+func followerShipContexts(job *core.Job, leader net.Conn, own []int) error {
 	for _, r := range own {
 		if err := WriteFrame(leader, MsgCkpt, job.ExportESTContext(r)); err != nil {
 			return err
 		}
 	}
-	tr.Span(track, obs.CatNet, "net.ckpt-ship", tShip, int64(len(own)), int64(rank))
-	if err := WriteFrame(leader, MsgDone, nil); err != nil {
+	return WriteFrame(leader, MsgDone, nil)
+}
+
+// runFollower drives a non-leader rank of a generation-mode phase.
+func runFollower(job *core.Job, spec WorkerSpec, rank int, leaderAddr string, coord net.Conn, steps int, timeout time.Duration, jitterSeed uint64, track int) error {
+	tr := spec.Tracer
+	if err := injectFault(spec.Faults, faults.Dial, coord); err != nil {
 		return err
 	}
+	leader, err := dialRetry(leaderAddr, timeout, jitterSeed^uint64(rank))
+	if err != nil {
+		return fmt.Errorf("dist: dial leader: %w", err)
+	}
+	defer leader.Close()
+	// identify ourselves so the leader can pin our virtual-rank set
+	hello := checkpoint.NewWriter()
+	hello.PutInt(rank)
+	if err := WriteFrame(leader, MsgHello, hello.Bytes()); err != nil {
+		return err
+	}
+	if err := followerSteps(job, tr, spec.Faults, spec.Placement, rank, leader, []net.Conn{coord}, steps, track); err != nil {
+		return err
+	}
+	// ship hosted EST contexts for the leader's checkpoint
+	if err := injectFault(spec.Faults, faults.CkptShip, leader, coord); err != nil {
+		return err
+	}
+	own := myRanks(spec.Placement, rank)
+	tShip := tr.Now()
+	if err := followerShipContexts(job, leader, own); err != nil {
+		return err
+	}
+	tr.Span(track, obs.CatNet, "net.ckpt-ship", tShip, int64(len(own)), int64(rank))
 	return WriteFrame(coord, MsgDone, nil)
 }

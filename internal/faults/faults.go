@@ -46,10 +46,17 @@ const (
 	// CkptShip fires around end-of-phase checkpoint shipping (EST contexts
 	// to the leader, the assembled checkpoint to the coordinator).
 	CkptShip Site = "ckpt-ship"
+	// ShardShip fires around incremental shard shipping to the coordinator
+	// directory (manifest offer, shard upload).
+	ShardShip Site = "shard-ship"
+	// Migrate fires around live EST migration: the boundary shard fetch a
+	// reconfiguring worker performs from its peers, before it resumes
+	// training.
+	Migrate Site = "migrate"
 )
 
 // Sites lists every injection site.
-func Sites() []Site { return []Site{Dial, Gather, Broadcast, CkptShip} }
+func Sites() []Site { return []Site{Dial, Gather, Broadcast, CkptShip, ShardShip, Migrate} }
 
 // Action is what an injector does when a rule fires.
 type Action int
@@ -110,7 +117,7 @@ type Plan struct {
 	OnFire func(Site, Action)
 
 	fired  atomic.Int64
-	bySite [4]atomic.Int64 // indexed by siteIndex
+	bySite [6]atomic.Int64 // indexed by siteIndex
 }
 
 func siteIndex(s Site) int {
@@ -121,8 +128,12 @@ func siteIndex(s Site) int {
 		return 1
 	case Broadcast:
 		return 2
-	default:
+	case CkptShip:
 		return 3
+	case ShardShip:
+		return 4
+	default:
+		return 5
 	}
 }
 

@@ -56,6 +56,9 @@ const (
 	CatFault
 	// CatPhase is one elastic resource generation (dist driver).
 	CatPhase
+	// CatShard is a checkpoint-shard exchange: incremental ship to the
+	// coordinator directory, multi-peer fetch, live EST migration (dist).
+	CatShard
 )
 
 // String names the category (these are the "cat" fields of the Chrome
@@ -78,6 +81,8 @@ func (c Cat) String() string {
 		return "fault"
 	case CatPhase:
 		return "phase"
+	case CatShard:
+		return "shard"
 	}
 	return fmt.Sprintf("cat(%d)", uint8(c))
 }
