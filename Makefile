@@ -12,9 +12,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet fmt lint build test test-isa race fuzz bench benchsmoke trace-smoke
+.PHONY: check vet fmt lint build test test-isa race fuzz bench benchsmoke trace-smoke serve-smoke
 
-check: vet fmt lint build test test-isa race fuzz benchsmoke trace-smoke
+check: vet fmt lint build test test-isa race fuzz benchsmoke trace-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,7 +47,7 @@ test-isa:
 	EASYSCALE_FORCE_GENERIC=1 $(GO) test -count=1 ./internal/kernels/... ./internal/nn/... ./internal/comm/... ./internal/optim/... ./internal/core/...
 
 race:
-	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/checkpoint/... ./internal/data/... ./internal/dist/... ./internal/faults/... ./internal/core/... ./internal/elastic/... ./internal/obs/...
+	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/checkpoint/... ./internal/data/... ./internal/dist/... ./internal/faults/... ./internal/core/... ./internal/elastic/... ./internal/obs/... ./internal/serve/...
 
 # short fuzz smokes: the wire-frame and checkpoint decoders must never panic
 # on corrupt input, and the tiled GEMM kernels must stay bitwise identical to
@@ -61,6 +61,9 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzGemmTiledVsReferenceMatMulATB$$' -fuzztime $(FUZZTIME) ./internal/kernels
 	$(GO) test -run '^$$' -fuzz 'FuzzGemmTiledVsReferenceMatMulABT$$' -fuzztime $(FUZZTIME) ./internal/kernels
 	$(GO) test -run '^$$' -fuzz 'FuzzElemVsScalar$$' -fuzztime $(FUZZTIME) ./internal/kernels
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodePredict$$' -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodePredictReply$$' -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run '^$$' -fuzz 'FuzzBatchEquivalence$$' -fuzztime $(FUZZTIME) ./internal/serve
 
 # benchstat-comparable output (fixed iteration count, -benchmem); run before
 # and after a kernels change and record the pair in BENCH_prN.json
@@ -72,6 +75,11 @@ bench:
 # rot (signature drift, panics on the bench path) without the full run
 benchsmoke:
 	$(GO) test ./internal/core/ -run '^$$' -bench 'BenchmarkTrainStep$$' -benchtime 1x -short
+
+# serving smoke: checkpoint two models, drive ~1k requests at a batched and
+# an unbatched server, and require bitwise-equal outputs and zero drops
+serve-smoke:
+	$(GO) run ./cmd/easyscale-serve smoke
 
 # end-to-end observability smoke: a small traced elastic run (scale-in
 # mid-training) must emit a Chrome trace that passes the schema checker

@@ -136,7 +136,7 @@ func MotivationRevocations(jobs int, seed uint64) Result {
 func Table1Workloads() Result {
 	res := Result{ID: "table1", Title: "Deep learning workloads (Table 1)"}
 	res.Rows = append(res.Rows, row("%-16s %-22s %-22s %-14s", "model", "task", "dataset", "vendor kernels"))
-	for _, name := range models.Names() {
+	for _, name := range models.TableNames() {
 		w := models.MustBuild(name, 0)
 		vendor := "no (D2-capable)"
 		if w.UsesVendorKernels {

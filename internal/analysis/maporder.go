@@ -12,6 +12,10 @@ import (
 var orderSensitivePkgs = []string{
 	"internal/core", "internal/comm", "internal/sched", "internal/kernels",
 	"internal/nn", "internal/optim", "internal/tensor", "internal/elastic",
+	// serve: batch composition is provably numerics-invariant, but flush
+	// order and autoscaler decisions must stay deterministic — replica
+	// planning over a map of deployments would reorder scale events
+	"internal/serve",
 }
 
 // MapOrder returns the maporder analyzer: it flags `range` over a map in an

@@ -9,7 +9,10 @@ import (
 // code. The device profiler, the kernel entropy source, and the comm ready
 // jitter are NOT allow-listed — they carry per-site //detlint:ignore
 // directives so the D2 story stays a searchable, audited annotation.
-var wallTimeAllowed = []string{"internal/dist", "internal/obs", "internal/metrics"}
+// internal/serve reads the wall clock for request deadlines and flush
+// timers only; the numerics are batch-composition-invariant by construction
+// (see the serve package doc), so timing can never change an output bit.
+var wallTimeAllowed = []string{"internal/dist", "internal/obs", "internal/metrics", "internal/serve"}
 
 // WallTime returns the walltime analyzer: calls to time.Now, time.Since, or
 // time.Until outside the allow-listed packages are diagnostics, because a

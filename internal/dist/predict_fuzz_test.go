@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodePredict: arbitrary bytes offered as a MsgPredict payload —
+// truncation, oversize declared counts, negative budgets, huge model names —
+// must never panic the decoder or make it allocate beyond the input's own
+// length; accepted frames must survive an encode/decode round trip bitwise.
+func FuzzDecodePredict(f *testing.F) {
+	f.Add(EncodePredict(PredictRequest{ID: 7, Model: "neumf", BudgetMicros: 500, Input: []float32{3, 9}}))
+	f.Add(EncodePredict(PredictRequest{ID: 1, Model: "mlp", Input: []float32{0.5, -1, float32(math.Inf(1))}}))
+	f.Add(EncodePredict(PredictRequest{Model: "x", Input: []float32{1}})[:9]) // truncated mid-name
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodePredict(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if len(q.Model) == 0 || len(q.Model) > maxModelName {
+			t.Fatalf("accepted model name of length %d", len(q.Model))
+		}
+		if q.BudgetMicros < 0 {
+			t.Fatalf("accepted negative budget %d", q.BudgetMicros)
+		}
+		if 4*len(q.Input) > len(data) {
+			t.Fatalf("decoded %d floats from %d bytes", len(q.Input), len(data))
+		}
+		back, err := DecodePredict(EncodePredict(q))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.ID != q.ID || back.Model != q.Model || back.BudgetMicros != q.BudgetMicros ||
+			!bitsEqual(back.Input, q.Input) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", back, q)
+		}
+	})
+}
+
+// FuzzDecodePredictReply: same contract for the reply codec.
+func FuzzDecodePredictReply(f *testing.F) {
+	f.Add(EncodePredictReply(PredictReply{ID: 7, Output: []float32{0.25}}))
+	f.Add(EncodePredictReply(PredictReply{ID: 9, Err: "unknown model \"bogus\""}))
+	f.Add(EncodePredictReply(PredictReply{Output: []float32{1, 2, 3}})[:11]) // truncated
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePredictReply(data)
+		if err != nil {
+			return
+		}
+		if 4*len(p.Output) > len(data) || len(p.Err) > len(data) {
+			t.Fatalf("decoded %d floats + %d error bytes from %d bytes", len(p.Output), len(p.Err), len(data))
+		}
+		back, err := DecodePredictReply(EncodePredictReply(p))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.ID != p.ID || back.Err != p.Err || !bitsEqual(back.Output, p.Output) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", back, p)
+		}
+	})
+}
+
+// bitsEqual compares float32 slices by bit pattern (NaN-safe: a NaN input
+// must round-trip to the same NaN bits).
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPredictCodecCorruptionSmoke drives the fuzz property over a fixed set
+// of deterministic corruptions, so `go test` exercises the rejection paths
+// without the fuzzer.
+func TestPredictCodecCorruptionSmoke(t *testing.T) {
+	good := EncodePredict(PredictRequest{ID: 3, Model: "neumf", BudgetMicros: 250, Input: []float32{1, 2}})
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodePredict(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodePredict(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	for i := range good {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xFF
+		q, err := DecodePredict(mut)
+		if err != nil {
+			continue
+		}
+		// a bit flip that still decodes must still respect the bounds
+		if len(q.Model) == 0 || len(q.Model) > maxModelName || q.BudgetMicros < 0 {
+			t.Fatalf("corrupt frame decoded out of bounds: %+v", q)
+		}
+	}
+	reply := EncodePredictReply(PredictReply{ID: 3, Output: []float32{0.5}})
+	for cut := 0; cut < len(reply); cut++ {
+		if _, err := DecodePredictReply(reply[:cut]); err == nil {
+			t.Fatalf("reply truncation at %d accepted", cut)
+		}
+	}
+}

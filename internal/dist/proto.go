@@ -78,6 +78,14 @@ const (
 	MsgShipDone
 	// MsgShardGet requests one shard by content hash from a peer.
 	MsgShardGet
+
+	// Inference-serving frames (client ↔ serve server, see predict.go).
+
+	// MsgPredict carries one inference request: id, model name, deadline
+	// budget, and the input feature row.
+	MsgPredict
+	// MsgPredictReply carries the matching output row (or an error).
+	MsgPredictReply
 )
 
 // maxFrame bounds a frame payload (checkpoints of the scaled-down models are
@@ -88,6 +96,11 @@ const maxFrame = 256 << 20
 // are rejected before any bytes hit the wire: a uint32 length header cannot
 // represent them, so writing one would silently truncate the length and
 // desynchronize the stream for every subsequent frame.
+//
+// Header and payload go out in one writev call (net.Buffers) rather than two
+// writes: on the serving path a frame is a whole request, so every write is
+// a syscall and header+payload as separate writes doubles the per-request
+// syscall bill (and can emit a 5-byte TCP segment ahead of each payload).
 func WriteFrame(c net.Conn, t MsgType, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("dist: refusing to write frame of %d bytes (limit %d)", len(payload), maxFrame)
@@ -95,19 +108,28 @@ func WriteFrame(c net.Conn, t MsgType, payload []byte) error {
 	var hdr [5]byte
 	hdr[0] = byte(t)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := c.Write(hdr[:]); err != nil {
-		return fmt.Errorf("dist: write header: %w", err)
-	}
-	if len(payload) > 0 {
-		if _, err := c.Write(payload); err != nil {
-			return fmt.Errorf("dist: write payload: %w", err)
+	if len(payload) == 0 {
+		if _, err := c.Write(hdr[:]); err != nil {
+			return fmt.Errorf("dist: write header: %w", err)
 		}
+		return nil
+	}
+	bufs := net.Buffers{hdr[:], payload}
+	if _, err := bufs.WriteTo(c); err != nil {
+		return fmt.Errorf("dist: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame receives one frame.
+// ReadFrame receives one frame from a connection.
 func ReadFrame(c net.Conn) (MsgType, []byte, error) {
+	return ReadFrameFrom(c)
+}
+
+// ReadFrameFrom receives one frame from any reader. Hot consumers (the
+// serving request loop) wrap the connection in a bufio.Reader and call this
+// so the 5-byte header read does not cost its own syscall.
+func ReadFrameFrom(c io.Reader) (MsgType, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(c, hdr[:]); err != nil {
 		return 0, nil, fmt.Errorf("dist: read header: %w", err)

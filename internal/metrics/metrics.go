@@ -15,6 +15,9 @@ type Summary struct {
 	Mean, Std     float64
 	Min, Max      float64
 	P50, P90, P99 float64
+	// P999 is the 99.9th percentile — the serving tail-latency figure of
+	// merit, where dynamic-batching head-of-line blocking shows up first.
+	P999 float64
 }
 
 // Summarize computes a Summary of xs (xs is not modified).
@@ -29,6 +32,7 @@ func Summarize(xs []float64) Summary {
 	s.P50 = Percentile(sorted, 0.50)
 	s.P90 = Percentile(sorted, 0.90)
 	s.P99 = Percentile(sorted, 0.99)
+	s.P999 = Percentile(sorted, 0.999)
 	var sum float64
 	for _, v := range sorted {
 		sum += v
@@ -69,6 +73,19 @@ func Percentile(sorted []float64, p float64) float64 {
 		return sorted[lo]
 	}
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram buckets xs by the ascending upper bounds: counts[i] holds the
+// number of values ≤ bounds[i] not already counted by an earlier bucket, and
+// counts[len(bounds)] is the overflow bucket. Latency reports use it to show
+// distribution shape beyond the fixed percentiles of Summary.
+func Histogram(xs, bounds []float64) []int {
+	counts := make([]int, len(bounds)+1)
+	for _, v := range xs {
+		i := sort.SearchFloat64s(bounds, v)
+		counts[i]++
+	}
+	return counts
 }
 
 // Spread returns max(xs) − min(xs), the accuracy-inconsistency measure of

@@ -65,6 +65,52 @@ func TestPercentileInterpolation(t *testing.T) {
 	if Percentile(nil, 0.5) != 0 {
 		t.Fatal("empty percentile")
 	}
+	// P999 interpolates within the last gap: on 0..1000 the 99.9th
+	// percentile sits exactly at 999
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if p := Percentile(xs, 0.999); math.Abs(p-999) > 1e-9 {
+		t.Fatalf("p999 of 0..1000 = %v", p)
+	}
+	s := Summarize(xs)
+	if s.P999 < s.P99 || s.P999 > s.Max {
+		t.Fatalf("P999 %v outside [P99 %v, Max %v]", s.P999, s.P99, s.Max)
+	}
+	// on a two-point series P999 must still interpolate, not snap to Max
+	if s2 := Summarize([]float64{0, 10}); s2.P999 >= 10 || s2.P999 <= s2.P50 {
+		t.Fatalf("two-point P999 = %v", s2.P999)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	got := Histogram([]float64{0.5, 1, 1.5, 3, 100}, bounds)
+	want := []int{2, 1, 1, 1} // ≤1: {0.5, 1}; ≤2: {1.5}; ≤4: {3}; overflow: {100}
+	if len(got) != len(want) {
+		t.Fatalf("histogram has %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("histogram %v, want %v", got, want)
+		}
+	}
+	if h := Histogram(nil, bounds); h[0]+h[1]+h[2]+h[3] != 0 {
+		t.Fatal("empty input must produce empty buckets")
+	}
+	// no bounds: everything lands in the single overflow bucket
+	if h := Histogram([]float64{1, 2}, nil); len(h) != 1 || h[0] != 2 {
+		t.Fatalf("boundless histogram %v", h)
+	}
+	// total count is preserved regardless of bounds
+	total := 0
+	for _, c := range Histogram([]float64{-5, 0, 1, 2, 3, 4, 5}, bounds) {
+		total += c
+	}
+	if total != 7 {
+		t.Fatalf("histogram lost values: total %d", total)
+	}
 }
 
 func TestPercentileMonotoneProperty(t *testing.T) {

@@ -20,9 +20,9 @@ func trainCtx() *nn.Context {
 }
 
 func TestNamesCoversTable1(t *testing.T) {
-	names := Names()
+	names := TableNames()
 	if len(names) != 8 {
-		t.Fatalf("Table 1 has 8 workloads, registry has %d: %v", len(names), names)
+		t.Fatalf("Table 1 has 8 workloads, TableNames has %d: %v", len(names), names)
 	}
 	for _, want := range []string{"shufflenetv2", "resnet50", "vgg19", "yolov3", "neumf", "bert", "electra", "swintransformer"} {
 		if _, err := Build(want, 1); err != nil {

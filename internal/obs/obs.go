@@ -59,6 +59,9 @@ const (
 	// CatShard is a checkpoint-shard exchange: incremental ship to the
 	// coordinator directory, multi-peer fetch, live EST migration (dist).
 	CatShard
+	// CatServe is an inference-serving event: a predict request's queue
+	// residency, a coalesced batch forward, or a flush decision (serve).
+	CatServe
 )
 
 // String names the category (these are the "cat" fields of the Chrome
@@ -83,6 +86,8 @@ func (c Cat) String() string {
 		return "phase"
 	case CatShard:
 		return "shard"
+	case CatServe:
+		return "serve"
 	}
 	return fmt.Sprintf("cat(%d)", uint8(c))
 }

@@ -1,0 +1,106 @@
+package serve
+
+import "sort"
+
+// ModelLoad is the autoscaler's per-deployment input snapshot.
+type ModelLoad struct {
+	// Name identifies the deployment (plans come back keyed by it).
+	Name string
+	// Replicas is the current replica count.
+	Replicas int
+	// Queued is the depth of the deployment's request queue.
+	Queued int
+	// Inflight counts requests taken by replicas but not yet answered.
+	Inflight int
+	// IdleRounds counts consecutive autoscale rounds with zero demand.
+	IdleRounds int
+}
+
+// Plan is one deployment's target replica count.
+type Plan struct {
+	Name     string
+	Replicas int
+	// Saturation is the demand-to-capacity ratio the decision was based
+	// on, for observability (negative means infinite: demand with zero
+	// replicas).
+	Saturation float64
+}
+
+// PlanReplicas computes target replica counts with the greedy
+// saturation-ordered policy of GPU-limiter-style schedulers:
+//
+//  1. Each deployment's demand is its queued plus in-flight requests; its
+//     desired replica count is ceil(demand / maxBatch) — just enough
+//     capacity to clear the backlog in one coalesced pass per replica.
+//  2. Deployments are sorted by saturation (demand over current capacity,
+//     infinite when demand meets zero replicas) — the most underwater
+//     deployment picks first.
+//  3. Replicas are granted greedily under the total capacity budget;
+//     when the budget runs short a deployment takes a partial allocation
+//     (whatever is left) rather than nothing.
+//  4. A deployment idle for more than idleTicks rounds scales to zero;
+//     its queue survives, so a late request simply re-triggers scale-up.
+//
+// The function is pure and deterministic: equal saturation breaks ties by
+// name, so identical snapshots always produce identical plans (detlint:
+// serve is ordering-sensitive).
+func PlanReplicas(loads []ModelLoad, maxBatch, capacity, idleTicks int) []Plan {
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
+	type cand struct {
+		Plan
+		desired int
+	}
+	cands := make([]cand, 0, len(loads))
+	for _, l := range loads {
+		demand := l.Queued + l.Inflight
+		desired := (demand + maxBatch - 1) / maxBatch
+		sat := 0.0
+		switch {
+		case demand == 0:
+			// idle: keep current replicas warm until the idle budget runs
+			// out, then release them all
+			desired = l.Replicas
+			if idleTicks > 0 && l.IdleRounds >= idleTicks {
+				desired = 0
+			}
+		case l.Replicas == 0:
+			sat = -1 // infinite: demand against zero capacity
+		default:
+			sat = float64(demand) / float64(l.Replicas*maxBatch)
+		}
+		if demand > 0 && desired < 1 {
+			desired = 1
+		}
+		cands = append(cands, cand{Plan{Name: l.Name, Saturation: sat}, desired})
+	}
+	// most saturated first; -1 (infinite) outranks everything; ties break
+	// by name so the plan is a pure function of the snapshot
+	sort.Slice(cands, func(i, j int) bool {
+		si, sj := cands[i].Saturation, cands[j].Saturation
+		ii, ij := si < 0, sj < 0
+		if ii != ij {
+			return ii
+		}
+		if si != sj {
+			return si > sj
+		}
+		return cands[i].Name < cands[j].Name
+	})
+	budget := capacity
+	unlimited := capacity <= 0
+	plans := make([]Plan, len(cands))
+	for i, c := range cands {
+		grant := c.desired
+		if !unlimited {
+			if grant > budget {
+				grant = budget // partial allocation beats starvation
+			}
+			budget -= grant
+		}
+		plans[i] = c.Plan
+		plans[i].Replicas = grant
+	}
+	return plans
+}

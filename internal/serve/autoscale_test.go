@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+)
+
+func planMap(plans []Plan) map[string]int {
+	m := make(map[string]int, len(plans))
+	for _, p := range plans {
+		m[p.Name] = p.Replicas
+	}
+	return m
+}
+
+func TestPlanReplicasDemandSizing(t *testing.T) {
+	plans := PlanReplicas([]ModelLoad{
+		{Name: "a", Replicas: 1, Queued: 33}, // ceil(33/16) = 3
+		{Name: "b", Replicas: 1, Queued: 5},  // ceil(5/16) = 1
+	}, 16, 0, 0)
+	got := planMap(plans)
+	if got["a"] != 3 || got["b"] != 1 {
+		t.Fatalf("plans %v", got)
+	}
+}
+
+func TestPlanReplicasGreedyBySaturation(t *testing.T) {
+	// capacity 3: the drowning deployment goes first, the other gets the rest
+	plans := PlanReplicas([]ModelLoad{
+		{Name: "calm", Replicas: 2, Queued: 8},       // sat 8/32 = 0.25, wants 1
+		{Name: "drowning", Replicas: 1, Queued: 100}, // sat 100/16 = 6.25, wants 7
+	}, 16, 3, 0)
+	if plans[0].Name != "drowning" {
+		t.Fatalf("most saturated must pick first, got %q", plans[0].Name)
+	}
+	got := planMap(plans)
+	if got["drowning"] != 3 {
+		t.Fatalf("drowning got %d of capacity 3 (partial allocation)", got["drowning"])
+	}
+	if got["calm"] != 0 {
+		t.Fatalf("calm got %d from an exhausted budget", got["calm"])
+	}
+}
+
+func TestPlanReplicasZeroReplicaDemandIsInfinite(t *testing.T) {
+	plans := PlanReplicas([]ModelLoad{
+		{Name: "busy", Replicas: 4, Queued: 400}, // sat 6.25
+		{Name: "cold", Replicas: 0, Queued: 1},   // infinite: must go first
+	}, 16, 2, 0)
+	if plans[0].Name != "cold" {
+		t.Fatalf("zero-replica demand must outrank finite saturation, got %q first", plans[0].Name)
+	}
+	if got := planMap(plans); got["cold"] != 1 || got["busy"] != 1 {
+		t.Fatalf("plans %v, want cold=1 busy=1 under capacity 2", got)
+	}
+}
+
+func TestPlanReplicasScaleToZero(t *testing.T) {
+	idle := ModelLoad{Name: "idle", Replicas: 2, Queued: 0, Inflight: 0}
+	// below the idle budget: replicas stay warm
+	idle.IdleRounds = 2
+	if got := planMap(PlanReplicas([]ModelLoad{idle}, 16, 0, 3)); got["idle"] != 2 {
+		t.Fatalf("warm idle deployment scaled early: %v", got)
+	}
+	// at the budget: released entirely
+	idle.IdleRounds = 3
+	if got := planMap(PlanReplicas([]ModelLoad{idle}, 16, 0, 3)); got["idle"] != 0 {
+		t.Fatalf("idle deployment not scaled to zero: %v", got)
+	}
+	// idleTicks 0 disables scale-to-zero
+	idle.IdleRounds = 1000
+	if got := planMap(PlanReplicas([]ModelLoad{idle}, 16, 0, 0)); got["idle"] != 2 {
+		t.Fatalf("scale-to-zero ran with idleTicks=0: %v", got)
+	}
+}
+
+func TestPlanReplicasScaleDownToDemand(t *testing.T) {
+	plans := PlanReplicas([]ModelLoad{
+		{Name: "waning", Replicas: 8, Queued: 10}, // ceil(10/16) = 1
+	}, 16, 0, 0)
+	if got := planMap(plans); got["waning"] != 1 {
+		t.Fatalf("over-provisioned deployment kept %d replicas", got["waning"])
+	}
+}
+
+func TestPlanReplicasDeterministic(t *testing.T) {
+	loads := []ModelLoad{
+		{Name: "b", Replicas: 1, Queued: 16},
+		{Name: "a", Replicas: 1, Queued: 16}, // identical saturation: ties by name
+		{Name: "c", Replicas: 0, Queued: 0},
+	}
+	first := PlanReplicas(loads, 16, 1, 0)
+	if first[0].Name != "a" {
+		t.Fatalf("equal saturation must tie-break by name, got %q first", first[0].Name)
+	}
+	for i := 0; i < 50; i++ {
+		if again := PlanReplicas(loads, 16, 1, 0); !reflect.DeepEqual(first, again) {
+			t.Fatalf("identical snapshot produced a different plan:\n%v\n%v", first, again)
+		}
+	}
+}
+
+func TestPlanReplicasInflightCountsAsDemand(t *testing.T) {
+	plans := PlanReplicas([]ModelLoad{
+		{Name: "m", Replicas: 1, Queued: 0, Inflight: 40},
+	}, 16, 0, 0)
+	if got := planMap(plans); got["m"] != 3 {
+		t.Fatalf("in-flight demand ignored: %v", got)
+	}
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+)
+
+// BenchConfig parameterizes the batched-vs-unbatched serving benchmark.
+type BenchConfig struct {
+	// Models are the zoo workloads to deploy (default: neumf and mlp, the
+	// two smallest — fixed per-forward overhead dominates them, which is
+	// exactly where dynamic batching pays).
+	Models []string
+	// TrainSteps is how long each model trains before its checkpoint is
+	// taken (enough to make parameters non-trivial; accuracy is not the
+	// point here).
+	TrainSteps int
+	// Workers/PerWorker shape the closed loop per model; total requests
+	// per mode is len(Models)*Workers*PerWorker.
+	Workers, PerWorker int
+	// MaxBatch is the batched mode's coalescing bound (unbatched mode is
+	// always 1).
+	MaxBatch int
+	// Seed seeds the training jobs.
+	Seed uint64
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if len(c.Models) == 0 {
+		c.Models = []string{"neumf", "mlp"}
+	}
+	if c.TrainSteps <= 0 {
+		c.TrainSteps = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.PerWorker <= 0 {
+		c.PerWorker = 800
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 17
+	}
+	return c
+}
+
+// ModeResult is one serving mode's outcome.
+type ModeResult struct {
+	MaxBatch      int
+	Requests      int
+	Errors        int
+	ThroughputRPS float64
+	MeanMs        float64
+	P50Ms         float64
+	P99Ms         float64
+	P999Ms        float64
+	BucketsMs     []int
+	Checksum      uint64
+}
+
+// BenchOutcome is the benchmark record (BENCH_pr8.json). Batched/Unbatched
+// drive the full TCP protocol; SaturationBatched/SaturationUnbatched drive
+// the serving core in-process, where the replicas — not loopback syscalls —
+// are the bottleneck, which is the regime the batching speedup claim is
+// about. All four checksums must agree: neither the transport nor batching
+// may change an output bit.
+type BenchOutcome struct {
+	Models              []string
+	Workers             int
+	PerWorker           int
+	ISA                 string
+	Batched             ModeResult
+	Unbatched           ModeResult
+	SaturationBatched   ModeResult
+	SaturationUnbatched ModeResult
+	// SpeedupX is the saturation (serving-core) throughput ratio;
+	// TCPSpeedupX the end-to-end protocol ratio, which a small host's
+	// per-request syscall cost dilutes.
+	SpeedupX       float64
+	TCPSpeedupX    float64
+	ChecksumsEqual bool
+}
+
+// TrainContainers trains each model briefly on the in-process engine and
+// returns its sharded checkpoint container — the artifact a real cluster
+// would hand from the training side to the serving side.
+func TrainContainers(names []string, steps int, seed uint64) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
+		cfg := core.DefaultConfig(1)
+		cfg.Seed = seed
+		j, err := core.NewJob(cfg, name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: training %q: %w", name, err)
+		}
+		if err := j.Attach(core.EvenPlacement(1, device.V100)); err != nil {
+			return nil, fmt.Errorf("serve: training %q: %w", name, err)
+		}
+		if err := j.RunSteps(steps); err != nil {
+			return nil, fmt.Errorf("serve: training %q: %w", name, err)
+		}
+		out[name] = j.Checkpoint()
+	}
+	return out, nil
+}
+
+// runMode serves the containers with the given batching bound and drives
+// the standard load against it, over TCP or (direct=true) in-process.
+func runMode(containers map[string][]byte, names []string, maxBatch, workers, perWorker int, direct bool, tr *obs.Tracer) (ModeResult, error) {
+	srv := NewServer(Options{MaxBatch: maxBatch, MaxWait: 2 * time.Millisecond}, tr)
+	for _, name := range names {
+		if err := srv.Deploy(name, containers[name], 1); err != nil {
+			return ModeResult{}, err
+		}
+	}
+	defer srv.Close()
+	gen := LoadGen{Models: names, Workers: workers, PerWorker: perWorker}
+	if direct {
+		gen.Direct = srv
+	} else {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return ModeResult{}, err
+		}
+		go srv.Serve(ln)
+		gen.Addr = ln.Addr().String()
+	}
+	rep, err := gen.Run()
+	if err != nil {
+		return ModeResult{}, err
+	}
+	return ModeResult{
+		MaxBatch:      maxBatch,
+		Requests:      rep.Requests,
+		Errors:        rep.Errors,
+		ThroughputRPS: rep.Throughput,
+		MeanMs:        rep.Latency.Mean,
+		P50Ms:         rep.Latency.P50,
+		P99Ms:         rep.Latency.P99,
+		P999Ms:        rep.Latency.P999,
+		BucketsMs:     rep.LatencyBucketsMs,
+		Checksum:      rep.Checksum,
+	}, nil
+}
+
+// RunBench trains the model set, serves it batched and unbatched, drives
+// the identical closed-loop load at both, and reports throughput, latency
+// percentiles, and the output checksums. Equal checksums are the
+// whole-system restatement of the bitwise batching-equivalence guarantee:
+// a hundred thousand requests got bit-identical answers whether or not
+// they shared a forward pass.
+func RunBench(cfg BenchConfig, tr *obs.Tracer) (BenchOutcome, error) {
+	cfg = cfg.withDefaults()
+	containers, err := TrainContainers(cfg.Models, cfg.TrainSteps, cfg.Seed)
+	if err != nil {
+		return BenchOutcome{}, err
+	}
+	out := BenchOutcome{Models: cfg.Models, Workers: cfg.Workers, PerWorker: cfg.PerWorker, ISA: kernels.ActiveISA()}
+	out.Batched, err = runMode(containers, cfg.Models, cfg.MaxBatch, cfg.Workers, cfg.PerWorker, false, tr)
+	if err != nil {
+		return out, err
+	}
+	out.Unbatched, err = runMode(containers, cfg.Models, 1, cfg.Workers, cfg.PerWorker, false, tr)
+	if err != nil {
+		return out, err
+	}
+	out.SaturationBatched, err = runMode(containers, cfg.Models, cfg.MaxBatch, cfg.Workers, cfg.PerWorker, true, tr)
+	if err != nil {
+		return out, err
+	}
+	out.SaturationUnbatched, err = runMode(containers, cfg.Models, 1, cfg.Workers, cfg.PerWorker, true, tr)
+	if err != nil {
+		return out, err
+	}
+	if out.SaturationUnbatched.ThroughputRPS > 0 {
+		out.SpeedupX = out.SaturationBatched.ThroughputRPS / out.SaturationUnbatched.ThroughputRPS
+	}
+	if out.Unbatched.ThroughputRPS > 0 {
+		out.TCPSpeedupX = out.Batched.ThroughputRPS / out.Unbatched.ThroughputRPS
+	}
+	out.ChecksumsEqual = out.Batched.Checksum == out.Unbatched.Checksum &&
+		out.Batched.Checksum == out.SaturationBatched.Checksum &&
+		out.Batched.Checksum == out.SaturationUnbatched.Checksum
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/dist"
+)
+
+// Client is a synchronous serving client: one TCP connection, one
+// outstanding request at a time. Load generators open one Client per
+// closed-loop worker.
+type Client struct {
+	c      net.Conn
+	br     *bufio.Reader
+	nextID uint64
+}
+
+// Dial connects to a serve server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return &Client{c: c, br: bufio.NewReaderSize(c, 16<<10)}, nil
+}
+
+// Predict sends one request and blocks for its reply. budgetMicros ≤ 0
+// means no deadline pressure beyond the server's MaxWait.
+func (cl *Client) Predict(model string, input []float32, budgetMicros int64) ([]float32, error) {
+	cl.nextID++
+	req := dist.PredictRequest{ID: cl.nextID, Model: model, Input: input}
+	if budgetMicros > 0 {
+		req.BudgetMicros = budgetMicros
+	}
+	if err := dist.WriteFrame(cl.c, dist.MsgPredict, dist.EncodePredict(req)); err != nil {
+		return nil, err
+	}
+	t, payload, err := dist.ReadFrameFrom(cl.br)
+	if err != nil {
+		return nil, err
+	}
+	if t != dist.MsgPredictReply {
+		return nil, fmt.Errorf("serve: expected reply frame, got %d", t)
+	}
+	rep, err := dist.DecodePredictReply(payload)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Err != "" {
+		return nil, errors.New(rep.Err)
+	}
+	if rep.ID != req.ID {
+		return nil, fmt.Errorf("serve: reply for request %d, expected %d", rep.ID, req.ID)
+	}
+	return rep.Output, nil
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/dist"
+)
+
+// item is one queued predict request plus its reply path and timing.
+type item struct {
+	req dist.PredictRequest
+	// enq is the arrival instant; the batch the item joins must flush by
+	// enq+MaxWait at the latest.
+	enq time.Time
+	// deadline is enq plus the request's own budget (zero budget means the
+	// request imposes no flush pressure beyond MaxWait).
+	deadline time.Time
+	// enqClock is the tracer clock at arrival, for queue-residency spans.
+	enqClock int64
+	// reply receives exactly one PredictReply (buffered, never blocks the
+	// replica).
+	reply chan dist.PredictReply
+}
+
+// queue is the deployment's shared request queue: every replica of a model
+// collects batches from the same queue, so adding a replica is just adding a
+// consumer and removing one strands nothing — whatever the departed replica
+// did not take stays queued for its peers.
+//
+// Determinism contract (detlint: serve is ordering-sensitive): items leave
+// in arrival order, batches are contiguous prefixes, and a collect wakes for
+// exactly three reasons — batch full, flush deadline reached, queue closed.
+type queue struct {
+	mu      chan struct{} // 1-token mutex; also guards cond below
+	wake    chan struct{} // closed-and-replaced broadcast channel
+	waiters int           // collectors currently parked on wake
+	// items[head:] is the live queue; head advances as batches leave and
+	// the backing array is compacted only when the dead prefix dominates,
+	// so a collect is O(batch) instead of O(depth) and allocation-free.
+	items  []*item
+	head   int
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{mu: make(chan struct{}, 1), wake: make(chan struct{})}
+	q.mu <- struct{}{}
+	return q
+}
+
+func (q *queue) lock()   { <-q.mu }
+func (q *queue) unlock() { q.mu <- struct{}{} }
+
+// broadcast wakes every waiter by closing the current wake channel and
+// installing a fresh one. When no collector is parked — the saturated
+// steady state, where replicas always find work without waiting — it does
+// nothing, so the per-push cost is a counter check rather than a channel
+// allocation. Callers must hold the lock.
+func (q *queue) broadcast() {
+	if q.waiters == 0 {
+		return
+	}
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// push enqueues one item. Returns false when the queue is closed (the
+// caller replies with an error instead of dropping silently).
+func (q *queue) push(it *item) bool {
+	q.lock()
+	if q.closed {
+		q.unlock()
+		return false
+	}
+	q.items = append(q.items, it)
+	q.broadcast()
+	q.unlock()
+	return true
+}
+
+// depth reports the current queue length (autoscaler input).
+func (q *queue) depth() int {
+	q.lock()
+	n := len(q.items) - q.head
+	q.unlock()
+	return n
+}
+
+// isClosed reports whether close has been called.
+func (q *queue) isClosed() bool {
+	q.lock()
+	c := q.closed
+	q.unlock()
+	return c
+}
+
+// collect blocks until at least one item is queued, then gathers a batch:
+// it returns early with maxBatch items when the queue is that deep, and
+// otherwise waits until the earliest flush instant — the first item's
+// arrival plus maxWait, tightened by any queued request's own deadline —
+// before taking whatever is there. Returns nil when the queue is closed and
+// empty, or when stop fires first (queued items are left untouched for the
+// surviving collectors, so aborting a collect can never drop a request).
+func (q *queue) collect(maxBatch int, maxWait time.Duration, stop <-chan struct{}) []*item {
+	q.lock()
+	for {
+		if len(q.items)-q.head >= maxBatch || (q.closed && len(q.items)-q.head > 0) {
+			break
+		}
+		if q.closed {
+			q.unlock()
+			return nil
+		}
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if len(q.items)-q.head > 0 {
+			flushAt := q.items[q.head].enq.Add(maxWait)
+			for _, it := range q.items[q.head:] {
+				if !it.deadline.IsZero() && it.deadline.Before(flushAt) {
+					flushAt = it.deadline
+				}
+			}
+			d := time.Until(flushAt)
+			if d <= 0 {
+				break
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+		q.waiters++
+		wake := q.wake
+		q.unlock()
+		select {
+		case <-wake:
+		case <-timeout:
+		case <-stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			q.lock()
+			q.waiters--
+			q.unlock()
+			return nil
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		q.lock()
+		q.waiters--
+	}
+	n := len(q.items) - q.head
+	if n > maxBatch {
+		n = maxBatch
+	}
+	batch := q.items[q.head : q.head+n : q.head+n]
+	q.head += n
+	// returned batches alias this backing array, so compaction must move to
+	// a fresh one — reusing the prefix would let new pushes overwrite items
+	// a replica is still serving
+	if q.head == len(q.items) {
+		q.items = nil
+		q.head = 0
+	} else if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append([]*item(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	if len(q.items)-q.head >= maxBatch {
+		// enough left for another full batch: wake a peer replica
+		q.broadcast()
+	}
+	q.unlock()
+	return batch
+}
+
+// drainAll removes and returns every queued item (shutdown path for a
+// deployment with no replicas left to answer them).
+func (q *queue) drainAll() []*item {
+	q.lock()
+	items := q.items[q.head:]
+	q.items = nil
+	q.head = 0
+	q.unlock()
+	return items
+}
+
+// close marks the queue closed and wakes every collector; already-queued
+// items are still drained by collect so shutdown never drops work.
+func (q *queue) close() {
+	q.lock()
+	if !q.closed {
+		q.closed = true
+		q.broadcast()
+	}
+	q.unlock()
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func qItem(id uint64, budget time.Duration) *item {
+	it := &item{
+		req:   dist.PredictRequest{ID: id, Input: []float32{1}},
+		enq:   time.Now(),
+		reply: make(chan dist.PredictReply, 1),
+	}
+	if budget > 0 {
+		it.deadline = it.enq.Add(budget)
+	}
+	return it
+}
+
+var never = make(chan struct{})
+
+func TestQueueBatchFullFlush(t *testing.T) {
+	q := newQueue()
+	for i := 1; i <= 5; i++ {
+		q.push(qItem(uint64(i), 0))
+	}
+	batch := q.collect(3, time.Hour, never)
+	if len(batch) != 3 {
+		t.Fatalf("batch size %d, want 3", len(batch))
+	}
+	// arrival order, contiguous prefix
+	for i, it := range batch {
+		if it.req.ID != uint64(i+1) {
+			t.Fatalf("batch[%d] = request %d, want %d (arrival order)", i, it.req.ID, i+1)
+		}
+	}
+	if d := q.depth(); d != 2 {
+		t.Fatalf("queue depth %d after collect, want 2", d)
+	}
+}
+
+func TestQueueTimeoutFlush(t *testing.T) {
+	q := newQueue()
+	q.push(qItem(1, 0))
+	start := time.Now()
+	batch := q.collect(16, 5*time.Millisecond, never)
+	if len(batch) != 1 {
+		t.Fatalf("batch size %d, want 1", len(batch))
+	}
+	if e := time.Since(start); e > 500*time.Millisecond {
+		t.Fatalf("maxWait flush took %v", e)
+	}
+}
+
+func TestQueueDeadlineTightensFlush(t *testing.T) {
+	q := newQueue()
+	q.push(qItem(1, time.Millisecond)) // request's own budget ≪ maxWait
+	start := time.Now()
+	batch := q.collect(16, 10*time.Second, never)
+	if len(batch) != 1 {
+		t.Fatalf("batch size %d, want 1", len(batch))
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("deadline flush took %v (maxWait was 10s)", e)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue()
+	q.push(qItem(1, 0))
+	q.push(qItem(2, 0))
+	q.close()
+	if q.push(qItem(3, 0)) {
+		t.Fatal("push after close must fail")
+	}
+	batch := q.collect(16, time.Hour, never)
+	if len(batch) != 2 {
+		t.Fatalf("closed queue drained %d items, want 2", len(batch))
+	}
+	if q.collect(16, time.Hour, never) != nil {
+		t.Fatal("empty closed queue must return nil")
+	}
+}
+
+func TestQueueStopAbandonsWithoutTaking(t *testing.T) {
+	q := newQueue()
+	stop := make(chan struct{})
+	done := make(chan []*item, 1)
+	go func() { done <- q.collect(16, time.Hour, stop) }()
+	time.Sleep(2 * time.Millisecond)
+	close(stop)
+	if batch := <-done; batch != nil {
+		t.Fatalf("stopped collect returned %d items", len(batch))
+	}
+	// an item pushed before or after the abort survives for other collectors
+	q.push(qItem(7, 0))
+	batch := q.collect(16, time.Millisecond, never)
+	if len(batch) != 1 || batch[0].req.ID != 7 {
+		t.Fatal("aborted collect lost a queued item")
+	}
+}
+
+func TestQueueWakesSecondCollector(t *testing.T) {
+	q := newQueue()
+	got := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() { got <- len(q.collect(2, 50*time.Millisecond, never)) }()
+	}
+	for i := 1; i <= 4; i++ {
+		q.push(qItem(uint64(i), 0))
+	}
+	total := <-got + <-got
+	// Under scheduler pressure a collector can flush-timeout with a partial
+	// batch before all pushes land; whatever it left behind must still be
+	// collectable — the invariant is no item is ever lost, not batch shape.
+	for total < 4 {
+		rest := q.collect(2, time.Millisecond, never)
+		if len(rest) == 0 {
+			t.Fatalf("collectors took %d items, remainder unreachable (want all 4)", total)
+		}
+		total += len(rest)
+	}
+	if total != 4 {
+		t.Fatalf("collectors took %d items, want exactly 4", total)
+	}
+}

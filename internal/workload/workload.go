@@ -68,7 +68,7 @@ func GenerateProduction(n int, meanInterArrivalSec float64, seed uint64) []JobSp
 
 func generate(n int, meanInterArrivalSec float64, seed uint64, sizes SizeDist) []JobSpec {
 	s := rng.NewNamed(seed, "trace")
-	names := models.Names()
+	names := models.TableNames()
 	jobs := make([]JobSpec, n)
 	now := 0.0
 	v100GFLOPS := device.SpecOf(device.V100).PeakGFLOPS
