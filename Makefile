@@ -1,8 +1,11 @@
 # Developer checks for the EasyScale reproduction.
 #
 #   make check   — everything CI would run
-#   make lint    — detlint determinism analyzers (maporder, rawrand, walltime,
-#                  chanorder, floatwiden); fails on unsuppressed diagnostics
+#   make lint    — detlint contract analyzers: determinism (maporder, rawrand,
+#                  walltime, chanorder, floatwiden) plus resource safety
+#                  (poolbalance, boundeddecode, deadlineio, spanbalance,
+#                  hotalloc); fails on unsuppressed diagnostics
+#   make lint-audit — list every //detlint:ignore site with its cited reason
 #   make race    — race detector over the concurrency-bearing packages
 #                  (the persistent kernel worker pool must stay race-clean)
 #   make bench   — the training-step benchmarks with allocation reporting
@@ -12,7 +15,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet fmt lint build test test-isa race fuzz bench benchsmoke trace-smoke serve-smoke
+.PHONY: check vet fmt lint lint-audit build test test-isa race fuzz bench benchsmoke trace-smoke serve-smoke
 
 check: vet fmt lint build test test-isa race fuzz benchsmoke trace-smoke serve-smoke
 
@@ -25,10 +28,20 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# static determinism contract: exits non-zero on any diagnostic not annotated
-# with //detlint:ignore <analyzer> -- <reason>
-lint:
-	$(GO) run ./cmd/detlint ./...
+# static determinism + resource contracts: exits non-zero on any diagnostic
+# not annotated with //detlint:ignore <analyzer> -- <reason>. Built once into
+# bin/ so repeated lint runs (and lint-audit) skip the go-run link step.
+bin/detlint: $(shell find cmd/detlint internal/analysis -name '*.go' -not -path '*/testdata/*')
+	@mkdir -p bin
+	$(GO) build -o bin/detlint ./cmd/detlint
+
+lint: bin/detlint
+	./bin/detlint ./...
+
+# inventory of sanctioned contract exceptions: every ignore site with its
+# analyzers and cited reason
+lint-audit: bin/detlint
+	./bin/detlint -audit ./...
 
 build:
 	$(GO) build ./...

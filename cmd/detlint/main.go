@@ -1,12 +1,16 @@
-// Command detlint enforces the repo's bitwise-determinism contract with five
-// static analyzers (maporder, rawrand, walltime, chanorder, floatwiden) built
-// on the standard library alone — see internal/analysis.
+// Command detlint enforces the repo's determinism and resource-safety
+// contracts with ten static analyzers built on the standard library alone —
+// see internal/analysis. Five police bitwise determinism (maporder, rawrand,
+// walltime, chanorder, floatwiden); five police the resource contracts
+// (poolbalance, boundeddecode, deadlineio, spanbalance, hotalloc).
 //
 // Usage:
 //
 //	go run ./cmd/detlint ./...          # whole module
 //	go run ./cmd/detlint internal/sched # packages under a directory
 //	go run ./cmd/detlint -only maporder,walltime ./...
+//	go run ./cmd/detlint -audit ./...   # list every //detlint:ignore site
+//	go run ./cmd/detlint -json ./...    # machine-readable diagnostics
 //
 // Diagnostics are suppressible only via
 // //detlint:ignore <analyzer> -- <reason>; any unsuppressed diagnostic (or
@@ -15,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,8 +32,10 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer subset to run")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	audit := flag.Bool("audit", false, "list every //detlint:ignore site with its analyzers and reason, then exit 0")
+	asJSON := flag.Bool("json", false, "emit diagnostics (or -audit sites) as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: detlint [-only a,b] [-list] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: detlint [-only a,b] [-list] [-audit] [-json] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,17 +81,91 @@ func main() {
 		pkgs = filterPackages(pkgs, args, root, cwd)
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		rel, err := filepath.Rel(cwd, d.Pos.Filename)
+	relpath := func(abs string) string {
+		rel, err := filepath.Rel(cwd, abs)
 		if err != nil || strings.HasPrefix(rel, "..") {
-			rel = d.Pos.Filename
+			return abs
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		return rel
+	}
+
+	if *audit {
+		runAudit(pkgs, relpath, *asJSON)
+		return
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *asJSON {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     relpath(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		emitJSON(out)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relpath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "detlint: %d unsuppressed diagnostic(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// runAudit prints every //detlint:ignore site — the complete inventory of
+// sanctioned contract exceptions — and exits 0 (auditing is a report, not a
+// gate; malformed directives still fail the normal lint run).
+func runAudit(pkgs []*analysis.Package, relpath func(string) string, asJSON bool) {
+	sites := analysis.Audit(pkgs)
+	if asJSON {
+		type jsonSite struct {
+			File      string   `json:"file"`
+			Line      int      `json:"line"`
+			Analyzers []string `json:"analyzers"`
+			Reason    string   `json:"reason"`
+			Malformed string   `json:"malformed,omitempty"`
+		}
+		out := make([]jsonSite, 0, len(sites))
+		for _, s := range sites {
+			out = append(out, jsonSite{
+				File:      relpath(s.Pos.Filename),
+				Line:      s.Pos.Line,
+				Analyzers: s.Analyzers,
+				Reason:    s.Reason,
+				Malformed: s.Malformed,
+			})
+		}
+		emitJSON(out)
+		return
+	}
+	for _, s := range sites {
+		if s.Malformed != "" {
+			fmt.Printf("%s:%d: MALFORMED (%s)\n", relpath(s.Pos.Filename), s.Pos.Line, s.Malformed)
+			continue
+		}
+		fmt.Printf("%s:%d: %s: %s\n", relpath(s.Pos.Filename), s.Pos.Line, strings.Join(s.Analyzers, ","), s.Reason)
+	}
+	fmt.Fprintf(os.Stderr, "detlint: %d ignore site(s)\n", len(sites))
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,13 +1,18 @@
 // Package analysis is detlint's engine: a stdlib-only static-analysis
-// framework (go/ast + go/parser + go/types, no go/packages) with five
-// determinism analyzers that enforce the repo's bitwise-consistency contract
-// (DESIGN.md, "Static enforcement of the determinism contract"):
+// framework (go/ast + go/parser + go/types, no go/packages) with ten
+// analyzers that enforce the repo's bitwise-consistency and resource/safety
+// contracts (DESIGN.md, "Static enforcement of the determinism contract"):
 //
-//	maporder   — range over a map in an ordering-sensitive package
-//	rawrand    — math/rand or wall-clock-seeded randomness outside internal/rng
-//	walltime   — time.Now/Since steering decisions outside allow-listed packages
-//	chanorder  — goroutine results drained in completion order
-//	floatwiden — float64 accumulation or math.FMA in float32 kernel hot paths
+//	maporder      — range over a map in an ordering-sensitive package
+//	rawrand       — math/rand or wall-clock-seeded randomness outside internal/rng
+//	walltime      — time.Now/Since steering decisions outside allow-listed packages
+//	chanorder     — goroutine results drained in completion order
+//	floatwiden    — float64 accumulation or math.FMA in float32 kernel hot paths
+//	poolbalance   — pool.Get buffer that can exit a function without Put or handoff
+//	boundeddecode — allocation sized by a decoded count with no preceding bound
+//	deadlineio    — raw net.Conn dial/accept/read/write that no deadline bounds
+//	spanbalance   — obs span begin that can exit a function without its end
+//	hotalloc      — allocation inside a function annotated //easyscale:hotpath
 //
 // A diagnostic is suppressible only by an adjacent
 //
@@ -79,7 +84,10 @@ func (p *Pass) ImportedSelector(sel *ast.SelectorExpr) (pkgPath, name string, ok
 
 // DefaultAnalyzers returns the full suite with its default package scoping.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{MapOrder(), RawRand(), WallTime(), ChanOrder(), FloatWiden()}
+	return []*Analyzer{
+		MapOrder(), RawRand(), WallTime(), ChanOrder(), FloatWiden(),
+		PoolBalance(), BoundedDecode(), DeadlineIO(), SpanBalance(), HotAlloc(),
+	}
 }
 
 // Run executes the analyzers over the packages, applies ignore directives,

@@ -146,6 +146,201 @@ func TestFloatWidenFixture(t *testing.T) {
 	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{FloatWiden("floatwiden")}))
 }
 
+func TestPoolBalanceFixture(t *testing.T) {
+	pkg := loadFixture(t, "poolbalance")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{PoolBalance()}))
+}
+
+func TestBoundedDecodeFixture(t *testing.T) {
+	pkg := loadFixture(t, "boundeddecode")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{BoundedDecode("boundeddecode")}))
+}
+
+// nonDirective drops DirectiveAnalyzer reports: when a scoped analyzer skips
+// the fixture package, its suppression directive is legitimately dead.
+func nonDirective(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer != DirectiveAnalyzer {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// The default boundeddecode scoping covers only the decoder packages.
+func TestBoundedDecodeScoped(t *testing.T) {
+	pkg := loadFixture(t, "boundeddecode")
+	if diags := nonDirective(Run([]*Package{pkg}, []*Analyzer{BoundedDecode()})); len(diags) != 0 {
+		t.Errorf("default boundeddecode scoping should skip fixture package, got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestDeadlineIOFixture(t *testing.T) {
+	pkg := loadFixture(t, "deadlineio")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{DeadlineIO("deadlineio")}))
+}
+
+// The default deadlineio scoping covers only the networked packages.
+func TestDeadlineIOScoped(t *testing.T) {
+	pkg := loadFixture(t, "deadlineio")
+	if diags := nonDirective(Run([]*Package{pkg}, []*Analyzer{DeadlineIO()})); len(diags) != 0 {
+		t.Errorf("default deadlineio scoping should skip fixture package, got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestSpanBalanceFixture(t *testing.T) {
+	pkg := loadFixture(t, "spanbalance")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{SpanBalance("spanbalance")}))
+}
+
+// The default spanbalance scoping covers only the instrumented packages.
+func TestSpanBalanceScoped(t *testing.T) {
+	pkg := loadFixture(t, "spanbalance")
+	if diags := nonDirective(Run([]*Package{pkg}, []*Analyzer{SpanBalance()})); len(diags) != 0 {
+		t.Errorf("default spanbalance scoping should skip fixture package, got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc")
+	checkFixture(t, pkg, Run([]*Package{pkg}, []*Analyzer{HotAlloc()}))
+}
+
+// contractAnalyzerCases pairs each second-generation analyzer with a minimal
+// violating source; the analyzer is scoped (where scoping exists) to the
+// generated package name "fix".
+var contractAnalyzerCases = []struct {
+	name string
+	mk   func() *Analyzer
+	src  string // %s is replaced by the ignore directive line
+}{
+	{"poolbalance", func() *Analyzer { return PoolBalance() }, `package fix
+
+import "repro/internal/pool"
+
+func f(n int) {
+%s
+	buf := pool.Get(n)
+	_ = buf
+}
+`},
+	{"boundeddecode", func() *Analyzer { return BoundedDecode("fix") }, `package fix
+
+type r struct{}
+
+func (r) Int() (int, error) { return 0, nil }
+
+func f(x r) []int {
+	n, _ := x.Int()
+%s
+	return make([]int, n)
+}
+`},
+	{"deadlineio", func() *Analyzer { return DeadlineIO("fix") }, `package fix
+
+import "net"
+
+func f(ln net.Listener) (net.Conn, error) {
+%s
+	return ln.Accept()
+}
+`},
+	{"spanbalance", func() *Analyzer { return SpanBalance("fix") }, `package fix
+
+type tr struct{}
+
+func (tr) Now() int64  { return 0 }
+func (tr) Span(int64)  {}
+
+func f(t tr) {
+%s
+	s := t.Now()
+	_ = s
+}
+`},
+	{"hotalloc", func() *Analyzer { return HotAlloc() }, `package fix
+
+//easyscale:hotpath
+func f(n int) []int {
+%s
+	return make([]int, n)
+}
+`},
+}
+
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading generated package: %v", err)
+	}
+	return pkg
+}
+
+// TestContractAnalyzersSuppressible asserts each new analyzer fires on its
+// minimal violation, is silenced by a reasoned //detlint:ignore, and that
+// the reasonless variant of the same directive is itself diagnosed while
+// suppressing nothing.
+func TestContractAnalyzersSuppressible(t *testing.T) {
+	for _, tc := range contractAnalyzerCases {
+		t.Run(tc.name, func(t *testing.T) {
+			bare := loadSrc(t, strings.ReplaceAll(tc.src, "%s\n", ""))
+			diags := Run([]*Package{bare}, []*Analyzer{tc.mk()})
+			if len(diags) != 1 || diags[0].Analyzer != tc.name {
+				t.Fatalf("violation should yield exactly one %s diagnostic, got %v", tc.name, diags)
+			}
+
+			reasoned := loadSrc(t, strings.ReplaceAll(tc.src, "%s",
+				"\t//detlint:ignore "+tc.name+" -- test: sanctioned in this harness"))
+			if diags := Run([]*Package{reasoned}, []*Analyzer{tc.mk()}); len(diags) != 0 {
+				t.Errorf("reasoned directive should suppress the %s diagnostic, got %v", tc.name, diags)
+			}
+
+			reasonless := loadSrc(t, strings.ReplaceAll(tc.src, "%s",
+				"\t//detlint:ignore "+tc.name))
+			diags = Run([]*Package{reasonless}, []*Analyzer{tc.mk()})
+			var sawViolation, sawDirective bool
+			for _, d := range diags {
+				if d.Analyzer == tc.name {
+					sawViolation = true
+				}
+				if d.Analyzer == DirectiveAnalyzer && strings.Contains(d.Message, "missing its mandatory reason") {
+					sawDirective = true
+				}
+			}
+			if !sawViolation {
+				t.Errorf("reasonless directive must suppress nothing; %s diagnostic vanished: %v", tc.name, diags)
+			}
+			if !sawDirective {
+				t.Errorf("reasonless directive must be diagnosed under %q: %v", DirectiveAnalyzer, diags)
+			}
+		})
+	}
+}
+
+func TestAudit(t *testing.T) {
+	pkg := loadFixture(t, "poolbalance")
+	sites := Audit([]*Package{pkg})
+	if len(sites) != 1 {
+		t.Fatalf("expected 1 ignore site in poolbalance fixture, got %d: %v", len(sites), sites)
+	}
+	s := sites[0]
+	if len(s.Analyzers) != 1 || s.Analyzers[0] != "poolbalance" {
+		t.Errorf("site analyzers = %v, want [poolbalance]", s.Analyzers)
+	}
+	if !strings.Contains(s.Reason, "sanctioned handoff") {
+		t.Errorf("site reason = %q, want the fixture's citation", s.Reason)
+	}
+	if s.Malformed != "" {
+		t.Errorf("fixture directive reported malformed: %q", s.Malformed)
+	}
+}
+
 func TestDirectiveFixture(t *testing.T) {
 	pkg := loadFixture(t, "directive")
 	diags := Run([]*Package{pkg}, DefaultAnalyzers())

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// IgnoreSite is one //detlint:ignore directive, for the sanctioned-entropy
+// audit (`detlint -audit`). Malformed directives appear too — an audit that
+// hid the broken entries would defeat itself.
+type IgnoreSite struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+	Malformed string // non-empty: why the directive is unusable
+}
+
+// Audit collects every ignore directive in the packages, sorted by position.
+func Audit(pkgs []*Package) []IgnoreSite {
+	known := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+	var out []IgnoreSite
+	for _, pkg := range pkgs {
+		for _, d := range parseDirectives(pkg, known) {
+			out = append(out, IgnoreSite{
+				Pos:       d.pos,
+				Analyzers: append([]string(nil), d.analyzers...),
+				Reason:    d.reason,
+				Malformed: d.malformed,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// deadlineIOScope is the networked surface: every blocking socket operation
+// there must carry a deadline (PR 2's contract), so a hung peer surfaces as
+// an error instead of wedging the runtime.
+var deadlineIOScope = []string{"internal/dist", "internal/serve"}
+
+// DeadlineIO returns the deadlineio analyzer. Within the scoped packages it
+// flags:
+//
+//   - net.Dial — always; it has no timeout at all (use net.DialTimeout and
+//     arm per-operation deadlines on the result)
+//   - net.DialTimeout and listener Accept calls in functions that never
+//     touch a deadline (no SetDeadline/withDeadline/acceptTimeout-style call)
+//   - Read/Write method calls on variables declared as net.Conn, again in
+//     functions that never touch a deadline
+//
+// "Touching a deadline" is syntactic — any call whose name contains
+// "Deadline" — which is exactly the repo idiom: deadlineConn, withDeadline,
+// SetDeadline, SetReadDeadline, SetWriteDeadline all qualify.
+func DeadlineIO(scope ...string) *Analyzer {
+	if len(scope) == 0 {
+		scope = deadlineIOScope
+	}
+	a := &Analyzer{
+		Name: "deadlineio",
+		Doc:  "raw net.Conn dial/accept/read/write that no deadline bounds",
+	}
+	a.Run = func(pass *Pass) {
+		if !pkgMatchesAny(pass.Pkg, scope) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			funcBodies(f, func(ft *ast.FuncType, body *ast.BlockStmt, _ *ast.CommentGroup) {
+				checkDeadlines(pass, ft, body)
+			})
+		}
+	}
+	return a
+}
+
+func checkDeadlines(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	armed := mentionsDeadline(body)
+	conns := netConnIdents(ft, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own function; analyzed separately
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if p, name, isPkg := pass.ImportedSelector(sel); isPkg {
+			if p != "net" {
+				return true
+			}
+			switch name {
+			case "Dial":
+				pass.Report(call.Pos(), "net.Dial has no timeout; use net.DialTimeout and arm per-operation deadlines on the connection")
+			case "DialTimeout":
+				if !armed {
+					pass.Report(call.Pos(), "net.DialTimeout bounds only the dial; arm per-operation deadlines on the connection (SetDeadline or a deadline-wrapping conn)")
+				}
+			}
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Accept":
+			if len(call.Args) == 0 && !armed {
+				pass.Report(call.Pos(), "Accept with no deadline in sight; bound it with SetDeadline (acceptTimeout) or wrap the accepted conn with per-operation deadlines")
+			}
+		case "Read", "Write":
+			id, isID := sel.X.(*ast.Ident)
+			if isID && conns[id.Name] && !armed {
+				pass.Report(call.Pos(), "%s on a raw net.Conn that no deadline bounds; route it through a deadline-wrapping conn or SetDeadline first", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// mentionsDeadline reports whether the function body contains any call whose
+// callee name includes "Deadline".
+func mentionsDeadline(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if strings.Contains(fun.Name, "Deadline") {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if strings.Contains(fun.Sel.Name, "Deadline") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// netConnIdents collects the function's identifiers declared with the
+// syntactic type net.Conn: parameters and `var x net.Conn` declarations.
+// Stubbed imports leave no usable type info for net, so the declaration
+// syntax is the reliable signal.
+func netConnIdents(ft *ast.FuncType, body *ast.BlockStmt) map[string]bool {
+	conns := map[string]bool{}
+	addField := func(field *ast.Field) {
+		if !isNetConnType(field.Type) {
+			return
+		}
+		for _, name := range field.Names {
+			conns[name.Name] = true
+		}
+	}
+	if ft != nil && ft.Params != nil {
+		for _, field := range ft.Params.List {
+			addField(field)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		if isNetConnType(vs.Type) {
+			for _, name := range vs.Names {
+				conns[name.Name] = true
+			}
+		}
+		return true
+	})
+	return conns
+}
+
+func isNetConnType(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, isID := sel.X.(*ast.Ident)
+	return isID && pkg.Name == "net" && sel.Sel.Name == "Conn"
+}

@@ -1,0 +1,133 @@
+// Fixture for the boundeddecode analyzer: allocations sized by decoded
+// counts need a preceding bound check.
+package boundeddecode
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) Int() (int, error)       { return 0, nil }
+func (r *reader) Uint32() (uint32, error) { return 0, nil }
+func (r *reader) Remaining() int          { return len(r.buf) - r.off }
+
+const maxEntries = 1 << 20
+
+type entry struct{ a, b uint64 }
+
+// unbounded trusts the decoded count outright — the allocation bomb.
+func unbounded(r *reader) ([]entry, error) {
+	n, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]entry, n) // want `make sized by decoded count "n" with no preceding bound check`
+	return out, nil
+}
+
+// boundedByRemaining checks the count against remaining input first.
+func boundedByRemaining(r *reader) ([]entry, error) {
+	n, err := r.Int()
+	if err != nil || n < 0 || n > r.Remaining()/16 {
+		return nil, err
+	}
+	out := make([]entry, n)
+	return out, nil
+}
+
+// boundedByConstant caps the count against a protocol ceiling.
+func boundedByConstant(r *reader) ([]entry, error) {
+	n, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxEntries {
+		return nil, err
+	}
+	return make([]entry, n), nil
+}
+
+// boundedByExpected compares the count against an expected geometry.
+func boundedByExpected(r *reader, want int) ([]entry, error) {
+	n, err := r.Int()
+	if err != nil || n != want {
+		return nil, err
+	}
+	return make([]entry, n), nil
+}
+
+// derivedUnbounded flows the count through arithmetic before allocating.
+func derivedUnbounded(r *reader) ([]byte, error) {
+	n, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	sz := n * 8
+	return make([]byte, sz), nil // want `make sized by decoded count "n" with no preceding bound check`
+}
+
+// derivedBounded guards the root count; the derivative inherits the bound.
+func derivedBounded(r *reader) ([]byte, error) {
+	n, err := r.Int()
+	if err != nil || n > r.Remaining()/8 {
+		return nil, err
+	}
+	sz := n * 8
+	return make([]byte, sz), nil
+}
+
+// loopUnbounded grows via append under a decoded bound.
+func loopUnbounded(r *reader) []entry {
+	n, _ := r.Int()
+	var out []entry
+	for i := 0; i < n; i++ { // want `append loop bounded by decoded count "n" with no preceding bound check`
+		out = append(out, entry{})
+	}
+	return out
+}
+
+// loopBounded grows under a decoded bound that was checked first.
+func loopBounded(r *reader) []entry {
+	n, _ := r.Int()
+	if n > r.Remaining()/16 {
+		return nil
+	}
+	var out []entry
+	for i := 0; i < n; i++ {
+		out = append(out, entry{})
+	}
+	return out
+}
+
+// chunked is the wire-frame idiom: a capped per-iteration take derived from
+// a count that was bounded up front.
+func chunked(r *reader) []byte {
+	n, _ := r.Uint32()
+	size := int(n)
+	if size > maxEntries {
+		return nil
+	}
+	var payload []byte
+	for len(payload) < size {
+		take := size - len(payload)
+		if take > 1024 {
+			take = 1024
+		}
+		payload = append(payload, make([]byte, take)...)
+	}
+	return payload
+}
+
+// lenSized allocations from already-materialized slices are not counts.
+func lenSized(vals []entry) []entry {
+	out := make([]entry, len(vals))
+	copy(out, vals)
+	return out
+}
+
+// suppressed shows a finding silenced with a cited reason.
+func suppressed(r *reader) []entry {
+	n, _ := r.Int()
+	//detlint:ignore boundeddecode -- fixture: bound enforced by the caller before decode
+	return make([]entry, n)
+}

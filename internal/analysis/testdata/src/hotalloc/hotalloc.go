@@ -1,0 +1,67 @@
+// Fixture for the hotalloc analyzer: functions annotated
+// //easyscale:hotpath must not allocate.
+package hotalloc
+
+import (
+	"fmt"
+
+	"repro/internal/pool"
+)
+
+type vec struct{ x, y float32 }
+
+var sink any
+
+// axpy is a clean hot-path kernel: reslices, arithmetic, value literals.
+//
+//easyscale:hotpath
+func axpy(a float32, x, y []float32) {
+	x = x[:len(y)]
+	v := vec{x: a, y: a} // value struct literal: stack-allocated, allowed
+	_ = v
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+// pooled draws scratch from the arena — the sanctioned amortized allocation.
+//
+//easyscale:hotpath
+func pooled(n int) {
+	buf := pool.GetUninit(n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	pool.Put(buf)
+}
+
+// allocating trips every forbidden construct.
+//
+//easyscale:hotpath
+func allocating(n int, name string, xs []float32) {
+	s := make([]float32, n) // want `hot path allocates: make`
+	p := new(vec)           // want `hot path allocates: new`
+	xs = append(xs, 1)      // want `hot path allocates: append growth`
+	l := []int{1, 2}        // want `hot path allocates: slice/map composite literal`
+	m := map[int]int{}      // want `hot path allocates: slice/map composite literal`
+	pv := &vec{}            // want `hot path allocates: &composite literal`
+	msg := "step " + name   // want `hot path allocates: string concatenation`
+	f := func() {}          // want `hot path allocates: function literal`
+	fmt.Println(n)          // want `hot path allocates: fmt.Println`
+	sink = any(n)           // want `hot path allocates: conversion to any`
+	_, _, _, _, _, _, _, _ = s, p, l, m, pv, msg, f, xs
+}
+
+// cold is the same body without the annotation: no diagnostics.
+func cold(n int) []float32 {
+	out := make([]float32, n)
+	return out
+}
+
+// suppressed shows a pinned exception with its reason.
+//
+//easyscale:hotpath
+func suppressed(n int) []int {
+	//detlint:ignore hotalloc -- fixture: cold branch taken once per job, pinned by AllocsPerRun
+	return make([]int, n)
+}

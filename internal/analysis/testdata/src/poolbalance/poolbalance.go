@@ -1,0 +1,120 @@
+// Fixture for the poolbalance analyzer: pooled buffers must reach pool.Put
+// or a visible handoff on every path.
+package poolbalance
+
+import (
+	"repro/internal/pool"
+)
+
+func use(buf []float32)           {}
+func fill(buf []float32) error    { return nil }
+func sink(bufs ...[]float32)      {}
+func consume(ch chan<- []float32) {}
+
+// leakStraight drops the buffer on the only path.
+func leakStraight(n int) {
+	buf := pool.Get(n) // want `pooled buffer "buf" can reach the end of the function without pool.Put`
+	use(buf)
+}
+
+// leakOnErrorPath releases on success but not on the early error return.
+func leakOnErrorPath(n int) error {
+	buf := pool.Get(n) // want `pooled buffer "buf" can reach the return \(line 24\)`
+	if err := fill(buf); err != nil {
+		return err
+	}
+	pool.Put(buf)
+	return nil
+}
+
+// discarded can never be released.
+func discarded(n int) {
+	_ = pool.Get(n) // want `pool.Get result assigned to _`
+}
+
+// dropped is the bare-call variant.
+func dropped(n int) {
+	pool.Get(n) // want `pool.Get result discarded`
+}
+
+// overwritten loses the first buffer by rebinding the variable.
+func overwritten(n int) {
+	buf := pool.GetUninit(n) // want `pooled buffer "buf" can reach being overwritten \(line 44\)`
+	use(buf)
+	buf = make([]float32, n)
+	use(buf)
+	pool.Put(buf)
+}
+
+// balanced releases on every path, including via the nil-guard idiom.
+func balanced(n int) {
+	buf := pool.Get(n)
+	use(buf)
+	if buf != nil {
+		pool.Put(buf)
+	}
+}
+
+// balancedDefer releases through a defer.
+func balancedDefer(n int) error {
+	buf := pool.GetUninit(n)
+	defer pool.Put(buf)
+	return fill(buf)
+}
+
+// escapeReturn hands the buffer to the caller — the documented escape.
+func escapeReturn(n int) []float32 {
+	buf := pool.GetUninit(n)
+	use(buf)
+	return buf
+}
+
+// escapeAlias hands the buffer off by aliasing it into another variable.
+func escapeAlias(n int) []float32 {
+	var out []float32
+	buf := pool.Get(n)
+	out = buf
+	return out
+}
+
+// escapeSend hands the buffer off over a channel.
+func escapeSend(n int, ch chan []float32) {
+	buf := pool.Get(n)
+	ch <- buf
+}
+
+// escapeClosure hands the buffer to a captured closure.
+func escapeClosure(n int) func() {
+	buf := pool.Get(n)
+	return func() { use(buf) }
+}
+
+// reslicing the same variable keeps tracking alive through to the Put.
+func resliced(n, m int) {
+	buf := pool.GetUninit(n)
+	buf = buf[:m]
+	use(buf)
+	pool.Put(buf)
+}
+
+// growCache is the optimizer's scratch-growth idiom: release the old buffer,
+// rebind, alias into the caller's slot, nil-guard release at the end.
+func growCache(g []float32, cache []float32) []float32 {
+	gw := cache
+	if cap(gw) < len(g) {
+		if gw != nil {
+			pool.Put(gw)
+		}
+		gw = pool.GetUninit(len(g))
+	}
+	gw = gw[:len(g)]
+	use(gw)
+	return gw
+}
+
+// suppressed shows a leak silenced with a cited reason.
+func suppressed(n int) {
+	//detlint:ignore poolbalance -- fixture: demonstrates a sanctioned handoff the analyzer cannot see
+	buf := pool.Get(n)
+	use(buf)
+}

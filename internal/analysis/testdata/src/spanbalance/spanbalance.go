@@ -1,0 +1,75 @@
+// Fixture for the spanbalance analyzer: a tracer clock read must flow into
+// a span end on every non-error path.
+package spanbalance
+
+type tracer struct{}
+
+func (tracer) Now() int64                    { return 0 }
+func (tracer) Span(name string, start int64) {}
+func (tracer) Instant(name string, ts int64) {}
+
+type clock struct{}
+
+func (clock) Now() int64 { return 0 } // no Span method: a device clock, not a tracer
+
+func work() error { return nil }
+
+// leakStraight never ends the span.
+func leakStraight(tr tracer) {
+	start := tr.Now() // want `span begin "start" can reach the end of the function`
+	_ = start
+}
+
+// leakOnSuccessPath ends the span on one path but drops it before the
+// success return — the error return is exempt, `return nil` is not.
+func leakOnSuccessPath(tr tracer, cond bool) error {
+	start := tr.Now() // want `span begin "start" can reach the return \(line 28\)`
+	if cond {
+		return nil
+	}
+	tr.Span("work", start)
+	return nil
+}
+
+// errorExempt may drop the span when crashing out with a non-nil error.
+func errorExempt(tr tracer) error {
+	start := tr.Now()
+	if err := work(); err != nil {
+		return err
+	}
+	tr.Span("work", start)
+	return nil
+}
+
+// balanced ends the span on the single path.
+func balanced(tr tracer) {
+	start := tr.Now()
+	_ = work()
+	tr.Span("work", start)
+}
+
+// instantEnd accepts any call taking the timestamp as the end.
+func instantEnd(tr tracer) {
+	start := tr.Now()
+	tr.Instant("tick", start)
+}
+
+// deferredEnd ends the span in a defer, covering every exit.
+func deferredEnd(tr tracer) error {
+	start := tr.Now()
+	defer tr.Span("work", start)
+	return work()
+}
+
+// deviceClock is not a span begin: the receiver has no Span method.
+func deviceClock(dev clock) int64 {
+	t := dev.Now()
+	return t + 1
+}
+
+// suppressed shows a drop silenced with a cited reason.
+func suppressed(tr tracer) {
+	//detlint:ignore spanbalance -- fixture: span intentionally open across an async boundary
+	start := tr.Now()
+	_ = start
+}

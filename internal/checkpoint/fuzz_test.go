@@ -41,6 +41,18 @@ func FuzzReader(f *testing.F) {
 	under.PutInts([]int{2})
 	under.PutFloat32s([]float32{1, 2, 3, 4})
 	f.Add(under.Bytes())
+	// count-bomb seeds: a declared element count the remaining bytes cannot
+	// possibly back must be rejected by the length-vs-Remaining cross-check
+	// before any allocation. The padding steers the walk's read rotation so
+	// the bomb is hit through String, Float32s, Ints, and Tensor.
+	for _, pad := range []int{0, 1, 2, 6} {
+		bomb := NewWriter()
+		bomb.PutInt(1 << 40)
+		for i := 0; i < pad; i++ {
+			bomb.PutBool(false)
+		}
+		f.Add(bomb.Bytes())
+	}
 
 	check := func(t *testing.T, err error) {
 		if err != nil && !errors.Is(err, ErrCorrupt) {

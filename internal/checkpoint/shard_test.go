@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"testing"
 
 	"repro/internal/rng"
@@ -231,6 +232,15 @@ func FuzzShardManifest(f *testing.F) {
 	f.Add(flipped)
 	empty := Manifest{}
 	f.Add(empty.Encode())
+	// count bomb with a valid checksum: an entry count no payload backs must
+	// be rejected by the Remaining-based bound, not trusted by make
+	bomb := NewWriter()
+	bomb.PutUint64(manifestMagic)
+	bomb.PutInt(manifestVersion)
+	bomb.PutUint64(0)
+	bomb.PutInt(1 << 40)
+	bomb.PutUint64(uint64(crc32.ChecksumIEEE(bomb.Bytes())))
+	f.Add(bomb.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeManifest(data)

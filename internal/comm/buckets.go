@@ -25,6 +25,8 @@ func (d *ElasticDDP) BucketLen(b int) int { return d.bucketLen(d.plan.Buckets[b]
 // the arena (fully overwritten). Callers on per-step paths should pool.Put
 // the buffer once the reduce is done with it; holding or dropping it is also
 // safe, merely unpooled.
+//
+//easyscale:hotpath
 func (d *ElasticDDP) FlattenBucket(b int, grads []*tensor.Tensor) []float32 {
 	bucket := d.plan.Buckets[b]
 	start := d.tr.Now()
@@ -35,6 +37,8 @@ func (d *ElasticDDP) FlattenBucket(b int, grads []*tensor.Tensor) []float32 {
 }
 
 // UnflattenBucket scatters a reduced bucket buffer back into a gradient set.
+//
+//easyscale:hotpath
 func (d *ElasticDDP) UnflattenBucket(b int, grads []*tensor.Tensor, buf []float32) {
 	d.unflatten(grads, d.plan.Buckets[b], buf)
 }

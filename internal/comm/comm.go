@@ -243,6 +243,8 @@ func (d *ElasticDDP) MaybeRebuild(readyOrder []int) {
 }
 
 // flatten packs bucket b of one participant's gradient set into buf.
+//
+//easyscale:hotpath
 func (d *ElasticDDP) flatten(buf []float32, grads []*tensor.Tensor, bucket []int) {
 	off := 0
 	for _, pi := range bucket {
@@ -252,6 +254,8 @@ func (d *ElasticDDP) flatten(buf []float32, grads []*tensor.Tensor, bucket []int
 }
 
 // unflatten scatters a reduced bucket buffer back into a gradient set.
+//
+//easyscale:hotpath
 func (d *ElasticDDP) unflatten(grads []*tensor.Tensor, bucket []int, buf []float32) {
 	off := 0
 	for _, pi := range bucket {

@@ -359,6 +359,11 @@ func RestoreJobShards(cfg Config, m checkpoint.Manifest, set *checkpoint.ShardSe
 	if err != nil {
 		return nil, err
 	}
+	// each bucket costs at least its own 8-byte length prefix, so a count
+	// beyond Remaining()/8 cannot be backed by real payload
+	if nb < 0 || nb > r.Remaining()/8 {
+		return nil, fmt.Errorf("core: checkpoint bucket plan corrupt")
+	}
 	buckets := make([][]int, nb)
 	for i := range buckets {
 		if buckets[i], err = r.Ints(); err != nil {

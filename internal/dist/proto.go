@@ -109,6 +109,7 @@ func WriteFrame(c net.Conn, t MsgType, payload []byte) error {
 	hdr[0] = byte(t)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if len(payload) == 0 {
+		//detlint:ignore deadlineio -- framing primitive: every caller passes a deadline-armed conn (deadlineConn, or SetDeadline at the call site)
 		if _, err := c.Write(hdr[:]); err != nil {
 			return fmt.Errorf("dist: write header: %w", err)
 		}

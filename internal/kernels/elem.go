@@ -23,6 +23,8 @@ package kernels
 // and EASYSCALE_FORCE_GENERIC exercise the scalar loops end to end.
 
 // AddF32 computes dst[i] += src[i].
+//
+//easyscale:hotpath
 func AddF32(dst, src []float32) {
 	src = src[:len(dst)]
 	i := elemAdd(dst, src)
@@ -32,6 +34,8 @@ func AddF32(dst, src []float32) {
 }
 
 // MulF32 computes dst[i] *= src[i].
+//
+//easyscale:hotpath
 func MulF32(dst, src []float32) {
 	src = src[:len(dst)]
 	i := elemMul(dst, src)
@@ -41,6 +45,8 @@ func MulF32(dst, src []float32) {
 }
 
 // MulIntoF32 computes dst[i] = a[i] * b[i].
+//
+//easyscale:hotpath
 func MulIntoF32(dst, a, b []float32) {
 	a, b = a[:len(dst)], b[:len(dst)]
 	i := elemMulInto(dst, a, b)
@@ -50,6 +56,8 @@ func MulIntoF32(dst, a, b []float32) {
 }
 
 // ScaleF32 computes dst[i] *= s.
+//
+//easyscale:hotpath
 func ScaleF32(dst []float32, s float32) {
 	i := elemScale(dst, s)
 	for ; i < len(dst); i++ {
@@ -58,6 +66,8 @@ func ScaleF32(dst []float32, s float32) {
 }
 
 // AxpyF32 computes dst[i] += alpha * src[i].
+//
+//easyscale:hotpath
 func AxpyF32(dst, src []float32, alpha float32) {
 	src = src[:len(dst)]
 	i := elemAxpy(dst, src, alpha)
@@ -68,6 +78,8 @@ func AxpyF32(dst, src []float32, alpha float32) {
 
 // AddScaledF32 computes dst[i] = a[i] + alpha*b[i] — the weight-decay
 // gradient g + λw of the SGD update.
+//
+//easyscale:hotpath
 func AddScaledF32(dst, a, b []float32, alpha float32) {
 	a, b = a[:len(dst)], b[:len(dst)]
 	i := elemAddScaled(dst, a, b, alpha)
@@ -78,6 +90,8 @@ func AddScaledF32(dst, a, b []float32, alpha float32) {
 
 // MaxZeroF32 computes dst[i] = src[i] if src[i] > 0, else +0 — the ReLU
 // forward map. NaN and -0 inputs produce +0, exactly like the scalar branch.
+//
+//easyscale:hotpath
 func MaxZeroF32(dst, src []float32) {
 	src = src[:len(dst)]
 	i := elemMaxZero(dst, src)
@@ -92,6 +106,8 @@ func MaxZeroF32(dst, src []float32) {
 
 // MaxZeroGradF32 zeroes dst[i] wherever x[i] > 0 is false — the ReLU
 // backward gate on the cached forward input.
+//
+//easyscale:hotpath
 func MaxZeroGradF32(dst, x []float32) {
 	x = x[:len(dst)]
 	i := elemGateGrad(dst, x)
@@ -104,6 +120,8 @@ func MaxZeroGradF32(dst, x []float32) {
 
 // NormalizeF32 computes dst[i] = (src[i] - mean) * inv — the shared
 // normalization map of BatchNorm and LayerNorm.
+//
+//easyscale:hotpath
 func NormalizeF32(dst, src []float32, mean, inv float32) {
 	src = src[:len(dst)]
 	i := elemNormalize(dst, src, mean, inv)
@@ -114,6 +132,8 @@ func NormalizeF32(dst, src []float32, mean, inv float32) {
 
 // ScaleShiftF32 computes dst[i] = g*src[i] + b — the affine output map of
 // BatchNorm (per-channel scalar γ, β). dst may alias src.
+//
+//easyscale:hotpath
 func ScaleShiftF32(dst, src []float32, g, b float32) {
 	src = src[:len(dst)]
 	i := elemScaleShift(dst, src, g, b)
@@ -125,6 +145,8 @@ func ScaleShiftF32(dst, src []float32, g, b float32) {
 // NormBackwardF32 computes dst[i] = c3 * (c0*g[i] - c1 - xh[i]*c2) — the
 // input-gradient map shared by BatchNorm (c0 = n, c3 = γ·inv/n) and
 // LayerNorm (c0 = 1, c3 = inv; 1*g is bitwise-exact for every g).
+//
+//easyscale:hotpath
 func NormBackwardF32(dst, g, xh []float32, c0, c1, c2, c3 float32) {
 	g, xh = g[:len(dst)], xh[:len(dst)]
 	i := elemNormBackward(dst, g, xh, c0, c1, c2, c3)
@@ -135,6 +157,8 @@ func NormBackwardF32(dst, g, xh []float32, c0, c1, c2, c3 float32) {
 
 // SgdMomentumF32 applies the momentum SGD update in place:
 // v[i] = mu*v[i] + g[i]; w[i] -= lr*v[i].
+//
+//easyscale:hotpath
 func SgdMomentumF32(w, v, g []float32, lr, mu float32) {
 	v, g = v[:len(w)], g[:len(w)]
 	i := elemSgdMomentum(w, v, g, lr, mu)
@@ -146,6 +170,8 @@ func SgdMomentumF32(w, v, g []float32, lr, mu float32) {
 }
 
 // SgdPlainF32 applies the momentum-free SGD update: w[i] -= lr*g[i].
+//
+//easyscale:hotpath
 func SgdPlainF32(w, g []float32, lr float32) {
 	g = g[:len(w)]
 	i := elemSgdPlain(w, g, lr)

@@ -80,7 +80,7 @@ func (c *Conv2D) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
 		c.W.Grad.Data[i] += v
 	}
 	pool.Put(dw)
-	if c.B != nil {
+	if db != nil {
 		for i, v := range db {
 			c.B.Grad.Data[i] += v
 		}

@@ -67,6 +67,8 @@ func NewSGD(params []*nn.Parameter, lr, momentum, weightDecay float64) *SGD {
 // sgdStepRef in the tests, the executable spec the primitives are checked
 // against). The weight-decay term is materialized only when λ ≠ 0 — blindly
 // computing g + 0·w would be bitwise wrong for non-finite weights.
+//
+//easyscale:hotpath
 func (s *SGD) Step() {
 	lr := float32(s.lr)
 	mu := float32(s.Momentum)
@@ -143,6 +145,8 @@ func NewAdam(params []*nn.Parameter, lr float64) *Adam {
 }
 
 // Step applies one Adam update.
+//
+//easyscale:hotpath
 func (a *Adam) Step() {
 	a.steps++
 	b1 := float32(a.Beta1)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/dist"
 )
@@ -13,18 +14,32 @@ import (
 // outstanding request at a time. Load generators open one Client per
 // closed-loop worker.
 type Client struct {
-	c      net.Conn
-	br     *bufio.Reader
-	nextID uint64
+	c       net.Conn
+	br      *bufio.Reader
+	nextID  uint64
+	timeout time.Duration
 }
 
-// Dial connects to a serve server.
+// Dial connects to a serve server with the default I/O timeout.
 func Dial(addr string) (*Client, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, dist.DefaultTimeout)
+}
+
+// DialTimeout connects with an explicit bound on the dial and on each
+// subsequent request/reply exchange. A server that accepts but never
+// replies surfaces as a timeout error instead of a wedged worker.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
 	}
-	return &Client{c: c, br: bufio.NewReaderSize(c, 16<<10)}, nil
+	// armed immediately so the conn is never unbounded; Predict re-arms per
+	// request
+	if err := c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("serve: arming deadline: %w", err)
+	}
+	return &Client{c: c, br: bufio.NewReaderSize(c, 16<<10), timeout: timeout}, nil
 }
 
 // Predict sends one request and blocks for its reply. budgetMicros ≤ 0
@@ -34,6 +49,9 @@ func (cl *Client) Predict(model string, input []float32, budgetMicros int64) ([]
 	req := dist.PredictRequest{ID: cl.nextID, Model: model, Input: input}
 	if budgetMicros > 0 {
 		req.BudgetMicros = budgetMicros
+	}
+	if err := cl.c.SetDeadline(time.Now().Add(cl.timeout)); err != nil {
+		return nil, fmt.Errorf("serve: arming deadline: %w", err)
 	}
 	if err := dist.WriteFrame(cl.c, dist.MsgPredict, dist.EncodePredict(req)); err != nil {
 		return nil, err

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestClientTimesOutOnSilentServer: a server that accepts the connection but
+// never replies must surface as a prompt timeout error from Predict, not a
+// wedged client goroutine.
+func TestClientTimesOutOnSilentServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold the conn open, read nothing, reply never
+		}
+	}()
+
+	cl, err := DialTimeout(ln.Addr().String(), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	if _, err := cl.Predict("m", []float32{1}, 0); err == nil {
+		t.Fatal("Predict against a silent server must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Predict took %v; the deadline was not honored", elapsed)
+	}
+}

@@ -98,6 +98,9 @@ func (r *replica) serveBatch(batch []*item) {
 		ok = append(ok, it)
 	}
 	if len(ok) == 0 {
+		// the whole batch was malformed; close the span so the trace still
+		// accounts for the pass
+		r.tr.Span(r.trk, obs.CatServe, "serve.batch.rejected", start, 0, int64(len(batch)))
 		return
 	}
 	out, err := r.forward(ok)
@@ -118,6 +121,7 @@ func (r *replica) serveBatch(batch []*item) {
 	}
 	if err != nil {
 		ok[0].reply <- dist.PredictReply{ID: ok[0].req.ID, Err: err.Error()}
+		r.tr.Span(r.trk, obs.CatServe, "serve.batch.error", start, int64(len(ok)), 0)
 		return
 	}
 	for b, it := range ok {

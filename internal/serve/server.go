@@ -269,6 +269,7 @@ func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
 	s.mu.Unlock()
 	for {
+		//detlint:ignore deadlineio -- lifetime accept loop: Close() closes the listener, which unblocks Accept with an error
 		c, err := ln.Accept()
 		if err != nil {
 			return
@@ -299,7 +300,11 @@ func (s *Server) handleConn(c net.Conn) {
 		failed := false
 		for rep := range replies {
 			if !failed {
-				if err := dist.WriteFrame(c, dist.MsgPredictReply, dist.EncodePredictReply(rep)); err != nil {
+				// a stalled client must not wedge the writer (and through it
+				// pending.Wait and Close); bound each reply write
+				if err := c.SetWriteDeadline(time.Now().Add(dist.DefaultTimeout)); err != nil {
+					failed = true
+				} else if err := dist.WriteFrame(c, dist.MsgPredictReply, dist.EncodePredictReply(rep)); err != nil {
 					failed = true // keep draining so replicas never block on a dead conn
 				}
 			}

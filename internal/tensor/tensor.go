@@ -123,6 +123,8 @@ func (t *Tensor) Clone() *Tensor {
 }
 
 // CopyFrom copies o's data into t. Shapes must have equal element counts.
+//
+//easyscale:hotpath
 func (t *Tensor) CopyFrom(o *Tensor) {
 	if len(t.Data) != len(o.Data) {
 		panic("tensor: CopyFrom size mismatch")
@@ -159,6 +161,8 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 }
 
 // Fill sets all elements to v.
+//
+//easyscale:hotpath
 func (t *Tensor) Fill(v float32) {
 	for i := range t.Data {
 		t.Data[i] = v
@@ -198,6 +202,8 @@ func (t *Tensor) Add(o *Tensor) *Tensor {
 }
 
 // AddInPlace accumulates o into t.
+//
+//easyscale:hotpath
 func (t *Tensor) AddInPlace(o *Tensor) {
 	t.binaryCheck(o, "AddInPlace")
 	for i := range t.Data {
@@ -226,6 +232,8 @@ func (t *Tensor) Mul(o *Tensor) *Tensor {
 }
 
 // MulInPlace multiplies t by o elementwise.
+//
+//easyscale:hotpath
 func (t *Tensor) MulInPlace(o *Tensor) {
 	t.binaryCheck(o, "MulInPlace")
 	for i := range t.Data {
@@ -253,6 +261,8 @@ func (t *Tensor) Scale(s float32) *Tensor {
 }
 
 // ScaleInPlace multiplies t by s.
+//
+//easyscale:hotpath
 func (t *Tensor) ScaleInPlace(s float32) {
 	for i := range t.Data {
 		t.Data[i] *= s
