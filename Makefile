@@ -60,7 +60,7 @@ test-isa:
 	EASYSCALE_FORCE_GENERIC=1 $(GO) test -count=1 ./internal/kernels/... ./internal/nn/... ./internal/comm/... ./internal/optim/... ./internal/core/...
 
 race:
-	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/checkpoint/... ./internal/data/... ./internal/dist/... ./internal/faults/... ./internal/core/... ./internal/elastic/... ./internal/obs/... ./internal/serve/...
+	$(GO) test -race ./internal/kernels/... ./internal/comm/... ./internal/checkpoint/... ./internal/data/... ./internal/dist/... ./internal/faults/... ./internal/core/... ./internal/elastic/... ./internal/obs/... ./internal/serve/... ./internal/sched/... ./internal/controlplane/...
 
 # short fuzz smokes: the wire-frame and checkpoint decoders must never panic
 # on corrupt input, and the tiled GEMM kernels must stay bitwise identical to
@@ -83,11 +83,13 @@ fuzz:
 bench:
 	$(GO) test ./internal/core/ -run '^$$' -bench 'BenchmarkTrainStep$$' -benchmem -benchtime 30x
 	$(GO) test . -run '^$$' -bench 'BenchmarkFig09LossDiff$$' -benchmem -benchtime 2x
+	$(GO) test ./internal/controlplane/ -run '^$$' -bench 'BenchmarkControlPlaneAdmission$$' -benchmem -benchtime 3x
 
 # one-iteration short-mode smoke of the kernel benchmarks: catches benchmark
 # rot (signature drift, panics on the bench path) without the full run
 benchsmoke:
 	$(GO) test ./internal/core/ -run '^$$' -bench 'BenchmarkTrainStep$$' -benchtime 1x -short
+	$(GO) test ./internal/controlplane/ -run '^$$' -bench 'BenchmarkControlPlaneAdmission$$' -benchtime 1x -short
 
 # serving smoke: checkpoint two models, drive ~1k requests at a batched and
 # an unbatched server, and require bitwise-equal outputs and zero drops

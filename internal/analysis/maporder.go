@@ -16,6 +16,9 @@ var orderSensitivePkgs = []string{
 	// order and autoscaler decisions must stay deterministic — replica
 	// planning over a map of deployments would reorder scale events
 	"internal/serve",
+	// controlplane: lease minting, sponsor choice, and preemption order all
+	// feed the byte-identical decision log the determinism test pins
+	"internal/controlplane",
 }
 
 // MapOrder returns the maporder analyzer: it flags `range` over a map in an

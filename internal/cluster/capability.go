@@ -6,32 +6,16 @@
 package cluster
 
 import (
-	"sync"
-
-	"repro/internal/device"
-	"repro/internal/models"
+	"repro/internal/controlplane"
 	"repro/internal/sched"
-)
-
-var (
-	capMu    sync.Mutex
-	capCache = map[string]sched.Capability{}
 )
 
 // CapabilityFor returns the per-GPU-type compute capability C_i (global
 // mini-batches per second for one EST) of a workload, derived from the
 // calibrated FLOP cost and the device specs.
+//
+// The implementation (and its cache) lives in the control plane, which owns
+// job admission now; this delegate keeps the historical call sites working.
 func CapabilityFor(model string) sched.Capability {
-	capMu.Lock()
-	defer capMu.Unlock()
-	if c, ok := capCache[model]; ok {
-		return c
-	}
-	w := models.MustBuild(model, 0)
-	c := sched.Capability{}
-	for _, t := range device.AllTypes() {
-		c[t] = w.StepRate(device.SpecOf(t).PeakGFLOPS)
-	}
-	capCache[model] = c
-	return c
+	return controlplane.CapabilityFor(model)
 }

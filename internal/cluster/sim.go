@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/controlplane"
 	"repro/internal/device"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -84,17 +85,15 @@ type Result struct {
 	Unstarted int
 }
 
+// simJob is the YARN-CS path's per-job state (the EasyScale path keeps its
+// state inside the control plane).
 type simJob struct {
 	spec      workload.JobSpec
 	remaining float64
 	started   bool
 	startSec  float64
 	finishSec float64
-	// YARN state
-	gang sched.Resources
-	// EasyScale state
-	intra      *sched.IntraJob
-	pausedUtil float64 // seconds of restart pause left
+	gang      sched.Resources
 }
 
 // Simulate runs the trace under the configured policy and returns metrics.
@@ -170,86 +169,47 @@ func simulateYARN(cfg Config, jobs []workload.JobSpec) Result {
 	return res
 }
 
-// simulateEasyScale: elastic jobs (min 0 GPUs) coordinated by the intra-job
-// schedulers and the greedy inter-job scheduler.
+// simulateEasyScale: elastic jobs (min 0 GPUs) admitted through the
+// multi-tenant control plane in single-tenant mode, which drives the same
+// intra-job/inter-job passes the pre-plane simulator called directly (the
+// plane's shim-equivalence test pins that the plans are identical).
 func simulateEasyScale(cfg Config, jobs []workload.JobSpec) Result {
-	inter := sched.NewInterJob(cfg.Inventory)
-	pending := make([]*simJob, len(jobs))
-	for i := range jobs {
-		pending[i] = &simJob{spec: jobs[i], remaining: jobs[i].WorkSteps}
-	}
-	sort.SliceStable(pending, func(i, j int) bool { return pending[i].spec.ArrivalSec < pending[j].spec.ArrivalSec })
-	var active []*simJob
+	plane := controlplane.New(controlplane.Config{
+		Inventory:       cfg.Inventory,
+		TickSec:         cfg.TickSec,
+		ProposalTopK:    cfg.ProposalTopK,
+		RestartSec:      cfg.RestartSec,
+		HomogeneousOnly: cfg.Mode == EasyScaleHomo,
+	})
+	pending := append([]workload.JobSpec(nil), jobs...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].ArrivalSec < pending[j].ArrivalSec })
 	res := Result{Mode: cfg.Mode, JCTs: map[string]float64{}}
 	now := 0.0
 	nextArrival := 0
 	for ; now < cfg.MaxSimSec; now += cfg.TickSec {
-		for nextArrival < len(pending) && pending[nextArrival].spec.ArrivalSec <= now {
-			j := pending[nextArrival]
-			homogOnly := cfg.Mode == EasyScaleHomo || j.spec.HomogeneousOnly
-			j.intra = sched.NewIntraJob(j.spec.ID, sched.NewCompanion(j.spec.MaxP, CapabilityFor(j.spec.Model)), homogOnly)
-			active = append(active, j)
+		for nextArrival < len(pending) && pending[nextArrival].ArrivalSec <= now {
+			spec := pending[nextArrival]
+			spec.Team, spec.MinGPUs = "", 0 // single-tenant, fully elastic
+			plane.Submit(spec)
 			nextArrival++
 		}
-
-		// scheduling round: collect proposals, grant greedily
-		var proposals []sched.Proposal
-		for _, j := range active {
-			proposals = append(proposals, j.intra.Proposals(inter.Free(), cfg.ProposalTopK)...)
-		}
-		byID := map[string]*simJob{}
-		for _, j := range active {
-			byID[j.spec.ID] = j
-		}
-		for _, pr := range inter.Round(proposals) {
-			j := byID[pr.JobID]
-			if _, ok := j.intra.Grant(pr); ok {
-				// give back GPUs the chosen plan leaves idle
-				if unused := j.intra.TrimUnused(); unused != nil {
-					inter.Release(unused)
-				}
-				j.pausedUtil = cfg.RestartSec
-				if !j.started {
-					j.started, j.startSec = true, now
-				}
-			} else {
-				inter.Release(sched.Resources{pr.Type: pr.Count})
-			}
-		}
-
-		// progress
-		var still []*simJob
-		for _, j := range active {
-			plan := j.intra.CurrentPlan()
-			dt := cfg.TickSec
-			if j.pausedUtil > 0 {
-				if j.pausedUtil >= dt {
-					j.pausedUtil -= dt
-					dt = 0
-				} else {
-					dt -= j.pausedUtil
-					j.pausedUtil = 0
-				}
-			}
-			j.remaining -= plan.Throughput * dt
-			if j.remaining <= 0 && j.started {
-				j.finishSec = now + cfg.TickSec
-				inter.Release(j.intra.Current())
-				res.JCTs[j.spec.ID] = j.finishSec - j.spec.ArrivalSec
-				res.AvgQueue += j.startSec - j.spec.ArrivalSec
-				res.Finished++
-			} else {
-				still = append(still, j)
-			}
-		}
-		active = still
-		res.Timeline = append(res.Timeline, AllocSample{Sec: now, Allocated: cfg.Inventory.Total() - inter.Free().Total()})
-		if res.Finished == len(jobs) && nextArrival == len(pending) {
+		plane.Tick(now)
+		res.Timeline = append(res.Timeline, AllocSample{Sec: now, Allocated: plane.Allocated()})
+		if plane.FinishedCount() == len(jobs) && nextArrival == len(pending) {
 			break
 		}
 	}
+	for _, st := range plane.JobStats() {
+		if st.Done {
+			res.JCTs[st.ID] = st.FinishSec - st.ArrivalSec
+			res.AvgQueue += st.StartSec - st.ArrivalSec
+			res.Finished++
+		} else {
+			res.Unstarted++
+		}
+	}
+	res.Unstarted += len(pending) - nextArrival
 	finalize(&res, jobs, now)
-	res.Unstarted = len(active)
 	return res
 }
 

@@ -1,0 +1,77 @@
+package controlplane
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// benchInventory is a 3072-GPU fleet (the paper's §5.3 co-location scale).
+var benchInventory = sched.Resources{device.V100: 1536, device.P100: 768, device.T4: 768}
+
+func benchTeams() []TeamConfig {
+	quota := sched.Resources{device.V100: 384, device.P100: 192, device.T4: 192}
+	var out []TeamConfig
+	for _, name := range []string{"ads", "nlp", "rec", "vis"} {
+		out = append(out, TeamConfig{Name: name, Quota: quota.Clone()})
+	}
+	return out
+}
+
+// runScaleScenario drives a dense multi-team workload over the 3072-GPU
+// fleet and returns the plane for inspection.
+func runScaleScenario(ticks int) *Plane {
+	p := New(Config{
+		Inventory:      benchInventory,
+		Teams:          benchTeams(),
+		AllowBorrowing: true,
+	})
+	jobs := workload.GenerateTenants(400, []string{"ads", "nlp", "rec", "vis"}, 5, 17)
+	next := 0
+	for tick := 0; tick < ticks; tick++ {
+		now := float64(tick) * 10
+		for next < len(jobs) && jobs[next].ArrivalSec <= now {
+			p.Submit(jobs[next])
+			next++
+		}
+		p.Tick(now)
+	}
+	return p
+}
+
+// TestSchedulerThroughputAtScale is the acceptance gate for the benchmark
+// scenario: at least 5000 admission decisions over a 3000+ GPU multi-team
+// fleet, with the accounting invariants intact at the end.
+func TestSchedulerThroughputAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale scenario in -short mode")
+	}
+	if benchInventory.Total() < 3000 {
+		t.Fatalf("fleet %d GPUs, want >= 3000", benchInventory.Total())
+	}
+	p := runScaleScenario(300)
+	if got := p.Decisions(); got < 5000 {
+		t.Fatalf("%d admission decisions, want >= 5000", got)
+	}
+	checkInvariants(t, p)
+	rep := p.Report()
+	if rep.Utilization <= 0 || rep.LeasesMinted == 0 {
+		t.Fatalf("degenerate scenario: %+v", rep)
+	}
+	t.Logf("decisions=%d minted=%d util=%.3f borrows=%d reclaims=%d",
+		p.Decisions(), rep.LeasesMinted, rep.Utilization, rep.Borrows, rep.Reclaims)
+}
+
+// BenchmarkControlPlaneAdmission measures end-to-end scheduler throughput:
+// one iteration is the full 300-tick, 400-job, 3072-GPU scenario (>= 5000
+// admission decisions — see TestSchedulerThroughputAtScale).
+func BenchmarkControlPlaneAdmission(b *testing.B) {
+	var decisions int
+	for i := 0; i < b.N; i++ {
+		p := runScaleScenario(300)
+		decisions = p.Decisions()
+	}
+	b.ReportMetric(float64(decisions), "decisions/op")
+}

@@ -1,0 +1,709 @@
+// Package controlplane is the multi-tenant front door to the EasyScale
+// scheduler: teams own budget envelopes (GPU-count quotas and GPU-hour
+// limits per device type), running jobs hold immutable leases funded by an
+// envelope, jobs that cannot be admitted receive a reservation carrying an
+// ETA, the capacity deficit, and concrete remedies, and idle capacity is
+// borrowable across teams with preemption-on-reclaim.
+//
+// The plane composes the existing sched passes rather than replacing them:
+// scale-out rides IntraJob.Proposals → RoundPass → IntraJob.Grant (so a
+// single-tenant plane is bitwise-identical to the pre-plane scheduler — the
+// shim test pins it), and preemption rides IntraJob.Preempt, the same
+// Apply/plan machinery as a voluntary trim. EasyScale's bitwise-consistent
+// Scale path is what makes that preemption accuracy-free, which in turn is
+// the argument for borrowing aggressively: a reclaim costs the borrower a
+// restart pause, never accuracy.
+//
+// Every placement, reservation, borrow, and preemption appends a
+// why-explained entry to the decision log (mirrored to the obs tracer under
+// CatPlane); identical submissions yield byte-identical logs.
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+var (
+	capMu    sync.Mutex
+	capCache = map[string]sched.Capability{}
+)
+
+// CapabilityFor returns the per-GPU-type compute capability C_i (global
+// mini-batches per second for one EST) of a workload, derived from the
+// calibrated FLOP cost and the device specs.
+func CapabilityFor(model string) sched.Capability {
+	capMu.Lock()
+	defer capMu.Unlock()
+	if c, ok := capCache[model]; ok {
+		return c
+	}
+	w := models.MustBuild(model, 0)
+	c := sched.Capability{}
+	for _, t := range device.AllTypes() {
+		c[t] = w.StepRate(device.SpecOf(t).PeakGFLOPS)
+	}
+	capCache[model] = c
+	return c
+}
+
+// Config configures a control plane.
+type Config struct {
+	// Inventory is the physical fleet.
+	Inventory sched.Resources
+	// Teams are the budget envelopes. Empty means one "default" team owning
+	// the whole inventory — the single-tenant mode the cluster simulator
+	// uses, equivalent to the pre-plane scheduler.
+	Teams []TeamConfig
+	// TickSec is the simulation step fed to Tick (default 10 s).
+	TickSec float64
+	// ProposalTopK bounds proposals per job per round (default 3).
+	ProposalTopK int
+	// RestartSec is the reconfiguration pause a job pays on scale-out,
+	// admission, or preemption (default 5 s).
+	RestartSec float64
+	// AllowBorrowing lets idle envelope headroom fund other teams' jobs,
+	// subject to preemption-on-reclaim when the owner needs it back.
+	AllowBorrowing bool
+	// Strategy is the bin-packing policy (default BestFit).
+	Strategy Strategy
+	// NodeGPUs is the simulated node size (default 8).
+	NodeGPUs int
+	// HomogeneousOnly restricts every job to one GPU type (the
+	// EasyScale-homo mode).
+	HomogeneousOnly bool
+	// Trace, when non-nil, mirrors the decision log as CatPlane events.
+	// Decisions never depend on it.
+	Trace *obs.Tracer
+}
+
+func (c *Config) defaults() {
+	if c.TickSec <= 0 {
+		c.TickSec = 10
+	}
+	if c.ProposalTopK <= 0 {
+		c.ProposalTopK = 3
+	}
+	if c.RestartSec <= 0 {
+		c.RestartSec = 5
+	}
+	if c.Strategy == nil {
+		c.Strategy = BestFit{}
+	}
+	if c.NodeGPUs <= 0 {
+		c.NodeGPUs = 8
+	}
+	if len(c.Teams) == 0 {
+		c.Teams = []TeamConfig{{Name: "default", Quota: c.Inventory.Clone()}}
+	}
+}
+
+// job is the plane's per-job state.
+type job struct {
+	spec      workload.JobSpec
+	team      string
+	intra     *sched.IntraJob
+	leases    []*Lease
+	resv      *Reservation
+	admitted  bool
+	started   bool
+	done      bool
+	remaining float64
+	startSec  float64
+	finishSec float64
+	// pausedUtil is the restart-pause debt in seconds: reconfiguration
+	// (admission, scale, preemption) costs RestartSec of training time.
+	pausedUtil float64
+	submitSeq  int
+}
+
+// Plane is the control plane. Not safe for concurrent use: it models one
+// deterministic cluster-scheduling loop.
+type Plane struct {
+	cfg          Config
+	free         sched.Resources
+	teams        map[string]*envelope
+	teamNames    []string
+	jobs         map[string]*job
+	order        []*job
+	nodes        []*Node
+	nodesByID    map[string]*Node
+	leases       map[string]*Lease
+	activeLeases []*Lease
+	leaseSeq     int
+	nowSec       float64
+	track        int
+	log          []string
+	utilSum      float64
+	utilTicks    int
+	stats        struct {
+		borrows, reclaims, minted, finished, admitted, decisions int
+	}
+}
+
+// New builds a control plane over the configured inventory and envelopes.
+func New(cfg Config) *Plane {
+	cfg.defaults()
+	p := &Plane{
+		cfg:       cfg,
+		free:      cfg.Inventory.Clone(),
+		teams:     map[string]*envelope{},
+		jobs:      map[string]*job{},
+		nodesByID: map[string]*Node{},
+		leases:    map[string]*Lease{},
+		track:     -1,
+	}
+	for _, tc := range cfg.Teams {
+		if _, dup := p.teams[tc.Name]; dup {
+			continue
+		}
+		p.teams[tc.Name] = newEnvelope(tc)
+		p.teamNames = append(p.teamNames, tc.Name)
+	}
+	sort.Strings(p.teamNames)
+	p.nodes = buildNodes(cfg.Inventory, cfg.NodeGPUs)
+	for _, n := range p.nodes {
+		p.nodesByID[n.ID] = n
+	}
+	if cfg.Trace != nil {
+		p.track = cfg.Trace.Track("controlplane")
+	}
+	return p
+}
+
+// logf appends one why-explained entry to the decision log and mirrors it to
+// the tracer. name must be a static string (it becomes the span name).
+func (p *Plane) logf(name string, a0, a1 int64, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	p.log = append(p.log, fmt.Sprintf("%10.1f %-13s %s", p.nowSec, name, msg))
+	if p.cfg.Trace != nil {
+		p.cfg.Trace.Event(p.track, obs.CatPlane, name, msg, a0, a1)
+	}
+}
+
+// Submit registers a job and attempts admission. Exactly one return is
+// non-nil: a Lease when the job is admitted (a zero-count admission ticket
+// for fully elastic jobs, which start at zero GPUs and grow by proposals),
+// or a Reservation with ETA, deficit, and remedies when it must wait.
+func (p *Plane) Submit(spec workload.JobSpec) (*Lease, *Reservation) {
+	team := spec.Team
+	if _, ok := p.teams[team]; !ok {
+		if team != "" {
+			p.logf("plane.anomaly", 0, 0, "job %s names unknown team %q; assigning to %s",
+				spec.ID, team, p.teamNames[0])
+		}
+		team = p.teamNames[0]
+	}
+	homog := p.cfg.HomogeneousOnly || spec.HomogeneousOnly
+	j := &job{
+		spec:      spec,
+		team:      team,
+		intra:     sched.NewIntraJob(spec.ID, sched.NewCompanion(spec.MaxP, CapabilityFor(spec.Model)), homog),
+		remaining: spec.WorkSteps,
+		submitSeq: len(p.order),
+	}
+	j.intra.Trace = p.cfg.Trace
+	p.jobs[spec.ID] = j
+	p.order = append(p.order, j)
+	p.stats.decisions++
+	if spec.MinGPUs <= 0 {
+		j.admitted = true
+		p.stats.admitted++
+		p.logf("plane.admit", 0, int64(j.submitSeq),
+			"job %s (team %s, maxP %d) admitted elastic at zero GPUs; grows by proposals",
+			spec.ID, team, spec.MaxP)
+		return &Lease{ID: "admit-" + spec.ID, JobID: spec.ID, Team: team, Sponsor: team}, nil
+	}
+	if l := p.tryAdmit(j); l != nil {
+		return l, nil
+	}
+	p.updateReservation(j)
+	return nil, j.resv
+}
+
+// tryAdmit attempts to fund and place a gang job's admission floor
+// (MinGPUs of its requested type). Quota-backed demand may reclaim GPUs the
+// team lent out (and, failing that, other teams' borrowed leases).
+func (p *Plane) tryAdmit(j *job) *Lease {
+	t, need := j.spec.RequestedType, j.spec.MinGPUs
+	own := p.teams[j.team]
+	// Lent-out capacity still belongs to the quota: a demand the quota can
+	// cover after calling in the team's loans is quota-backed and may
+	// preempt borrowed leases — the team's own first (restoring both the
+	// physical pool and the envelope headroom), then other sponsors'.
+	if p.cfg.AllowBorrowing && own.headroom(t)+own.lent[t] >= need {
+		short := need - p.free[t]
+		if f := need - own.headroom(t); f > short {
+			short = f
+		}
+		if short > 0 {
+			p.reclaim(j, t, short)
+		}
+	}
+	if p.free[t] < need {
+		return nil
+	}
+	sponsor, ok := p.sponsorFor(j.team, t, need)
+	if !ok {
+		return nil
+	}
+	if _, applied := j.intra.Apply(sched.Resources{t: need}); !applied {
+		return nil
+	}
+	p.free[t] -= need
+	l := p.mintLease(j, t, need, sponsor)
+	j.admitted, j.resv = true, nil
+	j.pausedUtil = p.cfg.RestartSec
+	if !j.started {
+		j.started, j.startSec = true, p.nowSec
+	}
+	p.stats.admitted++
+	waited := p.nowSec - j.spec.ArrivalSec
+	p.logf("plane.admit", int64(need), int64(j.submitSeq),
+		"job %s (team %s) admitted with gang %dx%s under lease %s after %.0fs wait",
+		j.spec.ID, j.team, need, t, l.ID, waited)
+	return l
+}
+
+// reclaim frees up to n GPUs of type t for a quota-backed demand by
+// preempting borrowed leases: GPUs the demanding team lent out go first
+// (newest lease first), then other teams' borrowed leases. Opportunistic
+// (elastic, non-borrowed) allocations are never preempted — only borrowers
+// pay, and only with a restart pause, never accuracy (the Scale path is
+// bitwise consistent).
+func (p *Plane) reclaim(requester *job, t device.Type, n int) {
+	var cands []*Lease
+	for pass := 0; pass < 2; pass++ {
+		for i := len(p.activeLeases) - 1; i >= 0; i-- {
+			l := p.activeLeases[i]
+			if l.Type != t || !l.Borrowed() || l.JobID == requester.spec.ID {
+				continue
+			}
+			if (pass == 0) == (l.Sponsor == requester.team) {
+				cands = append(cands, l)
+			}
+		}
+	}
+	for _, l := range cands {
+		if n <= 0 {
+			return
+		}
+		holder := p.jobs[l.JobID]
+		take := l.Count
+		if take > n {
+			take = n
+		}
+		p.stats.reclaims++
+		p.logf("plane.preempt", int64(take), int64(l.seq),
+			"preempt %dx%s of lease %s (job %s, team %s): quota-backed demand by job %s of team %s reclaims sponsor %s's capacity",
+			take, t, l.ID, l.JobID, l.Team, requester.spec.ID, requester.team, l.Sponsor)
+		released, fellIdle := holder.intra.Preempt(sched.Resources{t: take})
+		freedT := released[t]
+		p.releaseFromJob(holder, released, "preempted", l)
+		if fellIdle {
+			holder.pausedUtil = 0
+		} else {
+			holder.pausedUtil = p.cfg.RestartSec
+		}
+		n -= freedT
+	}
+}
+
+// updateReservation refreshes (or creates) a waiting job's reservation:
+// deficit, ETA from running leases' estimated completions, and remedies.
+func (p *Plane) updateReservation(j *job) {
+	t, need := j.spec.RequestedType, j.spec.MinGPUs
+	avail := p.free[t]
+	deficit := need - avail
+	if deficit < 0 {
+		deficit = 0
+	}
+	if _, ok := p.sponsorFor(j.team, t, need); !ok {
+		// funding, not capacity, is the binding constraint
+		if d := need - p.teams[j.team].headroom(t); d > deficit {
+			deficit = d
+		}
+	}
+	eta := -1.0
+	var remedies []string
+	covered := avail
+	for _, le := range p.leaseETAs(t) {
+		if covered >= need {
+			break
+		}
+		covered += le.lease.Count
+		eta = le.eta + p.cfg.RestartSec
+		if len(remedies) < 3 {
+			remedies = append(remedies, fmt.Sprintf(
+				"wait for lease %s of job %s (%dx%s, est. free at %.0fs)",
+				le.lease.ID, le.lease.JobID, le.lease.Count, t, le.eta))
+		}
+	}
+	if covered < need {
+		eta = -1
+	}
+	if _, ok := p.sponsorFor(j.team, t, need); !ok {
+		if !p.cfg.AllowBorrowing {
+			for _, name := range p.teamNames {
+				if name == j.team {
+					continue
+				}
+				if h := p.teams[name].headroom(t); h >= need {
+					remedies = append(remedies, fmt.Sprintf(
+						"enable borrowing: team %s has %dx%s idle envelope headroom", name, h, t))
+					break
+				}
+			}
+		} else {
+			remedies = append(remedies, fmt.Sprintf(
+				"raise team %s quota: need %dx%s, headroom %d and no sponsor covers it",
+				j.team, need, t, p.teams[j.team].headroom(t)))
+		}
+	} else if lent := p.teams[j.team].lent[t]; lent > 0 && avail < need {
+		remedies = append(remedies, fmt.Sprintf(
+			"reclaim %dx%s team %s lent out (quota-backed preemption)", lent, t, j.team))
+	}
+	changed := j.resv == nil || j.resv.Deficit != deficit
+	if j.resv == nil {
+		j.resv = &Reservation{JobID: j.spec.ID, Team: j.team, Type: t, Need: need, SinceSec: p.nowSec}
+	}
+	j.resv.Deficit = deficit
+	j.resv.ETASec = eta
+	j.resv.Remedies = remedies
+	if changed {
+		p.logf("plane.reserve", int64(deficit), int64(j.submitSeq),
+			"job %s (team %s) waits for %dx%s: deficit %d, eta %.0fs; remedies: %s",
+			j.spec.ID, j.team, need, t, deficit, eta, strings.Join(remedies, "; "))
+	}
+}
+
+// fundedPolicy is the grant-decision pass: the same greedy order as
+// sched.GreedyPolicy (speedup-per-GPU desc, then more GPUs, then job ID),
+// with each acceptance additionally funded against a hypothetical headroom
+// view. In single-tenant mode funding can never bind (the one envelope's
+// headroom IS the free pool), so the decisions are bitwise-identical to
+// GreedyPolicy — the shim test pins this.
+type fundedPolicy struct{ p *Plane }
+
+// Decide implements sched.Policy.
+func (fp fundedPolicy) Decide(free sched.Resources, proposals []sched.Proposal) []sched.Proposal {
+	sorted := append([]sched.Proposal(nil), proposals...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].SpeedupPerGPU != sorted[j].SpeedupPerGPU {
+			return sorted[i].SpeedupPerGPU > sorted[j].SpeedupPerGPU
+		}
+		if sorted[i].Count != sorted[j].Count {
+			return sorted[i].Count > sorted[j].Count
+		}
+		return sorted[i].JobID < sorted[j].JobID
+	})
+	pool := free.Clone()
+	head := fp.p.headroomSnapshot()
+	granted := map[string]bool{}
+	var out []sched.Proposal
+	for _, pr := range sorted {
+		if granted[pr.JobID] || pool[pr.Type] < pr.Count {
+			continue
+		}
+		team := fp.p.jobs[pr.JobID].team
+		sponsor, ok := pickSponsor(head, fp.p.teamNames, team, pr.Type, pr.Count, fp.p.cfg.AllowBorrowing)
+		if !ok {
+			continue
+		}
+		head[sponsor][pr.Type] -= pr.Count
+		pool[pr.Type] -= pr.Count
+		granted[pr.JobID] = true
+		out = append(out, pr)
+	}
+	return out
+}
+
+// availFor bounds a job's scale-out exploration: per type, the physical free
+// pool capped by the best envelope headroom that could fund the job (its
+// own, or — with borrowing — the most idle sponsor's).
+func (p *Plane) availFor(j *job, free sched.Resources) sched.Resources {
+	out := sched.Resources{}
+	own := p.teams[j.team]
+	for _, t := range device.AllTypes() {
+		h := own.headroom(t)
+		if p.cfg.AllowBorrowing {
+			for _, name := range p.teamNames {
+				if name == j.team {
+					continue
+				}
+				if hh := p.teams[name].headroom(t); hh > h {
+					h = hh
+				}
+			}
+		}
+		a := free[t]
+		if a > h {
+			a = h
+		}
+		if a > 0 {
+			out[t] = a
+		}
+	}
+	return out
+}
+
+// Tick advances the plane to nowSec: accrue GPU-hours, retry reservations
+// (priority first, then submission order), run one scale-out round, advance
+// job progress, and sample utilization. The caller drives Tick once per
+// TickSec of simulated time.
+func (p *Plane) Tick(nowSec float64) {
+	dt := nowSec - p.nowSec
+	if dt < 0 {
+		dt = 0
+	}
+	p.nowSec = nowSec
+	// 1. GPU-hour accrual; an exhausted envelope stops funding new leases
+	for _, name := range p.teamNames {
+		for _, t := range p.teams[name].accrue(dt) {
+			p.logf("plane.exhaust", int64(p.teams[name].inUse[t]), 0,
+				"team %s exhausted its %s GPU-hour budget (%.1fh): envelope stops funding new leases",
+				name, t, p.teams[name].cfg.GPUHourBudget[t])
+		}
+	}
+	// 2. reservation retries
+	var waiting []*job
+	for _, j := range p.order {
+		if !j.admitted && !j.done {
+			waiting = append(waiting, j)
+		}
+	}
+	sort.SliceStable(waiting, func(i, k int) bool {
+		if waiting[i].spec.Priority != waiting[k].spec.Priority {
+			return waiting[i].spec.Priority > waiting[k].spec.Priority
+		}
+		return waiting[i].submitSeq < waiting[k].submitSeq
+	})
+	for _, j := range waiting {
+		p.stats.decisions++
+		if p.tryAdmit(j) == nil {
+			p.updateReservation(j)
+		}
+	}
+	// 3. scale-out round: proposals against one free-pool snapshot, decided
+	// by the funded greedy pass, granted through the intra-job schedulers
+	freeSnap := p.free.Clone()
+	var proposals []sched.Proposal
+	for _, j := range p.order {
+		if !j.admitted || j.done {
+			continue
+		}
+		proposals = append(proposals, j.intra.Proposals(p.availFor(j, freeSnap), p.cfg.ProposalTopK)...)
+	}
+	for _, pr := range sched.RoundPass(fundedPolicy{p}, p.free, proposals, p.cfg.Trace) {
+		j := p.jobs[pr.JobID]
+		p.stats.decisions++
+		if _, ok := j.intra.Grant(pr); ok {
+			sponsor, ok := p.sponsorFor(j.team, pr.Type, pr.Count)
+			if !ok {
+				// cannot happen: the funded pass only accepts fundable
+				// proposals and intervening grants only add headroom
+				sponsor = j.team
+				p.logf("plane.anomaly", int64(pr.Count), 0,
+					"grant to %s not fundable at mint time; charging own envelope", pr.JobID)
+			}
+			l := p.mintLease(j, pr.Type, pr.Count, sponsor)
+			p.logf("plane.place", int64(pr.Count), int64(l.seq),
+				"job %s +%dx%s (est. speedup %.3fx, %.4f/GPU): best speedup-per-GPU among fundable proposals; lease %s funded by %s",
+				pr.JobID, pr.Count, pr.Type, pr.SpeedupTotal, pr.SpeedupPerGPU, l.ID, sponsor)
+			if unused := j.intra.TrimUnused(); unused != nil {
+				p.releaseFromJob(j, unused, "trimmed: plan assigns no ESTs to these GPUs", nil)
+			}
+			j.pausedUtil = p.cfg.RestartSec
+			if !j.started {
+				j.started, j.startSec = true, p.nowSec
+			}
+		} else {
+			p.free[pr.Type] += pr.Count
+		}
+	}
+	// 4. progress and completion (same arithmetic as the pre-plane sim)
+	for _, j := range p.order {
+		if !j.admitted || j.done {
+			continue
+		}
+		plan := j.intra.CurrentPlan()
+		step := p.cfg.TickSec
+		if j.pausedUtil > 0 {
+			if j.pausedUtil >= step {
+				j.pausedUtil -= step
+				step = 0
+			} else {
+				step -= j.pausedUtil
+				j.pausedUtil = 0
+			}
+		}
+		j.remaining -= plan.Throughput * step
+		if j.remaining <= 0 && j.started {
+			j.done = true
+			j.finishSec = nowSec + p.cfg.TickSec
+			p.stats.finished++
+			held := j.intra.Current()
+			p.releaseFromJob(j, held, "job finished", nil)
+			p.logf("plane.finish", int64(held.Total()), int64(j.submitSeq),
+				"job %s finished at %.0fs releasing %s", j.spec.ID, j.finishSec, held.Key())
+		}
+	}
+	// 5. utilization sample
+	total := p.cfg.Inventory.Total()
+	if total > 0 {
+		p.utilSum += float64(total-p.free.Total()) / float64(total)
+		p.utilTicks++
+	}
+}
+
+// Release ends one lease by ID: the holding job is preempted off exactly
+// those GPUs (re-planning on the remainder) and the capacity returns to the
+// pool. The admission tickets of fully elastic jobs ("admit-*") are not
+// releasable.
+func (p *Plane) Release(leaseID string) error {
+	l, ok := p.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("controlplane: no active lease %q", leaseID)
+	}
+	j := p.jobs[l.JobID]
+	released, fellIdle := j.intra.Preempt(sched.Resources{l.Type: l.Count})
+	p.logf("plane.release", int64(l.Count), int64(l.seq),
+		"manual release of lease %s (%dx%s, job %s)", l.ID, l.Count, l.Type, l.JobID)
+	p.releaseFromJob(j, released, "manually released", l)
+	if !fellIdle {
+		j.pausedUtil = p.cfg.RestartSec
+	}
+	return nil
+}
+
+// Free returns the physical free pool.
+func (p *Plane) Free() sched.Resources { return p.free.Clone() }
+
+// Allocated returns the number of GPUs currently leased.
+func (p *Plane) Allocated() int { return p.cfg.Inventory.Total() - p.free.Total() }
+
+// Held returns the resources a job currently holds (nil job → empty).
+func (p *Plane) Held(jobID string) sched.Resources {
+	if j, ok := p.jobs[jobID]; ok && !j.done {
+		return j.intra.Current()
+	}
+	return sched.Resources{}
+}
+
+// Decisions counts admission decisions taken so far: submissions,
+// reservation retries, and scale-out grants.
+func (p *Plane) Decisions() int { return p.stats.decisions }
+
+// FinishedCount returns how many jobs have completed.
+func (p *Plane) FinishedCount() int { return p.stats.finished }
+
+// DecisionLog returns the append-only decision log.
+func (p *Plane) DecisionLog() []string { return append([]string(nil), p.log...) }
+
+// JobStat is one job's lifecycle summary.
+type JobStat struct {
+	ID         string
+	Team       string
+	ArrivalSec float64
+	Admitted   bool
+	Started    bool
+	Done       bool
+	StartSec   float64
+	FinishSec  float64
+}
+
+// JobStats lists every submitted job in submission order.
+func (p *Plane) JobStats() []JobStat {
+	out := make([]JobStat, len(p.order))
+	for i, j := range p.order {
+		out[i] = JobStat{
+			ID: j.spec.ID, Team: j.team, ArrivalSec: j.spec.ArrivalSec,
+			Admitted: j.admitted, Started: j.started, Done: j.done,
+			StartSec: j.startSec, FinishSec: j.finishSec,
+		}
+	}
+	return out
+}
+
+// OpenReservations lists the waiting jobs' reservations in submission order.
+func (p *Plane) OpenReservations() []Reservation {
+	var out []Reservation
+	for _, j := range p.order {
+		if j.resv != nil && !j.admitted && !j.done {
+			out = append(out, *j.resv)
+		}
+	}
+	return out
+}
+
+// TeamReport is one envelope's utilization summary.
+type TeamReport struct {
+	Name     string
+	Quota    sched.Resources
+	InUse    sched.Resources
+	Lent     sched.Resources
+	Borrowed sched.Resources
+	GPUHours map[device.Type]float64
+}
+
+// Report summarizes the plane: per-team envelopes, fragmentation and
+// consolidation per type, time-averaged utilization, and counters.
+type Report struct {
+	Strategy         string
+	NowSec           float64
+	Teams            []TeamReport
+	Frag             []TypeFrag
+	Utilization      float64
+	LeasesMinted     int
+	LeasesActive     int
+	ReservationsOpen int
+	Admitted         int
+	Finished         int
+	Borrows          int
+	Reclaims         int
+	Log              []string
+}
+
+// Report builds the current report.
+func (p *Plane) Report() Report {
+	r := Report{
+		Strategy:     p.cfg.Strategy.Name(),
+		NowSec:       p.nowSec,
+		Frag:         fragmentation(p.nodes),
+		LeasesMinted: p.stats.minted,
+		LeasesActive: len(p.activeLeases),
+		Admitted:     p.stats.admitted,
+		Finished:     p.stats.finished,
+		Borrows:      p.stats.borrows,
+		Reclaims:     p.stats.reclaims,
+		Log:          p.DecisionLog(),
+	}
+	r.ReservationsOpen = len(p.OpenReservations())
+	if p.utilTicks > 0 {
+		r.Utilization = p.utilSum / float64(p.utilTicks)
+	}
+	for _, name := range p.teamNames {
+		e := p.teams[name]
+		hours := map[device.Type]float64{}
+		for _, t := range device.AllTypes() {
+			if e.hoursUsed[t] > 0 {
+				hours[t] = e.hoursUsed[t]
+			}
+		}
+		r.Teams = append(r.Teams, TeamReport{
+			Name:  name,
+			Quota: e.cfg.Quota.Clone(), InUse: e.inUse.Clone(),
+			Lent: e.lent.Clone(), Borrowed: e.borrowed.Clone(),
+			GPUHours: hours,
+		})
+	}
+	return r
+}

@@ -1,0 +1,125 @@
+package controlplane
+
+import (
+	"repro/internal/device"
+	"repro/internal/sched"
+)
+
+// TeamConfig is one team's budget envelope: how much capacity the team is
+// entitled to fund at once (Quota) and how many GPU-hours it may burn in
+// total (GPUHourBudget, 0 or absent = unlimited). Envelopes are entitlements,
+// not partitions — quotas may oversubscribe the inventory, and idle headroom
+// is borrowable by other teams when the plane allows it.
+type TeamConfig struct {
+	Name          string
+	Quota         sched.Resources
+	GPUHourBudget map[device.Type]float64
+}
+
+// envelope is a team's live funding state. inUse counts every GPU funded by
+// this envelope, whether held by the team's own jobs or lent to another
+// team's; lent is the subset held elsewhere; borrowed counts GPUs this
+// team's jobs hold on someone else's budget.
+type envelope struct {
+	cfg       TeamConfig
+	inUse     sched.Resources
+	lent      sched.Resources
+	borrowed  sched.Resources
+	hoursUsed map[device.Type]float64
+	exhausted map[device.Type]bool
+}
+
+func newEnvelope(cfg TeamConfig) *envelope {
+	return &envelope{
+		cfg:       cfg,
+		inUse:     sched.Resources{},
+		lent:      sched.Resources{},
+		borrowed:  sched.Resources{},
+		hoursUsed: map[device.Type]float64{},
+		exhausted: map[device.Type]bool{},
+	}
+}
+
+// headroom is the envelope's remaining funding capacity for one type: quota
+// minus funded leases, zero once the GPU-hour budget is spent.
+func (e *envelope) headroom(t device.Type) int {
+	if e.exhausted[t] {
+		return 0
+	}
+	h := e.cfg.Quota[t] - e.inUse[t]
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// accrue charges dt seconds of every funded GPU against the hour budget and
+// reports whether the budget was newly exhausted for any type.
+func (e *envelope) accrue(dtSec float64) []device.Type {
+	var newly []device.Type
+	for _, t := range device.AllTypes() {
+		if e.inUse[t] == 0 {
+			continue
+		}
+		e.hoursUsed[t] += float64(e.inUse[t]) * dtSec / 3600
+		b := e.cfg.GPUHourBudget[t]
+		if b > 0 && e.hoursUsed[t] >= b && !e.exhausted[t] {
+			e.exhausted[t] = true
+			newly = append(newly, t)
+		}
+	}
+	return newly
+}
+
+// headroomView is a funding snapshot the grant-decision pass debits
+// hypothetically before any lease is minted, so one round cannot
+// oversubscribe an envelope across several jobs.
+type headroomView map[string]sched.Resources
+
+func (p *Plane) headroomSnapshot() headroomView {
+	v := headroomView{}
+	for _, name := range p.teamNames {
+		e := p.teams[name]
+		r := sched.Resources{}
+		for _, t := range device.AllTypes() {
+			if h := e.headroom(t); h > 0 {
+				r[t] = h
+			}
+		}
+		v[name] = r
+	}
+	return v
+}
+
+// pickSponsor resolves which envelope funds a request: the requesting team's
+// own when its headroom suffices, otherwise — when borrowing is on — the
+// other team with the most idle headroom (ties to the lexicographically
+// first name, iterating the sorted team list). Both the hypothetical
+// grant-decision pass and the real lease mint call this same function on a
+// headroom view, so they cannot disagree.
+func pickSponsor(head headroomView, names []string, team string, t device.Type, count int, borrow bool) (string, bool) {
+	if head[team][t] >= count {
+		return team, true
+	}
+	if !borrow {
+		return "", false
+	}
+	best, bestH := "", -1
+	for _, n := range names {
+		if n == team {
+			continue
+		}
+		if h := head[n][t]; h >= count && h > bestH {
+			best, bestH = n, h
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return best, true
+}
+
+// sponsorFor is pickSponsor against the live envelopes.
+func (p *Plane) sponsorFor(team string, t device.Type, count int) (string, bool) {
+	return pickSponsor(p.headroomSnapshot(), p.teamNames, team, t, count, p.cfg.AllowBorrowing)
+}

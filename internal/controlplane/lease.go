@@ -1,0 +1,265 @@
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/sched"
+)
+
+// Lease is an immutable grant of GPUs to one job, funded by one envelope.
+// A lease never changes after minting: shrinking a job retires leases (or
+// splits one: retire + mint the residual under a fresh ID), so the decision
+// log is an append-only account of who held what, funded by whom, and why it
+// ended.
+type Lease struct {
+	ID    string
+	JobID string
+	// Team holds the GPUs; Sponsor funds them. They differ exactly when the
+	// lease is borrowed from another team's idle envelope.
+	Team    string
+	Sponsor string
+	Type    device.Type
+	Count   int
+	Nodes   []NodeShare
+	// StartSec is when the underlying allocation began (a split residual
+	// keeps the original start).
+	StartSec float64
+	seq      int
+}
+
+// Borrowed reports whether the lease runs on another team's budget.
+func (l *Lease) Borrowed() bool { return l.Sponsor != l.Team }
+
+// Reservation is the answer a job gets when it cannot be admitted: how much
+// capacity is missing, when the plane expects to admit it, and what would
+// unblock it sooner.
+type Reservation struct {
+	JobID string
+	Team  string
+	Type  device.Type
+	Need  int
+	// Deficit is how many GPUs of Type are still missing after counting the
+	// free pool the job may fund.
+	Deficit int
+	// ETASec estimates when the deficit will be covered by running jobs
+	// finishing (-1 when no running lease covers it).
+	ETASec float64
+	// Remedies are concrete unblocking actions, most effective first.
+	Remedies []string
+	SinceSec float64
+}
+
+// mintLease allocates nodes, charges the sponsoring envelope, and records
+// the lease. The caller has already debited the physical free pool.
+func (p *Plane) mintLease(j *job, t device.Type, count int, sponsor string) *Lease {
+	p.leaseSeq++
+	l := &Lease{
+		ID:       fmt.Sprintf("L%04d", p.leaseSeq),
+		JobID:    j.spec.ID,
+		Team:     j.team,
+		Sponsor:  sponsor,
+		Type:     t,
+		Count:    count,
+		Nodes:    p.place(t, count),
+		StartSec: p.nowSec,
+		seq:      p.leaseSeq,
+	}
+	p.leases[l.ID] = l
+	p.activeLeases = append(p.activeLeases, l)
+	j.leases = append(j.leases, l)
+	sp := p.teams[sponsor]
+	sp.inUse[t] += count
+	if l.Borrowed() {
+		sp.lent[t] += count
+		p.teams[j.team].borrowed[t] += count
+		p.stats.borrows++
+		p.logf("plane.borrow", int64(count), int64(l.seq),
+			"lease %s: job %s (team %s) borrows %dx%s from team %s's idle envelope",
+			l.ID, j.spec.ID, j.team, count, t, sponsor)
+	}
+	p.stats.minted++
+	p.logf("plane.lease", int64(count), int64(l.seq),
+		"mint %s: %dx%s -> job %s team %s funded-by %s on [%s]",
+		l.ID, count, t, j.spec.ID, j.team, sponsor, shareKey(l.Nodes))
+	return l
+}
+
+// retireFromLease returns n ≤ l.Count GPUs from lease l: envelope credit,
+// node unplacement, physical free-pool credit. When n < l.Count the lease is
+// split — fully retired, with the residual re-minted under a fresh ID so
+// leases stay immutable.
+func (p *Plane) retireFromLease(l *Lease, n int, reason string) {
+	t := l.Type
+	// give the released GPUs back to their nodes, last share first
+	left := n
+	for i := len(l.Nodes) - 1; i >= 0 && left > 0; i-- {
+		s := &l.Nodes[i]
+		take := s.Count
+		if take > left {
+			take = left
+		}
+		s.Count -= take
+		left -= take
+		p.nodesByID[s.NodeID].Used -= take
+	}
+	sp := p.teams[l.Sponsor]
+	sp.inUse[t] -= n
+	if l.Borrowed() {
+		sp.lent[t] -= n
+		p.teams[l.Team].borrowed[t] -= n
+	}
+	p.free[t] += n
+	p.removeLease(l)
+	p.logf("plane.retire", int64(n), int64(l.seq),
+		"retire %s (%dx%s, job %s): %s", l.ID, n, t, l.JobID, reason)
+	if rest := l.Count - n; rest > 0 {
+		p.leaseSeq++
+		res := &Lease{
+			ID:       fmt.Sprintf("L%04d", p.leaseSeq),
+			JobID:    l.JobID,
+			Team:     l.Team,
+			Sponsor:  l.Sponsor,
+			Type:     t,
+			Count:    rest,
+			StartSec: l.StartSec,
+			seq:      p.leaseSeq,
+		}
+		for _, s := range l.Nodes {
+			if s.Count > 0 {
+				res.Nodes = append(res.Nodes, s)
+			}
+		}
+		p.leases[res.ID] = res
+		p.activeLeases = append(p.activeLeases, res)
+		j := p.jobs[l.JobID]
+		j.leases = append(j.leases, res)
+		p.logf("plane.split", int64(rest), int64(res.seq),
+			"split %s -> residual %s (%dx%s, job %s)", l.ID, res.ID, rest, t, l.JobID)
+	}
+}
+
+// removeLease drops l from the active set and its job's lease list.
+func (p *Plane) removeLease(l *Lease) {
+	delete(p.leases, l.ID)
+	for i, a := range p.activeLeases {
+		if a == l {
+			p.activeLeases = append(p.activeLeases[:i], p.activeLeases[i+1:]...)
+			break
+		}
+	}
+	j := p.jobs[l.JobID]
+	for i, a := range j.leases {
+		if a == l {
+			j.leases = append(j.leases[:i], j.leases[i+1:]...)
+			break
+		}
+	}
+}
+
+// releaseFromJob settles a resource release reported by a job's intra-job
+// scheduler (trim, fallback, preemption, completion) against the job's
+// leases, retiring newest-first; prefer, when non-nil and matching, is
+// retired ahead of the LIFO order (the manual Release path).
+func (p *Plane) releaseFromJob(j *job, released sched.Resources, reason string, prefer *Lease) {
+	for _, t := range device.AllTypes() {
+		m := released[t]
+		for m > 0 {
+			var l *Lease
+			if prefer != nil && prefer.Type == t && p.leases[prefer.ID] == prefer {
+				l = prefer
+			} else {
+				for i := len(j.leases) - 1; i >= 0; i-- {
+					if j.leases[i].Type == t {
+						l = j.leases[i]
+						break
+					}
+				}
+			}
+			if l == nil {
+				// released GPUs with no covering lease: accounting anomaly —
+				// return them to the pool and say so rather than leak
+				p.free[t] += m
+				p.logf("plane.anomaly", int64(m), 0,
+					"job %s released %dx%s not covered by any lease (%s)", j.spec.ID, m, t, reason)
+				break
+			}
+			n := l.Count
+			if n > m {
+				n = m
+			}
+			p.retireFromLease(l, n, reason)
+			m -= n
+		}
+	}
+}
+
+// place picks nodes for count GPUs of type t per the configured strategy and
+// marks them used. The caller guarantees count ≤ the type's free capacity.
+func (p *Plane) place(t device.Type, count int) []NodeShare {
+	var cands []*Node
+	for _, n := range p.nodes {
+		if n.Type == t && n.Free() > 0 {
+			cands = append(cands, n)
+		}
+	}
+	p.cfg.Strategy.Order(cands)
+	var shares []NodeShare
+	left := count
+	for _, n := range cands {
+		if left <= 0 {
+			break
+		}
+		take := n.Free()
+		if take > left {
+			take = left
+		}
+		n.Used += take
+		shares = append(shares, NodeShare{NodeID: n.ID, Count: take})
+		left -= take
+	}
+	if left > 0 {
+		p.logf("plane.anomaly", int64(left), 0, "placement short %d GPUs of %s", left, t)
+	}
+	return shares
+}
+
+// shareKey renders node shares canonically for logs.
+func shareKey(shares []NodeShare) string {
+	parts := make([]string, 0, len(shares))
+	for _, s := range shares {
+		parts = append(parts, fmt.Sprintf("%s:%d", s.NodeID, s.Count))
+	}
+	return strings.Join(parts, " ")
+}
+
+// leaseETAs lists the active leases of one type with each holder's estimated
+// completion, soonest first — the "wait for lease L of job J" remedy source.
+type leaseETA struct {
+	lease *Lease
+	eta   float64
+}
+
+func (p *Plane) leaseETAs(t device.Type) []leaseETA {
+	var out []leaseETA
+	for _, l := range p.activeLeases {
+		if l.Type != t {
+			continue
+		}
+		h := p.jobs[l.JobID]
+		thr := h.intra.CurrentPlan().Throughput
+		if thr <= 0 {
+			continue
+		}
+		out = append(out, leaseETA{lease: l, eta: p.nowSec + h.remaining/thr})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].eta != out[j].eta {
+			return out[i].eta < out[j].eta
+		}
+		return out[i].lease.seq < out[j].lease.seq
+	})
+	return out
+}

@@ -1,0 +1,185 @@
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/sched"
+)
+
+// Node is one simulated machine: a fixed-size slice of same-type GPUs. The
+// control plane packs leases onto nodes so the fragmentation report can tell
+// apart "free GPUs" from "free GPUs usable as a gang".
+type Node struct {
+	ID   string
+	Type device.Type
+	Cap  int
+	Used int
+}
+
+// Free returns the node's unallocated GPUs.
+func (n *Node) Free() int { return n.Cap - n.Used }
+
+// NodeShare is a lease's slice of one node.
+type NodeShare struct {
+	NodeID string
+	Count  int
+}
+
+// Strategy is the pluggable bin-packing policy: it orders same-type candidate
+// nodes into placement preference; the plane then fills them greedily. An
+// implementation must order deterministically (ties broken by node ID).
+type Strategy interface {
+	Name() string
+	Order(nodes []*Node)
+}
+
+// BestFit packs the most-utilized node first, consolidating jobs onto few
+// nodes and keeping whole nodes free for gangs.
+type BestFit struct{}
+
+// Name implements Strategy.
+func (BestFit) Name() string { return "bestfit" }
+
+// Order implements Strategy.
+func (BestFit) Order(nodes []*Node) {
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if nodes[i].Used != nodes[j].Used {
+			return nodes[i].Used > nodes[j].Used
+		}
+		return nodes[i].ID < nodes[j].ID
+	})
+}
+
+// FirstFit packs nodes in inventory order.
+type FirstFit struct{}
+
+// Name implements Strategy.
+func (FirstFit) Name() string { return "firstfit" }
+
+// Order implements Strategy.
+func (FirstFit) Order(nodes []*Node) {
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+}
+
+// WorstFit packs the least-utilized node first, spreading load (lower
+// per-node contention at the cost of fragmentation).
+type WorstFit struct{}
+
+// Name implements Strategy.
+func (WorstFit) Name() string { return "worstfit" }
+
+// Order implements Strategy.
+func (WorstFit) Order(nodes []*Node) {
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if nodes[i].Used != nodes[j].Used {
+			return nodes[i].Used < nodes[j].Used
+		}
+		return nodes[i].ID < nodes[j].ID
+	})
+}
+
+// StrategyByName resolves a strategy flag value.
+func StrategyByName(name string) (Strategy, bool) {
+	switch name {
+	case "bestfit", "":
+		return BestFit{}, true
+	case "firstfit":
+		return FirstFit{}, true
+	case "worstfit":
+		return WorstFit{}, true
+	}
+	return nil, false
+}
+
+// TypeFrag is the fragmentation summary for one GPU type.
+type TypeFrag struct {
+	Type         device.Type
+	Nodes        int
+	FullNodes    int
+	EmptyNodes   int
+	PartialNodes int
+	FreeGPUs     int
+	// FreeInPartial is the share of free capacity trapped on
+	// partially-occupied nodes — GPUs a whole-node gang cannot use.
+	FreeInPartial int
+	// FragRatio is FreeInPartial / FreeGPUs (0 when nothing is free).
+	FragRatio float64
+	// ConsolidationMoves is how many allocated GPUs would have to migrate to
+	// repack the type onto the fewest nodes (EasyScale's bitwise-consistent
+	// Scale path makes each move accuracy-free).
+	ConsolidationMoves int
+}
+
+// fragmentation computes the per-type report from the node inventory.
+func fragmentation(nodes []*Node) []TypeFrag {
+	var out []TypeFrag
+	for _, t := range device.AllTypes() {
+		var f TypeFrag
+		f.Type = t
+		var used, capTotal int
+		var perType []*Node
+		for _, n := range nodes {
+			if n.Type != t {
+				continue
+			}
+			perType = append(perType, n)
+			f.Nodes++
+			used += n.Used
+			capTotal += n.Cap
+			switch {
+			case n.Used == 0:
+				f.EmptyNodes++
+			case n.Used == n.Cap:
+				f.FullNodes++
+			default:
+				f.PartialNodes++
+				f.FreeInPartial += n.Free()
+			}
+		}
+		if f.Nodes == 0 {
+			continue
+		}
+		f.FreeGPUs = capTotal - used
+		if f.FreeGPUs > 0 {
+			f.FragRatio = float64(f.FreeInPartial) / float64(f.FreeGPUs)
+		}
+		// fewest nodes that could host the allocated GPUs: fill the
+		// most-utilized nodes first; everything on the remainder must move
+		sort.SliceStable(perType, func(i, j int) bool {
+			if perType[i].Used != perType[j].Used {
+				return perType[i].Used > perType[j].Used
+			}
+			return perType[i].ID < perType[j].ID
+		})
+		remaining := used
+		for _, n := range perType {
+			if remaining <= 0 {
+				f.ConsolidationMoves += n.Used
+				continue
+			}
+			remaining -= n.Cap
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// buildNodes splits the inventory into NodeGPUs-sized nodes per type, in
+// device.AllTypes order.
+func buildNodes(inv sched.Resources, nodeGPUs int) []*Node {
+	var out []*Node
+	for _, t := range device.AllTypes() {
+		left := inv[t]
+		for i := 0; left > 0; i++ {
+			c := nodeGPUs
+			if c > left {
+				c = left
+			}
+			out = append(out, &Node{ID: fmt.Sprintf("%s-%03d", t, i), Type: t, Cap: c})
+			left -= c
+		}
+	}
+	return out
+}

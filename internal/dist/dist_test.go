@@ -60,7 +60,7 @@ func restore(t *testing.T, cfg core.Config, ckpt []byte) *core.Job {
 func TestTCPClusterMatchesInProcess(t *testing.T) {
 	cfg := distCfg(4)
 	phases := []Phase{{Placement: core.EvenPlacement(4, device.V100, device.V100), Steps: 8}}
-	ckpt, err := RunElastic(cfg, "electra", phases)
+	ckpt, err := Run(cfg, "electra", phases)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestTCPElasticScaleMatchesFixedDDP(t *testing.T) {
 		{Placement: core.EvenPlacement(4, device.V100), Steps: 6},
 		{Placement: core.EvenPlacement(4, device.V100, device.P100), Steps: 6},
 	}
-	ckpt, err := RunElastic(cfg, "bert", phases)
+	ckpt, err := Run(cfg, "bert", phases)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestTCPElasticScaleMatchesFixedDDP(t *testing.T) {
 func TestTCPUnevenESTDistribution(t *testing.T) {
 	cfg := distCfg(3)
 	phases := []Phase{{Placement: core.EvenPlacement(3, device.V100, device.V100), Steps: 5}}
-	ckpt, err := RunElastic(cfg, "neumf", phases)
+	ckpt, err := Run(cfg, "neumf", phases)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestTCPCheckpointCarriesESTContexts(t *testing.T) {
 		{Placement: core.EvenPlacement(4, device.V100, device.V100), Steps: 5},
 		{Placement: core.EvenPlacement(4, device.V100, device.V100, device.V100), Steps: 5},
 	}
-	ckpt, err := RunElastic(cfg, "vgg19", phases)
+	ckpt, err := Run(cfg, "vgg19", phases)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,9 +143,9 @@ func TestRunWorkerRejectsNonD1(t *testing.T) {
 	}
 }
 
-func TestRunElasticValidatesPlacement(t *testing.T) {
+func TestRunValidatesPlacement(t *testing.T) {
 	cfg := distCfg(4)
-	_, err := RunElastic(cfg, "neumf", []Phase{{Placement: core.Placement{}, Steps: 1}})
+	_, err := Run(cfg, "neumf", []Phase{{Placement: core.Placement{}, Steps: 1}})
 	if err == nil {
 		t.Fatal("invalid placement must error")
 	}
@@ -217,11 +217,9 @@ func TestResilientRecoversFromCrash(t *testing.T) {
 		Budget: 2,
 		Rules:  map[faults.Site]faults.Rule{faults.Gather: {Prob: 1, Action: faults.Crash}},
 	}
-	opts := ResilientOptions{
-		Retry:  RetryPolicy{MaxRetries: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond},
-		Faults: plan,
-	}
-	ckpt, err := RunElasticResilient(cfg, "electra", phases, opts)
+	ckpt, err := Run(cfg, "electra", phases,
+		WithRetryPolicy(RetryPolicy{MaxRetries: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}),
+		WithFaultPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +245,7 @@ func TestResilientExhaustsRetries(t *testing.T) {
 		Rules:  map[faults.Site]faults.Rule{faults.Gather: {Prob: 1, Action: faults.Crash}},
 	}
 	// zero retries: the single (crashed) attempt is the only one
-	_, err := RunElasticResilient(cfg, "neumf", phases, ResilientOptions{Faults: plan})
+	_, err := Run(cfg, "neumf", phases, WithFaultPlan(plan))
 	if err == nil {
 		t.Fatal("injected crash must surface as an error")
 	}

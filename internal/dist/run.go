@@ -137,28 +137,3 @@ type RetryPolicy struct {
 	// MaxBackoff caps the exponential growth. Zero defaults to 2s.
 	MaxBackoff time.Duration
 }
-
-// ResilientOptions configures RunElasticResilient.
-//
-// Deprecated: pass WithRetryPolicy and WithFaultPlan to Run instead.
-type ResilientOptions struct {
-	Retry RetryPolicy
-	// Faults, when non-nil, is the seeded fault campaign injected into
-	// every worker of every attempt.
-	Faults *faults.Plan
-}
-
-// RunElastic executes an elastic training job across TCP worker generations.
-//
-// Deprecated: RunElastic is Run with no options; call Run directly.
-func RunElastic(cfg core.Config, workload string, phases []Phase) ([]byte, error) {
-	return Run(cfg, workload, phases)
-}
-
-// RunElasticResilient is RunElastic with crash recovery and optional fault
-// injection.
-//
-// Deprecated: call Run with WithRetryPolicy and WithFaultPlan instead.
-func RunElasticResilient(cfg core.Config, workload string, phases []Phase, opts ResilientOptions) ([]byte, error) {
-	return Run(cfg, workload, phases, WithRetryPolicy(opts.Retry), WithFaultPlan(opts.Faults))
-}

@@ -105,30 +105,3 @@ func TestRunTracesFaultsAndRetries(t *testing.T) {
 		t.Fatal("crash-recovered traced run diverged from the reference")
 	}
 }
-
-// TestDeprecatedWrappersDelegate: the legacy entry points are thin shims over
-// Run and must produce the same bytes.
-func TestDeprecatedWrappersDelegate(t *testing.T) {
-	cfg := distCfg(2)
-	phases := []Phase{{Placement: core.EvenPlacement(2, device.V100, device.V100), Steps: 4}}
-	viaRun, err := Run(cfg, "neumf", phases)
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaLegacy, err := RunElastic(cfg, "neumf", phases)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !core.ParamsEqual(restore(t, cfg, viaRun), restore(t, cfg, viaLegacy)) {
-		t.Fatal("RunElastic diverged from Run")
-	}
-	viaResilient, err := RunElasticResilient(cfg, "neumf", phases, ResilientOptions{
-		Retry: RetryPolicy{MaxRetries: 1},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !core.ParamsEqual(restore(t, cfg, viaRun), restore(t, cfg, viaResilient)) {
-		t.Fatal("RunElasticResilient diverged from Run")
-	}
-}

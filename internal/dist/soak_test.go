@@ -112,15 +112,13 @@ func TestSoakCrashRecoveryBitwise(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := distCfg(4)
 			cfg.DistTimeout = tc.timeout
-			opts := ResilientOptions{
-				Retry: RetryPolicy{
+			ckpt, err := Run(cfg, "neumf", soakPhases(),
+				WithRetryPolicy(RetryPolicy{
 					MaxRetries:  4,
 					BaseBackoff: 5 * time.Millisecond,
 					MaxBackoff:  50 * time.Millisecond,
-				},
-				Faults: tc.plan,
-			}
-			ckpt, err := RunElasticResilient(cfg, "neumf", soakPhases(), opts)
+				}),
+				WithFaultPlan(tc.plan))
 			if err != nil {
 				t.Fatalf("soak run failed (fired %d faults): %v", tc.plan.Fired(), err)
 			}

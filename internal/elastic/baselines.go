@@ -55,6 +55,8 @@ func (f Framework) String() string {
 		return "Pollux"
 	case VirtualFlow:
 		return "VirtualFlow"
+	case EasyScale:
+		return "EasyScale"
 	}
 	return fmt.Sprintf("Framework(%d)", int(f))
 }

@@ -1,0 +1,31 @@
+package elastic
+
+// EasyScale is not a baseline adaptation policy (it never changes the
+// training semantics) but appears in the Framework enum so tenancy-cost
+// comparisons like PreemptionDowntime can cover it alongside the baselines.
+const EasyScale Framework = VirtualFlow + 1
+
+// PreemptionDowntime returns the expected training time (seconds) a running
+// job loses when the cluster preempts it off its GPUs and it later resumes —
+// the per-preemption cost a multi-tenant scheduler pays for reclaiming
+// borrowed capacity.
+//
+// EasyScale pays only the reconfiguration pause: every EST's state is
+// captured at mini-batch granularity by the Scale path, and the resumed plan
+// is bitwise-identical to an uninterrupted run, so no work is lost. The
+// checkpoint-restart baselines resume from their last periodic checkpoint,
+// losing ckptIntervalSec/2 of progress in expectation on top of the same
+// restart pause. That asymmetry is why the control plane can borrow idle
+// quota aggressively for EasyScale jobs: a reclaim costs seconds, not epochs.
+func PreemptionDowntime(f Framework, restartSec, ckptIntervalSec float64) float64 {
+	if restartSec < 0 {
+		restartSec = 0
+	}
+	if ckptIntervalSec < 0 {
+		ckptIntervalSec = 0
+	}
+	if f == EasyScale {
+		return restartSec
+	}
+	return restartSec + ckptIntervalSec/2
+}

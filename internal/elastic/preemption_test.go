@@ -1,0 +1,22 @@
+package elastic
+
+import "testing"
+
+func TestPreemptionDowntime(t *testing.T) {
+	const restart, interval = 5.0, 600.0
+	if got := PreemptionDowntime(EasyScale, restart, interval); got != restart {
+		t.Fatalf("EasyScale downtime %v, want restart pause only (%v)", got, restart)
+	}
+	for _, f := range []Framework{FixedDDP, TorchElastic, Pollux, VirtualFlow} {
+		got := PreemptionDowntime(f, restart, interval)
+		if want := restart + interval/2; got != want {
+			t.Fatalf("%s downtime %v, want %v (restart + half checkpoint interval)", f, got, want)
+		}
+		if got <= PreemptionDowntime(EasyScale, restart, interval) {
+			t.Fatalf("%s must pay more than EasyScale per preemption", f)
+		}
+	}
+	if got := PreemptionDowntime(EasyScale, -1, -1); got != 0 {
+		t.Fatalf("negative inputs must clamp to 0, got %v", got)
+	}
+}

@@ -62,6 +62,10 @@ const (
 	// CatServe is an inference-serving event: a predict request's queue
 	// residency, a coalesced batch forward, or a flush decision (serve).
 	CatServe
+	// CatPlane is a control-plane event: a lease mint or retirement, a
+	// reservation with its remedies, a cross-team borrow, or a
+	// preemption-on-reclaim (controlplane).
+	CatPlane
 )
 
 // String names the category (these are the "cat" fields of the Chrome
@@ -88,6 +92,8 @@ func (c Cat) String() string {
 		return "shard"
 	case CatServe:
 		return "serve"
+	case CatPlane:
+		return "plane"
 	}
 	return fmt.Sprintf("cat(%d)", uint8(c))
 }

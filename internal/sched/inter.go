@@ -97,17 +97,30 @@ func (s *InterJob) Take(r Resources) Resources {
 	return got
 }
 
+// RoundPass is one scheduling round as a pure pass: evaluate the proposals
+// against the free pool, debit the pool in place for the accepted ones, and
+// return them in grant order. Both the deprecated InterJob.Round and the
+// multi-tenant control plane invoke this same pass, so a single-tenant
+// control plane is bitwise-identical to the old scheduler by construction.
+func RoundPass(policy Policy, free Resources, proposals []Proposal, trace *obs.Tracer) []Proposal {
+	accepted := policy.Decide(free, proposals)
+	for _, pr := range accepted {
+		free[pr.Type] -= pr.Count
+		logDecision(trace, "sched.accept", proposalDetail(pr), int64(pr.Count), 0)
+	}
+	logDecision(trace, "sched.round",
+		fmt.Sprintf("accepted %d of %d proposals; free=%s", len(accepted), len(proposals), free.Key()),
+		int64(len(accepted)), int64(len(proposals)))
+	return accepted
+}
+
 // Round runs one scheduling round: evaluates the proposals, debits the pool
 // for the accepted ones, and returns them for the intra-job schedulers to
 // apply.
+//
+// Deprecated: new callers should go through controlplane.New, whose Tick
+// drives this same pass (RoundPass) inside a single- or multi-tenant
+// envelope; Round remains as a thin shim for the pre-control-plane API.
 func (s *InterJob) Round(proposals []Proposal) []Proposal {
-	accepted := s.Policy.Decide(s.free, proposals)
-	for _, pr := range accepted {
-		s.free[pr.Type] -= pr.Count
-		logDecision(s.Trace, "sched.accept", proposalDetail(pr), int64(pr.Count), 0)
-	}
-	logDecision(s.Trace, "sched.round",
-		fmt.Sprintf("accepted %d of %d proposals; free=%s", len(accepted), len(proposals), s.free.Key()),
-		int64(len(accepted)), int64(len(proposals)))
-	return accepted
+	return RoundPass(s.Policy, s.free, proposals, s.Trace)
 }

@@ -135,7 +135,18 @@ func (s *IntraJob) Proposals(free Resources, k int) []Proposal {
 				continue
 			}
 		}
-		for add := 1; add <= free[t]; add++ {
+		// Exploration is bounded per type at maxP GPUs: each GPU of a type
+		// the plan uses runs at least one EST, so holding more than maxP of
+		// one type only adds waste-canceled capacity — the plan throughput
+		// is flat beyond that point and the extra proposals are dominated.
+		// This bounds a round to O(types × maxP) plan evaluations instead of
+		// O(types × pool), which is what keeps thousand-GPU free pools (the
+		// control plane's regime) schedulable.
+		maxAdd := s.Companion.MaxP - s.cur[t]
+		if maxAdd > free[t] {
+			maxAdd = free[t]
+		}
+		for add := 1; add <= maxAdd; add++ {
 			next := s.cur.Clone()
 			next[t] += add
 			p, ok := s.Companion.PlanFor(next)
@@ -191,6 +202,59 @@ func (s *IntraJob) Grant(pr Proposal) (Plan, bool) {
 	return p, ok
 }
 
+// Preempt is the reclaim path: remove up to `take` from the held resources
+// and re-plan on the remainder. The scale-in rides the same Apply/plan
+// machinery as a voluntary trim — EasyScale's bitwise-consistent Scale path
+// makes it free of accuracy cost — and it cancels any pending scale-out
+// fallback: after a preemption the saved pre-scale-out state no longer
+// describes resources the job holds, and letting a later ObserveThroughput
+// fall back against it would release the reclaimed GPUs a second time.
+//
+// The returned release is everything the job no longer holds: the preempted
+// GPUs, plus the whole remainder when no feasible plan survives on it (the
+// job then falls idle and fellIdle is true).
+func (s *IntraJob) Preempt(take Resources) (release Resources, fellIdle bool) {
+	release = Resources{}
+	next := s.cur.Clone()
+	for _, t := range device.AllTypes() {
+		n := take[t]
+		if n > next[t] {
+			n = next[t]
+		}
+		if n > 0 {
+			release[t] = n
+			next[t] -= n
+			if next[t] == 0 {
+				delete(next, t)
+			}
+		}
+	}
+	// a preemption invalidates the fallback snapshot even when it takes
+	// nothing the job holds — the caller has decided the old state is gone
+	s.scaledOut = false
+	if release.Total() == 0 {
+		return Resources{}, false
+	}
+	logDecision(s.Trace, "sched.preempt",
+		fmt.Sprintf("job=%s reclaimed %s keeping %s", s.JobID, release.Key(), next.Key()),
+		int64(release.Total()), int64(next.Total()))
+	if next.Total() == 0 {
+		s.cur, s.curPlan = Resources{}, Plan{}
+		return release, true
+	}
+	if _, ok := s.Apply(next); !ok {
+		// the remainder cannot host the job: everything comes back
+		for _, t := range device.AllTypes() {
+			if n := next[t]; n > 0 {
+				release[t] += n
+			}
+		}
+		s.cur, s.curPlan = Resources{}, Plan{}
+		return release, true
+	}
+	return release, false
+}
+
 // ObserveThroughput feeds a measured aggregate throughput back. If the job
 // recently scaled out and the measurement falls short of the estimate, the
 // job falls back to its previous resources and reports the GPUs to release;
@@ -214,8 +278,13 @@ func (s *IntraJob) ObserveThroughput(measured float64) (release Resources, fellB
 				s.JobID, measured, s.FallbackTol*100, s.curPlan.Throughput, s.prev.Key()),
 			int64(s.cur.Total()), int64(s.prev.Total()))
 		release = Resources{}
-		for t, n := range s.cur {
-			release[t] = n - s.prev[t]
+		// clamp at zero per type: after an intervening preemption (which
+		// clears scaledOut, so this is defensive) cur can be below prev, and
+		// a negative release would corrupt the caller's pool accounting
+		for _, t := range device.AllTypes() {
+			if d := s.cur[t] - s.prev[t]; d > 0 {
+				release[t] = d
+			}
 		}
 		s.cur, s.curPlan = s.prev.Clone(), s.prevPlan
 		s.scaledOut = false

@@ -31,6 +31,18 @@ type JobSpec struct {
 	// RequestedType is the GPU type the user's gang request pins (YARN-CS
 	// allocates exactly this type; EasyScale ignores it).
 	RequestedType device.Type
+	// Team names the budget envelope that funds this job's leases under the
+	// multi-tenant control plane ("" means the default single-tenant
+	// envelope).
+	Team string
+	// Priority orders reservation retries under the control plane: higher
+	// goes first; ties break by submission order.
+	Priority int
+	// MinGPUs is the admission floor: the control plane admits the job only
+	// once it can lease this many GPUs of RequestedType (0 means fully
+	// elastic — admit immediately with zero GPUs and grow by proposals, the
+	// EasyScale default).
+	MinGPUs int
 }
 
 // SizeDist is a gang-size distribution.
@@ -92,6 +104,27 @@ func generate(n int, meanInterArrivalSec float64, seed uint64, sizes SizeDist) [
 			ArrivalSec:      now,
 			WorkSteps:       runtime * float64(size) * w.StepRate(v100GFLOPS),
 			RequestedType:   requestType(s),
+		}
+	}
+	return jobs
+}
+
+// GenerateTenants produces a multi-team trace for the control-plane
+// experiments: the TraceSizes mix with jobs assigned round-trip-free to the
+// given teams, a small priority spread, and a quarter of the jobs carrying a
+// hard gang floor (MinGPUs = MaxP) so reservations and preemption-on-reclaim
+// actually trigger.
+func GenerateTenants(n int, teams []string, meanInterArrivalSec float64, seed uint64) []JobSpec {
+	jobs := generate(n, meanInterArrivalSec, seed, TraceSizes)
+	if len(teams) == 0 {
+		return jobs
+	}
+	s := rng.NewNamed(seed, "tenants")
+	for i := range jobs {
+		jobs[i].Team = teams[s.Intn(len(teams))]
+		jobs[i].Priority = s.Intn(3)
+		if s.Float64() < 0.25 {
+			jobs[i].MinGPUs = jobs[i].MaxP
 		}
 	}
 	return jobs
